@@ -1,0 +1,81 @@
+/// Ablation: the five MSB+LSB storage settings of §III-D (4+4 ... 12+4)
+/// against DRAM traffic, attention accuracy, and the LSB-fetch rate at
+/// different confidence thresholds — the design-choice trade-off behind
+/// progressive quantization.
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "bench_util.hpp"
+#include "core/attention_ref.hpp"
+#include "tensor/ops.hpp"
+#include "workload/attention_trace.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Ablation: MSB+LSB settings",
+           "DRAM traffic vs attention fidelity for the paper's five "
+           "progressive-quantization settings");
+
+    // (a) Accelerator DRAM/latency per setting on a GPT-2 benchmark.
+    const auto base = gptBenchmarks().front();
+    SpAttenAccelerator accel;
+    std::printf("(a) accelerator impact (gpt2-small, generation stage)\n");
+    std::printf("%10s %14s %14s %14s\n", "setting", "DRAM MB",
+                "latency us", "vs fp32 DRAM");
+    rule();
+    for (const auto& setting : kPaperBitplaneSettings) {
+        PruningPolicy pol = base.policy;
+        pol.pq.setting = setting;
+        const RunResult r = accel.run(base.workload, pol);
+        std::printf("%7d+%-2d %14.1f %14.1f %13.1fx\n", setting.msb_bits,
+                    setting.lsb_bits, r.dram_bytes / 1e6,
+                    r.seconds * 1e6, r.dramReduction());
+    }
+
+    // (b) Functional attention error per setting.
+    Prng p(7);
+    const std::size_t l = 48, din = 64;
+    const Tensor q = Tensor::randn({l, din}, p);
+    const Tensor k = Tensor::randn({l, din}, p);
+    const Tensor v = Tensor::randn({l, din}, p);
+    const AttentionOutput ref = attentionForward(q, k, v, 4);
+    std::printf("\n(b) attention output error vs fp32 per setting\n");
+    std::printf("%10s %16s %16s\n", "setting", "mean abs err",
+                "LSB refetch rate");
+    rule();
+    for (const auto& setting : kPaperBitplaneSettings) {
+        SpAttenAttentionConfig cfg;
+        cfg.num_heads = 4;
+        cfg.quantize_inputs = true;
+        cfg.pq.setting = setting;
+        cfg.pq.max_prob_threshold = 0.1;
+        const AttentionOutput got =
+            SpAttenAttention(cfg).run(q, k, v, {0, 1, 2, 3});
+        std::printf("%7d+%-2d %16.5f %15.1f%%\n", setting.msb_bits,
+                    setting.lsb_bits, ops::meanAbsDiff(got.out, ref.out),
+                    100.0 * got.stats.lsb_refetches /
+                        std::max(1.0, got.stats.queries));
+    }
+
+    // (c) LSB-fetch rate vs confidence threshold (the 0.1 default).
+    std::printf("\n(c) LSB refetch rate vs max-prob threshold "
+                "(paper: ~5.9%% of inputs need LSBs at 0.1)\n");
+    std::printf("%12s %16s\n", "threshold", "refetch rate");
+    rule();
+    Prng tp(9);
+    const auto rows = syntheticScoreRows(3000, 64, 8.0, tp);
+    for (double thr : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+        std::size_t flat = 0;
+        for (const auto& row : rows) {
+            if (maxSoftmaxProb(row) < thr)
+                ++flat;
+        }
+        std::printf("%12.2f %15.1f%%\n", thr,
+                    100.0 * flat / static_cast<double>(rows.size()));
+    }
+    return 0;
+}

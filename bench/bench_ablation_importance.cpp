@@ -1,0 +1,106 @@
+/// Ablation (§VI): SpAtten's *cumulative* token importance (accumulated
+/// across heads and layers) vs PoWER-BERT-style *instant* importance
+/// (current layer's probabilities only), at matched pruning ratios on a
+/// trained classifier and a trained LM. Cumulative scores are the more
+/// reliable signal, especially at aggressive ratios.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "nn/trainer.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Ablation: cumulative vs instant importance (§VI)",
+           "SpAtten accumulates probabilities across layers; "
+           "PoWER-BERT uses one layer's probabilities");
+
+    // Classification task with distractors (majority vote).
+    KeywordTaskConfig tc;
+    tc.seq_len = 24;
+    tc.keywords_per_sentence = 3;
+    tc.minority_keywords = 2;
+    KeywordTask task(tc);
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 32;
+    mc.heads = 4;
+    mc.layers = 4;
+    mc.ffn_dim = 64;
+    mc.max_len = tc.seq_len;
+    mc.num_classes = task.numClasses();
+    TransformerModel cls(mc);
+    std::printf("training classifier...\n");
+    trainClassifier(cls, task.sample(300), 6);
+    const auto test = task.sample(100);
+    const double dense_acc = classifierAccuracy(cls, test);
+
+    std::printf("\n(a) classification accuracy delta vs pruning ratio\n");
+    std::printf("%10s %16s %16s %16s\n", "ratio", "cumulative",
+                "instant (PB)", "random");
+    rule();
+    for (double ratio : {0.2, 0.4, 0.6, 0.8}) {
+        PruningPolicy cum = PruningPolicy::disabled();
+        cum.token_pruning = true;
+        cum.token_avg_ratio = ratio;
+        cum.importance_mode = ImportanceMode::Cumulative;
+        PruningPolicy inst = cum;
+        inst.importance_mode = ImportanceMode::Instant;
+        PruningPolicy rnd = cum;
+        rnd.importance_mode = ImportanceMode::Random;
+        const double a_cum = classifierAccuracyPruned(cls, test, cum);
+        const double a_inst = classifierAccuracyPruned(cls, test, inst);
+        const double a_rnd = classifierAccuracyPruned(cls, test, rnd);
+        std::printf("%10.2f %+15.1f%% %+15.1f%% %+15.1f%%\n", ratio,
+                    (a_cum - dense_acc) * 100,
+                    (a_inst - dense_acc) * 100,
+                    (a_rnd - dense_acc) * 100);
+    }
+
+    // LM task.
+    CopyLmTaskConfig lc;
+    lc.payload_len = 4;
+    lc.filler_gap = 3;
+    CopyLmTask lm_task(lc);
+    TinyModelConfig lmc;
+    lmc.vocab = lm_task.vocabSize();
+    lmc.d_model = 32;
+    lmc.heads = 4;
+    lmc.layers = 4;
+    lmc.ffn_dim = 64;
+    lmc.max_len = lm_task.seqLen();
+    TransformerModel lm(lmc);
+    std::printf("\ntraining LM...\n");
+    trainLm(lm, lm_task.sample(300), 6);
+    const auto lm_test = lm_task.sample(40);
+    const double dense_loss = lmMeanLoss(lm, lm_test);
+
+    std::printf("\n(b) LM loss delta vs pruning ratio\n");
+    std::printf("%10s %16s %16s %16s\n", "ratio", "cumulative",
+                "instant (PB)", "random");
+    rule();
+    for (double ratio : {0.3, 0.5, 0.7, 0.9}) {
+        PruningPolicy cum = PruningPolicy::disabled();
+        cum.token_pruning = true;
+        cum.token_avg_ratio = ratio;
+        PruningPolicy inst = cum;
+        inst.importance_mode = ImportanceMode::Instant;
+        PruningPolicy rnd = cum;
+        rnd.importance_mode = ImportanceMode::Random;
+        const double l_cum = lmMeanLossPruned(lm, lm_test, cum);
+        const double l_inst = lmMeanLossPruned(lm, lm_test, inst);
+        const double l_rnd = lmMeanLossPruned(lm, lm_test, rnd);
+        std::printf("%10.2f %+16.4f %+16.4f %+16.4f\n", ratio,
+                    l_cum - dense_loss, l_inst - dense_loss,
+                    l_rnd - dense_loss);
+    }
+    rule();
+    std::printf("Paper (§VI): PoWER-BERT's instant one-layer "
+                "probabilities are a weaker signal than SpAtten's "
+                "cumulative scores; accumulation across heads/layers "
+                "makes the importance more reliable (§III-A).\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/// §V-B claim: "our techniques can also accelerate the Beam Search case
+/// because when a token (and its K, V) is pruned, it will not be used by
+/// any beams." This harness runs beam-search generation on a trained
+/// copy-LM with and without KV pruning and reports quality (payload copy
+/// accuracy, beam score) and the surviving-key fraction (the DRAM-saving
+/// proxy), for beam widths 1 and 4.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "nn/generation.hpp"
+#include "nn/trainer.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Beam search under KV pruning (§V-B)",
+           "pruned prompt keys are shared — and skipped — by all beams");
+
+    CopyLmTaskConfig tc;
+    tc.payload_len = 4;
+    tc.filler_gap = 2;
+    CopyLmTask task(tc);
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 32;
+    mc.heads = 4;
+    mc.layers = 3;
+    mc.ffn_dim = 64;
+    mc.max_len = task.seqLen() + 2;
+    TransformerModel model(mc);
+    std::printf("training copy-LM...\n");
+    trainLm(model, task.sample(300), 8);
+
+    const std::size_t sep =
+        task.config().num_symbols + task.config().num_fillers + 1;
+    const auto eval = [&](std::size_t beam_width, bool prune) {
+        double copy_acc = 0.0, keys_frac = 0.0, logprob = 0.0;
+        double lsb_frac = 0.0;
+        const auto examples = task.sample(30);
+        for (const auto& ex : examples) {
+            std::vector<std::size_t> prompt, payload;
+            bool after = false;
+            for (std::size_t id : ex.ids) {
+                if (after) {
+                    payload.push_back(id);
+                } else {
+                    prompt.push_back(id);
+                    if (id == sep)
+                        after = true;
+                }
+            }
+            GenerativeRunner runner(model);
+            GenerateOptions opts;
+            opts.max_new_tokens = payload.size();
+            opts.beam_width = beam_width;
+            opts.policy = PruningPolicy::disabled();
+            if (prune) {
+                opts.policy.token_pruning = true;
+                opts.policy.token_avg_ratio = 0.3;
+                opts.policy.local_value_pruning = true;
+                opts.policy.local_v_ratio = 0.2;
+            }
+            const auto res = runner.generate(prompt, opts);
+            std::size_t correct = 0;
+            for (std::size_t i = 0; i < payload.size(); ++i)
+                correct += res.tokens[i] == payload[i];
+            copy_acc += static_cast<double>(correct) / payload.size();
+            keys_frac += res.final_keys_frac;
+            logprob += res.logprob;
+            lsb_frac += res.lsb_fraction;
+        }
+        const double n = static_cast<double>(examples.size());
+        std::printf("%6zu %8s %12.1f%% %12.1f%% %12.2f %11.1f%%\n",
+                    beam_width, prune ? "yes" : "no",
+                    100.0 * copy_acc / n, 100.0 * keys_frac / n,
+                    logprob / n, 100.0 * lsb_frac / n);
+    };
+
+    std::printf("\n%6s %8s %13s %13s %12s %12s\n", "beam", "pruned",
+                "copy acc", "keys alive", "logprob", "flat rows");
+    rule();
+    eval(1, false);
+    eval(1, true);
+    eval(4, false);
+    eval(4, true);
+    rule();
+    std::printf("Expectations: pruning keeps copy accuracy, shrinks the "
+                "shared KV cache for every beam, and beam-4 scores are >= "
+                "greedy scores. 'flat rows' is the measured fraction of "
+                "attention rows that would need an LSB refetch at "
+                "threshold 0.1 (paper average: 5.9%%).\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/// Regenerates Fig. 2: end-to-end GPT-2 latency breakdown (attention vs
+/// FC) on the baseline platforms, and the attention-internal breakdown
+/// showing matmul is a minority of attention latency.
+#include <cstdio>
+
+#include "baselines/platform_model.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Fig. 2",
+           "GPT-2 latency breakdown on baseline platforms "
+           "(attention share of end-to-end; matmul share of attention)");
+
+    const auto b = gptBenchmarks().front(); // gpt2-small
+    std::printf("%-18s %16s %16s %16s\n", "platform", "attention ms",
+                "FC ms", "attention share");
+    rule();
+    struct P
+    {
+        PlatformSpec spec;
+        const char* paper_share;
+    };
+    const P plats[] = {
+        {PlatformSpec::titanXp(), "~50%"},
+        {PlatformSpec::xeon(), "~61%"},
+        {PlatformSpec::jetsonNano(), "~49%"},
+        {PlatformSpec::raspberryPi(), "~50%"},
+    };
+    for (const auto& p : plats) {
+        const PlatformModel pm(p.spec);
+        const double attn = pm.attention(b.workload).seconds * 1e3;
+        const double fc = pm.fc(b.workload).seconds * 1e3;
+        std::printf("%-18s %16.1f %16.1f %14.1f%%  (paper %s)\n",
+                    p.spec.name.c_str(), attn, fc,
+                    100.0 * attn / (attn + fc), p.paper_share);
+    }
+    rule();
+    std::printf("Attention-internal breakdown on TITAN Xp (modeled via "
+                "matmul_fraction):\n");
+    const auto gpu = PlatformSpec::titanXp();
+    std::printf("  matmul (QxK + probxV): %.0f%%   data movement "
+                "(split/concat/reshape/transpose + softmax): %.0f%%\n",
+                100.0 * gpu.matmul_fraction,
+                100.0 * (1.0 - gpu.matmul_fraction));
+    std::printf("Paper: matmul only ~27%% of attention latency; data "
+                "movement ~73%%.\n");
+    return 0;
+}

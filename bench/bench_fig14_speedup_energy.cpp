@@ -1,0 +1,77 @@
+/// Regenerates Fig. 14: SpAtten speedup and energy efficiency over
+/// TITAN Xp GPU, Xeon CPU, Jetson Nano and Raspberry Pi on the 30
+/// benchmarks (attention layers only).
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "baselines/platform_model.hpp"
+#include "bench_util.hpp"
+#include "report/report.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Fig. 14",
+           "Speedup & energy efficiency of SpAtten over CPU/GPU baselines "
+           "on 30 benchmarks (attention layers)");
+
+    const std::vector<PlatformModel> platforms = {
+        PlatformModel(PlatformSpec::titanXp()),
+        PlatformModel(PlatformSpec::xeon()),
+        PlatformModel(PlatformSpec::jetsonNano()),
+        PlatformModel(PlatformSpec::raspberryPi()),
+    };
+
+    SpAttenAccelerator accel;
+    CsvWriter csv("fig14_speedup_energy.csv");
+    csv.header({"benchmark", "spatten_seconds", "speedup_gpu",
+                "speedup_cpu", "speedup_nano", "speedup_pi",
+                "energy_gpu", "energy_cpu", "energy_nano", "energy_pi"});
+    std::printf("%-24s | %9s %9s %9s %9s | %9s %9s %9s %9s\n", "benchmark",
+                "sp/GPU", "sp/CPU", "sp/Nano", "sp/Pi", "en/GPU",
+                "en/CPU", "en/Nano", "en/Pi");
+    rule();
+
+    std::vector<std::vector<double>> speedups(4), effs(4);
+    for (const auto& b : paperBenchmarks()) {
+        const RunResult sp = accel.run(b.workload, b.policy);
+        std::printf("%-24s |", b.workload.name.c_str());
+        double row_speed[4], row_eff[4];
+        for (std::size_t p = 0; p < platforms.size(); ++p) {
+            const PlatformResult pr =
+                platforms[p].attention(b.workload);
+            row_speed[p] = pr.seconds / sp.seconds;
+            row_eff[p] = pr.energy_j / sp.energy.totalJ();
+            speedups[p].push_back(row_speed[p]);
+            effs[p].push_back(row_eff[p]);
+        }
+        for (double s : row_speed)
+            std::printf(" %9.1f", s);
+        std::printf(" |");
+        for (double e : row_eff)
+            std::printf(" %9.1f", e);
+        std::printf("\n");
+        std::vector<std::string> cells{b.workload.name};
+        cells.push_back(fmtNum(sp.seconds));
+        for (double s : row_speed)
+            cells.push_back(fmtNum(s));
+        for (double e : row_eff)
+            cells.push_back(fmtNum(e));
+        csv.row(cells);
+    }
+    rule();
+    std::printf("%-24s |", "geomean");
+    for (auto& v : speedups)
+        std::printf(" %9.1f", geomean(v));
+    std::printf(" |");
+    for (auto& v : effs)
+        std::printf(" %9.1f", geomean(v));
+    std::printf("\n");
+    std::printf("\nPaper geomeans: speedup 162x / 347x / 1095x / 5071x; "
+                "energy 1193x / 4059x / 406x / 1910x.\n");
+    std::printf("Per-benchmark rows written to %s\n", csv.path().c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+/// Regenerates Fig. 15: end-to-end (attention + FC) speedup of
+/// SpAtten-e2e over TITAN Xp and Xeon on the eight GPT-2 benchmarks,
+/// with 8-bit and 12-bit FC weights. Measured on the generation stage
+/// (the paper's GPT-2 setting: generating 32 tokens).
+#include <cstdio>
+
+#include "accel/e2e.hpp"
+#include "baselines/platform_model.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace {
+
+/// Generation-stage-only platform seconds: total minus summarize-only.
+double
+platformGenSeconds(const spatten::PlatformModel& pm,
+                   const spatten::WorkloadSpec& w)
+{
+    spatten::WorkloadSpec sum_only = w;
+    sum_only.generate_len = 0;
+    const double attn =
+        pm.attention(w).seconds - pm.attention(sum_only).seconds;
+    const double fc = pm.fc(w).seconds - pm.fc(sum_only).seconds;
+    return attn + fc;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Fig. 15",
+           "End-to-end speedup of SpAtten-e2e (8/12-bit FC weights), "
+           "GPT-2 generation stage");
+
+    const PlatformModel gpu(PlatformSpec::titanXp());
+    const PlatformModel cpu(PlatformSpec::xeon());
+
+    std::printf("%-24s | %11s %11s | %11s %11s\n", "benchmark",
+                "8b vs GPU", "8b vs CPU", "12b vs GPU", "12b vs CPU");
+    rule();
+    std::vector<double> g8, c8, g12, c12;
+    for (const auto& b : gptBenchmarks()) {
+        SpAttenE2e e8(SpAttenConfig{}, E2eConfig{8, 0.85});
+        SpAttenE2e e12(SpAttenConfig{}, E2eConfig{12, 0.85});
+        const double sp8 = e8.run(b.workload, b.policy).generationSeconds();
+        const double sp12 =
+            e12.run(b.workload, b.policy).generationSeconds();
+        const double tg = platformGenSeconds(gpu, b.workload);
+        const double tc = platformGenSeconds(cpu, b.workload);
+        g8.push_back(tg / sp8);
+        c8.push_back(tc / sp8);
+        g12.push_back(tg / sp12);
+        c12.push_back(tc / sp12);
+        std::printf("%-24s | %11.1f %11.1f | %11.1f %11.1f\n",
+                    b.workload.name.c_str(), g8.back(), c8.back(),
+                    g12.back(), c12.back());
+    }
+    rule();
+    std::printf("%-24s | %11.1f %11.1f | %11.1f %11.1f\n", "geomean",
+                geomean(g8), geomean(c8), geomean(g12), geomean(c12));
+    std::printf("\nPaper geomeans: 8-bit 35x (GPU) / 122x (CPU); "
+                "12-bit 24x / 83x.\n");
+    return 0;
+}

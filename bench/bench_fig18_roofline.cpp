@@ -1,0 +1,66 @@
+/// Regenerates Fig. 18: roofline analysis of SpAtten vs TITAN Xp on BERT
+/// (computation-bounded) and GPT-2 (memory-bounded) workloads.
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "baselines/platform_model.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Fig. 18",
+           "Roofline: operation intensity vs achieved performance");
+
+    SpAttenAccelerator accel;
+    std::printf("SpAtten roofs: computation %.2f TFLOPS, bandwidth "
+                "%.0f GB/s (slope 0.512 TFLOPS per op/B)\n\n",
+                accel.computeRoofTflops(), accel.bandwidthRoofGBs());
+
+    std::printf("%-26s %14s %14s %14s\n", "point", "intensity op/B",
+                "TFLOPS", "bound");
+    rule();
+
+    const auto report = [&](const char* name, double flops, double bytes,
+                            double secs) {
+        const double inten = flops / bytes;
+        const double tflops = flops / secs * 1e-12;
+        const double roof_at =
+            std::min(accel.computeRoofTflops(), 0.512 * inten);
+        std::printf("%-26s %14.2f %14.3f %14s\n", name, inten, tflops,
+                    tflops > 0.8 * roof_at ? "near roof" : "below roof");
+    };
+
+    // BERT average (computation-bounded) and GPT-2 average
+    // (memory-bounded), SpAtten and GPU points.
+    double b_fl = 0, b_by = 0, b_s = 0, g_fl = 0, g_by = 0, g_s = 0;
+    double bg_s = 0, gg_s = 0;
+    const PlatformModel gpu(PlatformSpec::titanXp());
+    for (const auto& b : paperBenchmarks()) {
+        const RunResult r = accel.run(b.workload, b.policy);
+        const PlatformResult pr = gpu.attention(b.workload);
+        if (b.generative) {
+            g_fl += r.attention_flops;
+            g_by += r.dram_bytes;
+            g_s += r.seconds;
+            gg_s += pr.seconds;
+        } else {
+            b_fl += r.attention_flops;
+            b_by += r.dram_bytes;
+            b_s += r.seconds;
+            bg_s += pr.seconds;
+        }
+    }
+    report("SpAtten / BERT", b_fl, b_by, b_s);
+    report("SpAtten / GPT-2", g_fl, g_by, g_s);
+    report("TITAN Xp / BERT", b_fl, b_by, bg_s);
+    report("TITAN Xp / GPT-2", g_fl, g_by, gg_s);
+    rule();
+    std::printf("Paper: SpAtten 1.61 TFLOPS on BERT (near 2 TFLOPS roof), "
+                "0.43 TFLOPS on GPT-2 (near bandwidth roof);\n"
+                "GPU 0.02 / 0.01 TFLOPS, far below its roofs.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/// Regenerates Fig. 19: design space exploration — top-k engine
+/// parallelism sweep and K/V SRAM size sweep on a GPT-2 application.
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Fig. 19",
+           "DSE: top-k parallelism and K/V SRAM size (GPT-2 app)");
+
+    const auto b = gptBenchmarks().front(); // gpt2-small-wikitext2
+
+    std::printf("(a) top-k engine parallelism sweep "
+                "(paper: 168 -> 771 GFLOPS from 1 to 32, saturating at 16)\n");
+    std::printf("%12s %14s\n", "parallelism", "GFLOPS");
+    rule();
+    for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SpAttenConfig cfg;
+        cfg.topk_parallelism = p;
+        SpAttenAccelerator accel(cfg);
+        const RunResult r = accel.run(b.workload, b.policy);
+        std::printf("%12zu %14.0f\n", p,
+                    r.attention_flops / r.seconds * 1e-9);
+    }
+
+    std::printf("\n(b) K/V SRAM size sweep (paper: flat — fully pipelined, "
+                "196 KB per SRAM suffices)\n");
+    std::printf("%12s %14s %12s\n", "total KB", "GFLOPS", "area mm^2");
+    rule();
+    for (std::size_t kb : {392u, 784u}) {
+        SpAttenConfig cfg;
+        cfg.key_sram_kb = kb / 2;
+        cfg.value_sram_kb = kb / 2;
+        SpAttenAccelerator accel(cfg);
+        const RunResult r = accel.run(b.workload, b.policy);
+        std::printf("%12zu %14.0f %12.2f\n", kb,
+                    r.attention_flops / r.seconds * 1e-9,
+                    accel.areaMm2());
+    }
+    return 0;
+}

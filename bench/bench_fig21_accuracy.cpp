@@ -1,0 +1,110 @@
+/// Regenerates Fig. 21: trade-off curves between token/head pruning
+/// ratio and accuracy, on trained synthetic tasks (see DESIGN.md for the
+/// dataset substitution). Left: LM task (GPT-2-on-PTB analogue, loss
+/// delta); right: classification task (BERT-on-CoLA analogue, accuracy
+/// delta).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "nn/trainer.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Fig. 21",
+           "Accuracy vs token/head pruning ratio on trained synthetic "
+           "tasks");
+
+    // ---- Classification task (token & head pruning curves) ----
+    KeywordTaskConfig tc;
+    tc.seq_len = 24;
+    tc.keywords_per_sentence = 3;
+    tc.minority_keywords = 2; // majority vote: pruning can flip labels
+    KeywordTask task(tc);
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 32;
+    mc.heads = 4;
+    mc.layers = 3;
+    mc.ffn_dim = 64;
+    mc.max_len = tc.seq_len;
+    mc.num_classes = task.numClasses();
+    TransformerModel cls(mc);
+    std::printf("training classifier (synthetic keyword task)...\n");
+    trainClassifier(cls, task.sample(300), 6);
+    const auto test = task.sample(100);
+    const double dense_acc = classifierAccuracy(cls, test);
+    std::printf("dense accuracy: %.1f%%\n\n", dense_acc * 100);
+
+    std::printf("(a) token pruning ratio vs accuracy loss "
+                "(classification)\n");
+    std::printf("%16s %16s %14s\n", "per-layer ratio", "overall keep",
+                "acc delta");
+    rule();
+    for (double ratio : {0.0, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 0.92}) {
+        PruningPolicy pol = PruningPolicy::disabled();
+        pol.token_pruning = ratio > 0.0;
+        pol.token_avg_ratio = ratio;
+        PrunedRunStats st;
+        const double acc = classifierAccuracyPruned(cls, test, pol, &st);
+        std::printf("%16.2f %15.1f%% %+13.1f%%\n", ratio,
+                    st.tokens_kept_frac * 100,
+                    (acc - dense_acc) * 100);
+    }
+
+    std::printf("\n(b) head pruning ratio vs accuracy loss "
+                "(classification)\n");
+    std::printf("%16s %16s %14s\n", "per-layer ratio", "heads kept",
+                "acc delta");
+    rule();
+    for (double ratio : {0.0, 0.15, 0.3, 0.5, 0.75, 0.9}) {
+        PruningPolicy pol = PruningPolicy::disabled();
+        pol.head_pruning = ratio > 0.0;
+        pol.head_avg_ratio = ratio;
+        PrunedRunStats st;
+        const double acc = classifierAccuracyPruned(cls, test, pol, &st);
+        std::printf("%16.2f %15.1f%% %+13.1f%%\n", ratio,
+                    st.heads_kept_frac * 100, (acc - dense_acc) * 100);
+    }
+
+    // ---- LM task (token pruning curve) ----
+    CopyLmTaskConfig lc;
+    lc.payload_len = 4;
+    lc.filler_gap = 3;
+    CopyLmTask lm_task(lc);
+    TinyModelConfig lmc;
+    lmc.vocab = lm_task.vocabSize();
+    lmc.d_model = 32;
+    lmc.heads = 4;
+    lmc.layers = 4;
+    lmc.ffn_dim = 64;
+    lmc.max_len = lm_task.seqLen();
+    TransformerModel lm(lmc);
+    std::printf("\ntraining LM (synthetic copy task)...\n");
+    trainLm(lm, lm_task.sample(300), 6);
+    const auto lm_test = lm_task.sample(40);
+    const double dense_loss = lmMeanLoss(lm, lm_test);
+    std::printf("dense LM loss: %.4f\n\n", dense_loss);
+
+    std::printf("(c) token (key) pruning ratio vs LM loss delta\n");
+    std::printf("%16s %16s %14s\n", "per-layer ratio", "keys kept",
+                "loss delta");
+    rule();
+    for (double ratio : {0.0, 0.1, 0.2, 0.35, 0.5, 0.7, 0.85, 0.95}) {
+        PruningPolicy pol = PruningPolicy::disabled();
+        pol.token_pruning = ratio > 0.0;
+        pol.token_avg_ratio = ratio;
+        PrunedRunStats st;
+        const double loss = lmMeanLossPruned(lm, lm_test, pol, &st);
+        std::printf("%16.2f %15.1f%% %+14.4f\n", ratio,
+                    st.avg_keys_frac * 100, loss - dense_loss);
+    }
+    rule();
+    std::printf("Paper shape: ~4x token pruning on PTB and ~1.2x head "
+                "pruning on CoLA with no accuracy loss; small ratios can "
+                "even improve accuracy; extreme ratios degrade sharply.\n");
+    return 0;
+}

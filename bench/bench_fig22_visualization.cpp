@@ -1,0 +1,75 @@
+/// Regenerates Fig. 22: cascade token pruning visualized on trained
+/// models — the surviving words are the semantically meaningful ones,
+/// making the pruning interpretable (unlike A3/MNNFast).
+/// (examples/sentiment_pruning gives the interactive version.)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "nn/trainer.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Fig. 22",
+           "Interpretable cascade token pruning on a trained classifier");
+
+    KeywordTaskConfig tc;
+    tc.seq_len = 16;
+    KeywordTask task(tc);
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 32;
+    mc.heads = 4;
+    mc.layers = 3;
+    mc.ffn_dim = 64;
+    mc.max_len = tc.seq_len;
+    mc.num_classes = task.numClasses();
+    TransformerModel model(mc);
+    std::printf("training sentiment-style classifier...\n");
+    trainClassifier(model, task.sample(300), 6);
+
+    PruningPolicy policy = PruningPolicy::disabled();
+    policy.token_pruning = true;
+    policy.token_avg_ratio = 0.35;
+
+    // Quantify interpretability: across many sentences, what fraction of
+    // keyword tokens vs filler tokens survive pruning?
+    const auto test = task.sample(200);
+    double kw_total = 0, kw_kept = 0, fil_total = 0, fil_kept = 0;
+    std::size_t correct = 0;
+    for (const auto& ex : test) {
+        PrunedRunStats st;
+        correct += model.predictClassPruned(ex.ids, policy, &st) ==
+                   ex.label;
+        std::vector<bool> alive(ex.ids.size(), false);
+        for (std::size_t pos : st.surviving_tokens)
+            alive[pos] = true;
+        for (std::size_t pos = 0; pos < ex.ids.size(); ++pos) {
+            if (task.isKeyword(ex.ids[pos])) {
+                kw_total += 1;
+                kw_kept += alive[pos];
+            } else {
+                fil_total += 1;
+                fil_kept += alive[pos];
+            }
+        }
+    }
+    std::printf("\n%28s %12s\n", "token class", "survival");
+    rule();
+    std::printf("%28s %11.1f%%\n", "keywords (sentiment cues)",
+                100.0 * kw_kept / kw_total);
+    std::printf("%28s %11.1f%%\n", "fillers (function words)",
+                100.0 * fil_kept / fil_total);
+    std::printf("%28s %11.1f%%\n", "pruned accuracy",
+                100.0 * correct / test.size());
+    rule();
+    std::printf("Paper Fig. 22: surviving tokens are exactly the "
+                "sentiment cues ('remember', 'admire', 'resolve "
+                "confusion'); prepositions and articles are pruned. "
+                "Keywords must survive at a far higher rate than "
+                "fillers for the pruning to be interpretable.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/// Regenerates the §V-B headline numbers: DRAM access reduction (10.0x
+/// average), computation reduction (2.1x), token+local-V pruning (1.9x
+/// all / 3.8x GPT-2), head pruning (1.1x) and progressive quantization
+/// (5.1x) contributions.
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Headline reductions (Abstract / §V-B)",
+           "DRAM and computation reductions from each technique");
+
+    SpAttenAccelerator accel;
+    std::vector<double> dram_all, comp_all, dram_gpt, eff_bert, eff_gpt;
+    for (const auto& b : paperBenchmarks()) {
+        const RunResult r = accel.run(b.workload, b.policy);
+        dram_all.push_back(r.dramReduction());
+        comp_all.push_back(r.computeReduction());
+        if (b.generative) {
+            dram_gpt.push_back(r.dramReduction());
+            eff_gpt.push_back(r.effectiveTflops());
+        } else {
+            eff_bert.push_back(r.effectiveTflops());
+        }
+    }
+
+    std::printf("%-44s %10s %10s\n", "metric", "measured", "paper");
+    rule();
+    std::printf("%-44s %9.1fx %10s\n", "DRAM access reduction (30-bench avg)",
+                geomean(dram_all), "10.0x");
+    std::printf("%-44s %9.1fx %10s\n", "DRAM access reduction (GPT-2 only)",
+                geomean(dram_gpt), "~10x");
+    std::printf("%-44s %9.1fx %10s\n", "Computation reduction (avg)",
+                geomean(comp_all), "2.1x");
+    std::printf("%-44s %9.2f %10s\n", "Effective TFLOPS on BERT",
+                mean(eff_bert), "1.61");
+    std::printf("%-44s %9.2f %10s\n", "Effective TFLOPS on GPT-2",
+                mean(eff_gpt), "0.43");
+
+    // Technique-by-technique DRAM contributions on the GPT-2 suite.
+    const auto reduction_with = [&](PruningPolicy pol) {
+        std::vector<double> v;
+        for (const auto& b : gptBenchmarks()) {
+            const RunResult r = accel.run(b.workload, pol);
+            v.push_back(r.dramReduction());
+        }
+        return geomean(v);
+    };
+    PruningPolicy base = gptBenchmarks().front().policy;
+
+    PruningPolicy token_only = PruningPolicy::disabled();
+    token_only.token_pruning = true;
+    token_only.token_avg_ratio = base.token_avg_ratio;
+    token_only.local_value_pruning = true;
+    token_only.local_v_ratio = base.local_v_ratio;
+    // Isolate against a 32-bit dense reference by disabling quantization:
+    // dramReduction() is vs fp32, so divide out the 12-bit static factor.
+    const double static12 =
+        reduction_with(PruningPolicy::disabled()); // = 32/12
+    std::printf("%-44s %9.1fx %10s\n",
+                "token + local-V pruning, GPT-2 (DRAM)",
+                reduction_with(token_only) / static12, "3.8x");
+
+    PruningPolicy head_only = PruningPolicy::disabled();
+    head_only.head_pruning = true;
+    head_only.head_avg_ratio = base.head_avg_ratio;
+    std::printf("%-44s %9.2fx %10s\n", "head pruning, GPT-2 (DRAM)",
+                reduction_with(head_only) / static12, "1.1x");
+
+    PruningPolicy quant_only = PruningPolicy::disabled();
+    quant_only.pq = base.pq;
+    quant_only.lsb_fraction = base.lsb_fraction;
+    std::printf("%-44s %9.1fx %10s\n",
+                "progressive quantization, GPT-2 (DRAM vs fp32)",
+                reduction_with(quant_only), "5.1x");
+    rule();
+    std::printf("All reductions preserve accuracy per the Fig. 21 "
+                "trade-off experiments (bench_fig21_accuracy).\n");
+    return 0;
+}

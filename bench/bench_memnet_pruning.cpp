@@ -1,0 +1,49 @@
+/// §VI generalization: SpAtten's cumulative-importance pruning applied
+/// to a Memory-Augmented Network (end-to-end memory network, the paper's
+/// ref [101]) — unimportant memory vectors are pruned between hops with
+/// no accuracy loss until the relevant slots start being hit.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "nn/memnet.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Memory-augmented network pruning (§VI)",
+           "cumulative-importance pruning of memory slots between hops");
+
+    MemoryQaTask task;
+    MemNetConfig cfg;
+    cfg.vocab = task.vocabSize();
+    cfg.dim = 32;
+    cfg.hops = 3;
+    MemoryNetwork net(cfg);
+
+    std::printf("training 3-hop MemN2N on the synthetic QA task...\n");
+    const auto train = task.sample(400);
+    for (int epoch = 0; epoch < 14; ++epoch)
+        for (const auto& ex : train)
+            net.trainStep(ex);
+    const auto test = task.sample(100);
+    const double dense = net.accuracy(test);
+    std::printf("dense accuracy: %.1f%% (%zu memory slots)\n\n",
+                dense * 100, task.sample(1).front().facts.size());
+
+    std::printf("%16s %14s %14s\n", "per-hop ratio", "slots kept",
+                "acc delta");
+    rule();
+    for (double ratio : {0.0, 0.25, 0.5, 0.7, 0.85}) {
+        double kept = 1.0;
+        const double acc = net.accuracyPruned(test, ratio, &kept);
+        std::printf("%16.2f %13.1f%% %+13.1f%%\n", ratio, kept * 100,
+                    (acc - dense) * 100);
+    }
+    rule();
+    std::printf("The relevant fact dominates the attention distribution, "
+                "so most slots can be pruned after the first hop — the "
+                "same redundancy token pruning exploits in sentences.\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/// Regenerates Table I: the architectural setup of SpAtten.
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    bench::banner("Table I", "Architectural setup of SpAtten");
+    SpAttenAccelerator accel;
+    std::printf("%s", accel.configTable().c_str());
+    bench::rule();
+    std::printf("SpAtten-1/8 (prior-art comparison configuration):\n");
+    SpAttenAccelerator eighth(SpAttenConfig::eighth());
+    std::printf("%s", eighth.configTable().c_str());
+    std::printf("\nPaper reference: 512 GB/s HBM, 2x196 KB SRAM, "
+                "512+512 multipliers, top-k parallelism 16.\n");
+    return 0;
+}

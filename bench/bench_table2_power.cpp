@@ -1,0 +1,44 @@
+/// Regenerates Table II: power breakdown of SpAtten (computation logic,
+/// SRAM, DRAM, overall) averaged over the GPT-2 benchmarks.
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Table II", "Power breakdown of SpAtten (GPT-2 benchmarks)");
+
+    SpAttenAccelerator accel;
+    double logic_j = 0, sram_j = 0, dram_j = 0, leak_j = 0, secs = 0;
+    for (const auto& b : gptBenchmarks()) {
+        const RunResult r = accel.run(b.workload, b.policy);
+        logic_j += r.energy.qk_j + r.energy.pv_j + r.energy.softmax_j +
+                   r.energy.topk_j + r.energy.fetcher_j;
+        sram_j += r.energy.sram_j;
+        dram_j += r.energy.dram_j;
+        leak_j += r.energy.leakage_j;
+        secs += r.energy.seconds;
+    }
+    const double logic_w = logic_j / secs;
+    const double sram_w = sram_j / secs;
+    const double dram_w = dram_j / secs;
+    const double leak_w = leak_j / secs;
+    const double total_w = logic_w + sram_w + dram_w + leak_w;
+
+    std::printf("%-22s %10s %12s\n", "bucket", "measured W", "paper W");
+    rule();
+    std::printf("%-22s %10.2f %12s\n", "Computation Logic",
+                logic_w + leak_w, "1.36");
+    std::printf("%-22s %10.2f %12s\n", "SRAM", sram_w, "1.24");
+    std::printf("%-22s %10.2f %12s\n", "DRAM", dram_w, "5.71");
+    std::printf("%-22s %10.2f %12s\n", "Overall", total_w, "8.30");
+    rule();
+    std::printf("DRAM share: measured %.0f%%, paper ~69%%\n",
+                100.0 * dram_w / total_w);
+    return 0;
+}

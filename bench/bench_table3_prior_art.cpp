@@ -1,0 +1,77 @@
+/// Regenerates Table III: SpAtten-1/8 vs the A3 and MNNFast prior-art
+/// accelerators (feature matrix + throughput / energy / area efficiency).
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "baselines/a3_model.hpp"
+#include "baselines/mnnfast_model.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Table III", "SpAtten-1/8 vs A3 vs MNNFast (BERT benchmarks)");
+
+    std::printf("%-28s %10s %10s %12s\n", "feature", "MNNFast", "A3",
+                "SpAtten1/8");
+    rule();
+    const char* features[][4] = {
+        {"Cascade head pruning", "no", "no", "yes"},
+        {"Cascade token pruning", "no", "no", "yes"},
+        {"Interpretable pruning", "no", "no", "yes"},
+        {"Local value pruning", "yes", "yes", "yes"},
+        {"Progressive quantization", "no", "no", "yes"},
+        {"Preprocessing overhead", "no", "yes", "no"},
+        {"Reduces FFN computation", "no", "no", "yes"},
+        {"Accelerates GPT-2", "no", "no", "yes"},
+    };
+    for (const auto& f : features)
+        std::printf("%-28s %10s %10s %12s\n", f[0], f[1], f[2], f[3]);
+    rule();
+
+    SpAttenAccelerator eighth(SpAttenConfig::eighth());
+    std::vector<double> sp_gops, a3_gops, mnn_gops;
+    std::vector<double> sp_gopj, a3_gopj, mnn_gopj;
+    for (const auto& b : bertBenchmarks()) {
+        const RunResult sp = eighth.run(b.workload, b.policy);
+        const A3Result a3 = A3Model().run(b.workload);
+        const MnnFastResult mnn = MnnFastModel().run(b.workload);
+        // Effective throughput convention: dense work / time.
+        sp_gops.push_back(sp.attention_flops_dense / sp.seconds * 1e-9);
+        a3_gops.push_back(a3.effectiveGops());
+        mnn_gops.push_back(mnn.effectiveGops());
+        sp_gopj.push_back(sp.attention_flops_dense / sp.energy.totalJ() *
+                          1e-9);
+        a3_gopj.push_back(a3.dense_flops / a3.energy_j * 1e-9);
+        mnn_gopj.push_back(mnn.dense_flops / mnn.energy_j * 1e-9);
+    }
+    const double sp_area =
+        totalAreaMm2(areaBreakdown(128, 48, 2));
+    const double a3_area = 2.08; // from the A3 paper (40 nm)
+
+    std::printf("%-28s %10s %10s %12s\n", "metric (geomean)", "MNNFast",
+                "A3", "SpAtten1/8");
+    rule();
+    std::printf("%-28s %10.0f %10.0f %12.0f\n", "Throughput (GOP/s)",
+                geomean(mnn_gops), geomean(a3_gops), geomean(sp_gops));
+    std::printf("%-28s %10.0f %10.0f %12.0f\n", "Energy eff. (GOP/J)",
+                geomean(mnn_gopj), geomean(a3_gopj), geomean(sp_gopj));
+    std::printf("%-28s %10s %10.0f %12.0f\n", "Area eff. (GOP/s/mm^2)",
+                "-", geomean(a3_gops) / a3_area,
+                geomean(sp_gops) / sp_area);
+    std::printf("%-28s %10s %10.2f %12.2f\n", "Area (mm^2)", "-", a3_area,
+                sp_area);
+    rule();
+    std::printf("Ratios vs A3:      throughput %.2fx (paper 1.6x), "
+                "energy %.2fx (paper 1.4x)\n",
+                geomean(sp_gops) / geomean(a3_gops),
+                geomean(sp_gopj) / geomean(a3_gopj));
+    std::printf("Ratios vs MNNFast: throughput %.2fx (paper 3.0x), "
+                "energy %.2fx (paper 3.2x)\n",
+                geomean(sp_gops) / geomean(mnn_gops),
+                geomean(sp_gopj) / geomean(mnn_gopj));
+    return 0;
+}

@@ -1,0 +1,74 @@
+/// Regenerates Table IV: FC vs attention GFLOPs and latency breakdown on
+/// GPT-2-Medium (generation of 32 tokens), GPU vs SpAtten-e2e.
+#include <cstdio>
+
+#include "accel/e2e.hpp"
+#include "baselines/platform_model.hpp"
+#include "bench_util.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+    using namespace spatten::bench;
+    banner("Table IV",
+           "FC & attention FLOPs/latency breakdown on GPT-2-Medium "
+           "(generation stage, head pruning off)");
+
+    // Average over the four GPT-2-Medium benchmarks, per the paper.
+    double gpu_fc_s = 0, gpu_at_s = 0, sp_fc_s = 0, sp_at_s = 0;
+    double fc_gflops = 0, at_gflops = 0, sp_at_gflops = 0;
+    int count = 0;
+    const PlatformModel gpu(PlatformSpec::titanXp());
+    for (const auto& b : gptBenchmarks()) {
+        if (b.workload.model.name != "gpt2-medium")
+            continue;
+        PruningPolicy pol = b.policy;
+        pol.head_pruning = false; // Table IV: head pruning not employed
+        SpAttenE2e e2e(SpAttenConfig{}, E2eConfig{8, 0.85});
+        const E2eResult r = e2e.run(b.workload, pol);
+        sp_at_s += r.attention.generate_seconds;
+        sp_fc_s += r.fc_gen_seconds;
+        sp_at_gflops += r.attention.attention_flops * 1e-9; // pruned
+        WorkloadSpec sum_only = b.workload;
+        sum_only.generate_len = 0;
+        gpu_at_s += gpu.attention(b.workload).seconds -
+                    gpu.attention(sum_only).seconds;
+        gpu_fc_s += gpu.fc(b.workload).seconds - gpu.fc(sum_only).seconds;
+        fc_gflops += 2.0 * fcParamsPerLayer(b.workload.model) *
+                     b.workload.model.num_layers *
+                     b.workload.generate_len * 1e-9;
+        // Dense generation-stage attention FLOPs.
+        const auto& m = b.workload.model;
+        for (std::size_t t = 0; t < b.workload.generate_len; ++t) {
+            const double ctx =
+                static_cast<double>(b.workload.summarize_len + t + 1);
+            at_gflops += 2.0 * 2.0 * ctx * m.d_head * m.num_heads *
+                         m.num_layers * 1e-9;
+        }
+        ++count;
+    }
+    const double n = count;
+    std::printf("%-14s %12s %12s %16s %16s\n", "platform", "FC GFLOPs",
+                "Attn GFLOPs", "FC latency(ms)", "Attn latency(ms)");
+    rule();
+    std::printf("%-14s %12.1f %12.1f %16.2f %16.2f\n", "GPU",
+                fc_gflops / n, at_gflops / n, gpu_fc_s / n * 1e3,
+                gpu_at_s / n * 1e3);
+    std::printf("%-14s %12.1f %12.1f %16.2f %16.2f\n", "SpAtten-e2e",
+                fc_gflops / n, sp_at_gflops / n, sp_fc_s / n * 1e3,
+                sp_at_s / n * 1e3);
+    rule();
+    std::printf("Latency shares — GPU: FC %.1f%%, attn %.1f%% "
+                "(paper 51.4%% / 48.6%%)\n",
+                100.0 * gpu_fc_s / (gpu_fc_s + gpu_at_s),
+                100.0 * gpu_at_s / (gpu_fc_s + gpu_at_s));
+    std::printf("Latency shares — SpAtten-e2e: FC %.1f%%, attn %.1f%% "
+                "(paper 92.4%% / 7.6%%)\n",
+                100.0 * sp_fc_s / (sp_fc_s + sp_at_s),
+                100.0 * sp_at_s / (sp_fc_s + sp_at_s));
+    std::printf("Paper GFLOPs: FC 19.3 (85.6%%), attention 3.3 (14.4%%) "
+                "dense / 0.9 pruned on SpAtten.\n");
+    return 0;
+}

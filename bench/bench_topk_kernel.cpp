@@ -1,0 +1,76 @@
+/// google-benchmark kernels for §IV-B/§IV-C: the quick-select top-k
+/// engine vs the Batcher full-sort baseline (cycle model + host-side
+/// functional throughput), and the zero eliminator.
+#include <benchmark/benchmark.h>
+
+#include "accel/topk_engine.hpp"
+#include "accel/zero_eliminator.hpp"
+#include "common/prng.hpp"
+
+namespace {
+
+std::vector<float>
+randomValues(std::size_t n, std::uint64_t seed)
+{
+    spatten::Prng prng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(prng.uniform());
+    return v;
+}
+
+void
+BM_TopkEngine(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto v = randomValues(n, 1);
+    spatten::TopkEngine engine;
+    std::uint64_t cycles = 0, runs = 0;
+    for (auto _ : state) {
+        auto res = engine.run(v, n / 2);
+        benchmark::DoNotOptimize(res.indices.data());
+        cycles += res.cycles;
+        ++runs;
+    }
+    state.counters["model_cycles"] =
+        static_cast<double>(cycles) / static_cast<double>(runs);
+}
+BENCHMARK(BM_TopkEngine)->Arg(128)->Arg(1024)->Arg(4096);
+
+void
+BM_BatcherSort(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto v = randomValues(n, 2);
+    std::uint64_t cycles = 0, runs = 0;
+    for (auto _ : state) {
+        auto res = spatten::batcherSortDescending(v, 16);
+        benchmark::DoNotOptimize(res.sorted_desc.data());
+        cycles += res.cycles;
+        ++runs;
+    }
+    state.counters["model_cycles"] =
+        static_cast<double>(cycles) / static_cast<double>(runs);
+}
+BENCHMARK(BM_BatcherSort)->Arg(128)->Arg(1024)->Arg(4096);
+
+void
+BM_ZeroEliminator(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto v = randomValues(n, 3);
+    spatten::Prng prng(4);
+    for (auto& x : v)
+        if (prng.chance(0.5))
+            x = 0.0f;
+    spatten::ZeroEliminator ze;
+    for (auto _ : state) {
+        auto res = ze.run(v);
+        benchmark::DoNotOptimize(res.compacted.data());
+    }
+}
+BENCHMARK(BM_ZeroEliminator)->Arg(128)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries: geometric means,
+ * table printing, and the standard banner that cites which paper
+ * table/figure a binary regenerates.
+ */
+#ifndef SPATTEN_BENCH_BENCH_UTIL_HPP
+#define SPATTEN_BENCH_BENCH_UTIL_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace spatten {
+namespace bench {
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Print the standard experiment banner. */
+inline void
+banner(const char* experiment, const char* description)
+{
+    std::printf("==============================================================\n");
+    std::printf("SpAtten reproduction — %s\n", experiment);
+    std::printf("%s\n", description);
+    std::printf("==============================================================\n");
+}
+
+/** Print a horizontal rule. */
+inline void
+rule()
+{
+    std::printf("--------------------------------------------------------------\n");
+}
+
+} // namespace bench
+} // namespace spatten
+
+#endif // SPATTEN_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,55 @@
+/// Design-space exploration through the public API: sweep accelerator
+/// configurations (multiplier count, top-k parallelism, HBM channels)
+/// over one workload and print the latency / energy / area trade-offs.
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+
+    WorkloadSpec w;
+    w.name = "dse-gpt2";
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 992;
+    w.generate_len = 32;
+    w.skip_summarization = true;
+
+    PruningPolicy policy;
+    policy.token_avg_ratio = 0.22;
+    policy.head_avg_ratio = 0.08;
+    policy.local_v_ratio = 0.35;
+    policy.pq.enabled = true;
+    policy.pq.setting = {8, 4};
+    policy.lsb_fraction = 0.059;
+
+    std::printf("%-10s %-8s %-10s | %12s %12s %10s %12s\n", "mults",
+                "topk-P", "HBM ch", "latency us", "energy mJ",
+                "area mm2", "GFLOPS");
+    std::printf("---------------------------------------------------------"
+                "---------------------\n");
+    for (std::size_t mults : {256u, 512u, 1024u, 2048u}) {
+        for (std::size_t topk_p : {4u, 16u}) {
+            for (int channels : {8, 16}) {
+                SpAttenConfig cfg;
+                cfg.qk.num_multipliers = mults / 2;
+                cfg.pv.num_multipliers = mults / 2;
+                cfg.topk_parallelism = topk_p;
+                cfg.hbm.channels = channels;
+                SpAttenAccelerator accel(cfg);
+                const RunResult r = accel.run(w, policy);
+                std::printf("%-10zu %-8zu %-10d | %12.1f %12.3f %10.2f "
+                            "%12.0f\n",
+                            mults, topk_p, channels, r.seconds * 1e6,
+                            r.energy.totalJ() * 1e3, accel.areaMm2(),
+                            r.attention_flops / r.seconds * 1e-9);
+            }
+        }
+    }
+    std::printf("\nTakeaways (match Fig. 19): top-k parallelism matters "
+                "until it stops being the bottleneck; the generation "
+                "stage scales with HBM bandwidth, not multipliers.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/// End-to-end workflow: train a model, *measure* what a pruning policy
+/// actually does to it (surviving keys, LSB rate, accuracy), then drive
+/// the accelerator simulator with the measured policy — the same
+/// methodology the paper uses (ratios tuned per task to preserve
+/// accuracy, measured 5.9% LSB rate fed into the hardware evaluation).
+#include <cstdio>
+
+#include "accel/spatten_accelerator.hpp"
+#include "workload/calibration.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+int
+main()
+{
+    using namespace spatten;
+
+    // 1. Train a small causal LM on the synthetic copy task.
+    CopyLmTaskConfig tc;
+    tc.payload_len = 4;
+    tc.filler_gap = 3;
+    CopyLmTask task(tc);
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 32;
+    mc.heads = 4;
+    mc.layers = 4;
+    mc.ffn_dim = 64;
+    mc.max_len = task.seqLen();
+    TransformerModel model(mc);
+    std::printf("training LM on the synthetic copy task...\n");
+    trainLm(model, task.sample(300), 6);
+
+    // 2. Measure the policy's effect on the trained model.
+    PruningPolicy policy = PruningPolicy::disabled();
+    policy.token_pruning = true;
+    policy.token_avg_ratio = 0.35;
+    policy.local_value_pruning = true;
+    policy.local_v_ratio = 0.3;
+    policy.pq.enabled = true;
+    policy.pq.setting = {8, 4};
+    policy.pq.max_prob_threshold = 0.1;
+
+    const CalibrationResult cal =
+        calibrateLm(model, task.sample(40), policy);
+    std::printf("\nmeasured on the trained model:\n");
+    std::printf("  mean alive-key fraction : %.1f%%\n",
+                cal.measured_keys_frac * 100);
+    std::printf("  LSB-refetch row fraction: %.1f%% (paper avg 5.9%%)\n",
+                cal.measured_lsb_fraction * 100);
+    std::printf("  loss delta              : %+.4f\n",
+                -cal.accuracy_delta);
+    std::printf("  equivalent avg ratio    : %.3f (requested %.3f)\n",
+                cal.equivalent_avg_ratio, policy.token_avg_ratio);
+
+    // 3. Simulate the accelerator with the *measured* policy.
+    WorkloadSpec w;
+    w.name = "measured-gpt2";
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 992;
+    w.generate_len = 32;
+    w.skip_summarization = true;
+
+    SpAttenAccelerator accel;
+    const RunResult measured = accel.run(w, cal.calibrated);
+    const RunResult dense = accel.run(w, PruningPolicy::disabled());
+    std::printf("\naccelerator simulation with the measured policy:\n");
+    std::printf("  latency : %.3f ms (dense %.3f ms, %.2fx)\n",
+                measured.seconds * 1e3, dense.seconds * 1e3,
+                dense.seconds / measured.seconds);
+    std::printf("  DRAM    : %.1f MB (dense %.1f MB, %.1fx vs fp32)\n",
+                measured.dram_bytes / 1e6, dense.dram_bytes / 1e6,
+                measured.dramReduction());
+    std::printf("  energy  : %.2f mJ (dense %.2f mJ)\n",
+                measured.energy.totalJ() * 1e3,
+                dense.energy.totalJ() * 1e3);
+    std::printf("\nThe accuracy/efficiency trade-off was validated on the "
+                "trained model before any hardware number was produced — "
+                "the paper's 'no accuracy loss' methodology.\n");
+    return 0;
+}

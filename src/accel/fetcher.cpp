@@ -1,0 +1,59 @@
+#include "accel/fetcher.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+FetchResult
+QkvFetcher::gather(const GatherRequest& req, Cycles ready)
+{
+    FetchResult res;
+    if (req.token_ids.empty())
+        return res;
+    SPATTEN_ASSERT(req.bytes_per_token > 0, "empty token vector");
+
+    // Address generation + crossbar arbitration. Channel of each request
+    // follows the HBM interleave mapping.
+    const auto& cfg = hbm_.config();
+    std::vector<std::size_t> channels;
+    std::vector<HbmRequest> dram_reqs;
+    channels.reserve(req.token_ids.size());
+    dram_reqs.reserve(req.token_ids.size());
+    for (std::size_t id : req.token_ids) {
+        const std::uint64_t addr =
+            req.base_addr +
+            static_cast<std::uint64_t>(id) * req.bytes_per_token;
+        channels.push_back(static_cast<std::size_t>(
+            (addr / cfg.interleave_bytes) %
+            static_cast<std::uint64_t>(cfg.channels)));
+        dram_reqs.push_back({addr, req.bytes_per_token, false});
+    }
+    const CrossbarRouteResult route = xbar_.route(channels);
+    // Crossbar runs at the DRAM command rate here; its drain time is
+    // almost always hidden behind the data burst time.
+    const Cycles issue_ready = ready + route.cycles;
+    res.dram_cycles_done = hbm_.accessBatch(dram_reqs, issue_ready);
+    res.bytes = static_cast<std::uint64_t>(req.token_ids.size()) *
+                req.bytes_per_token;
+    res.requests = req.token_ids.size();
+    total_requests_ += res.requests;
+    return res;
+}
+
+FetchResult
+QkvFetcher::stream(std::uint64_t base_addr, std::uint64_t bytes,
+                   Cycles ready)
+{
+    FetchResult res;
+    if (bytes == 0)
+        return res;
+    res.dram_cycles_done = hbm_.access({base_addr, bytes, false}, ready);
+    res.bytes = bytes;
+    res.requests = 1;
+    total_requests_ += 1;
+    return res;
+}
+
+} // namespace spatten

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Q-K-V fetcher (Fig. 8 module 3): generates DRAM addresses for the
+ * surviving tokens' Q/K/V vectors, routes them through the crossbar and
+ * issues them to HBM. Supports the progressive-quantization split layout
+ * (MSB plane fetched eagerly, LSB plane on demand) via per-plane base
+ * addresses.
+ */
+#ifndef SPATTEN_ACCEL_FETCHER_HPP
+#define SPATTEN_ACCEL_FETCHER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/crossbar.hpp"
+#include "hbm/hbm.hpp"
+#include "sim/clock.hpp"
+
+namespace spatten {
+
+/** A gather of token vectors from one tensor plane. */
+struct GatherRequest
+{
+    std::uint64_t base_addr = 0;        ///< Plane base address.
+    std::vector<std::size_t> token_ids; ///< Surviving token indices.
+    std::size_t bytes_per_token = 96;   ///< D * bits / 8 (64 x 12b = 96 B).
+};
+
+/** Timing/energy outcome of a gather. */
+struct FetchResult
+{
+    Cycles dram_cycles_done = 0; ///< DRAM-clock completion cycle.
+    std::uint64_t bytes = 0;
+    std::size_t requests = 0;
+};
+
+/** The fetcher: address generation + crossbar + HBM. */
+class QkvFetcher
+{
+  public:
+    QkvFetcher(HbmModel& hbm, Crossbar& xbar) : hbm_(hbm), xbar_(xbar) {}
+
+    /**
+     * Issue a gather starting at DRAM cycle @p ready.
+     * Each surviving token becomes one request of bytes_per_token at
+     * base + id * bytes_per_token; contiguity across ids is exploited by
+     * the HBM row buffer automatically.
+     */
+    FetchResult gather(const GatherRequest& req, Cycles ready);
+
+    /** Contiguous stream fetch (e.g. FC weights in SpAtten-e2e). */
+    FetchResult stream(std::uint64_t base_addr, std::uint64_t bytes,
+                       Cycles ready);
+
+    std::size_t totalRequests() const { return total_requests_; }
+
+  private:
+    HbmModel& hbm_;
+    Crossbar& xbar_;
+    std::size_t total_requests_ = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_FETCHER_HPP

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The SpAtten execution pipeline model (Fig. 8).
+ *
+ * Processing is head-by-head and query-by-query (§IV-A). The critical
+ * path (fetch -> QxK -> Softmax -> local-V top-k -> ProbxV) is fully
+ * pipelined, so per-(layer, head) compute time is
+ *     queries x II,   II = max over stage occupancies per query,
+ * and DRAM traffic overlaps compute under double buffering, so
+ *     stage time = max(compute time, memory time).
+ *
+ * Cascade token/head pruning shrinks the alive token/head counts between
+ * layers following the PruningSchedule; progressive quantization splits K
+ * fetches into an eager MSB plane and an LSB plane refetched for a
+ * configurable fraction of queries.
+ */
+#ifndef SPATTEN_ACCEL_PIPELINE_HPP
+#define SPATTEN_ACCEL_PIPELINE_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "accel/crossbar.hpp"
+#include "accel/fetcher.hpp"
+#include "accel/qk_module.hpp"
+#include "accel/pv_module.hpp"
+#include "accel/softmax_module.hpp"
+#include "core/model_spec.hpp"
+#include "energy/energy_model.hpp"
+#include "hbm/hbm.hpp"
+#include "sim/clock.hpp"
+#include "sim/stats.hpp"
+
+namespace spatten {
+
+/** Hardware configuration of a SpAtten instance (Table I defaults). */
+struct SpAttenConfig
+{
+    double core_freq_ghz = 1.0;
+    QkModuleConfig qk;            ///< 512 multipliers.
+    PvModuleConfig pv;            ///< 512 multipliers.
+    SoftmaxModuleConfig softmax;  ///< Parallelism 8.
+    std::size_t topk_parallelism = 16;
+    std::size_t key_sram_kb = 196;
+    std::size_t value_sram_kb = 196;
+    std::size_t max_context = 1024; ///< SRAM-backed context limit.
+    HbmConfig hbm;                ///< 16 channels, 512 GB/s.
+    EnergyConfig energy;
+
+    /** Total multipliers (used for roofline and area). */
+    std::size_t totalMultipliers() const
+    {
+        return qk.num_multipliers + pv.num_multipliers;
+    }
+
+    /** The SpAtten-1/8 configuration used against A3/MNNFast (128 mults,
+     *  64 GB/s). */
+    static SpAttenConfig eighth();
+};
+
+/** Result of simulating one workload. */
+struct RunResult
+{
+    std::string workload;
+    Cycles cycles = 0;       ///< Core cycles.
+    double seconds = 0;
+    double summarize_seconds = 0; ///< Summarization-stage share.
+    double generate_seconds = 0;  ///< Generation-stage share.
+    double attention_flops = 0;  ///< FLOPs actually executed.
+    double attention_flops_dense = 0; ///< FLOPs without any pruning.
+    double dram_bytes = 0;
+    double dram_bytes_dense = 0; ///< Bytes an unpruned fp16*-free 12-bit
+                                 ///< run would fetch (for reduction factors).
+    EnergyReport energy;
+    StatSet stats;
+
+    double effectiveTflops() const
+    {
+        return seconds > 0 ? attention_flops / seconds * 1e-12 : 0;
+    }
+    double dramReduction() const
+    {
+        return dram_bytes > 0 ? dram_bytes_dense / dram_bytes : 1.0;
+    }
+    double computeReduction() const
+    {
+        return attention_flops > 0
+                   ? attention_flops_dense / attention_flops
+                   : 1.0;
+    }
+};
+
+/** The pipeline-level simulator. */
+class SpAttenPipeline
+{
+  public:
+    explicit SpAttenPipeline(SpAttenConfig cfg = SpAttenConfig{});
+
+    /**
+     * Simulate the attention layers of @p workload under @p policy.
+     * BERT-style workloads run the summarization stage only; GPT-2-style
+     * workloads run summarization plus generate_len generation iterations
+     * with KV concatenation (Fig. 3).
+     */
+    RunResult run(const WorkloadSpec& workload,
+                  const PruningPolicy& policy);
+
+    const SpAttenConfig& config() const { return cfg_; }
+
+  private:
+    /** Per-query initiation interval for (keys, kept V rows, head dim). */
+    Cycles queryII(std::size_t keys, std::size_t kept_v, std::size_t d,
+                   bool local_v_on) const;
+
+    /** Expected top-k engine occupancy for an n-element selection. */
+    Cycles topkCycles(std::size_t n) const;
+
+    SpAttenConfig cfg_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_PIPELINE_HPP

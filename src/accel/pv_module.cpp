@@ -1,0 +1,47 @@
+#include "accel/pv_module.hpp"
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace spatten {
+
+PvModule::PvModule(PvModuleConfig cfg) : cfg_(cfg)
+{
+    SPATTEN_ASSERT(cfg_.num_multipliers > 0, "need multipliers");
+}
+
+PvTiming
+PvModule::timing(std::size_t kept_rows, std::size_t d) const
+{
+    SPATTEN_ASSERT(d > 0 && d <= cfg_.num_multipliers,
+                   "head dim %zu vs %zu multipliers", d,
+                   cfg_.num_multipliers);
+    PvTiming t;
+    const std::size_t rows_per_cycle =
+        std::max<std::size_t>(1, cfg_.num_multipliers / d);
+    t.cycles = ceilDiv(kept_rows, rows_per_cycle);
+    t.macs = kept_rows * d;
+    return t;
+}
+
+std::vector<float>
+PvModule::accumulate(const std::vector<float>& prob,
+                     const std::vector<std::vector<float>>& v,
+                     const std::vector<std::size_t>& kept) const
+{
+    SPATTEN_ASSERT(prob.size() == v.size(), "prob/V row mismatch");
+    if (v.empty())
+        return {};
+    const std::size_t d = v[0].size();
+    std::vector<float> out(d, 0.0f);
+    for (std::size_t idx : kept) {
+        SPATTEN_ASSERT(idx < v.size(), "kept index %zu out of %zu", idx,
+                       v.size());
+        const float p = prob[idx];
+        for (std::size_t j = 0; j < d; ++j)
+            out[j] += p * v[idx][j];
+    }
+    return out;
+}
+
+} // namespace spatten

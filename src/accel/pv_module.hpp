@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Attention Prob x Value multiplication unit (§IV-G). Mirrors the Q x K
+ * module's broadcast-multiply-reduce pipeline: probabilities are broadcast
+ * D times, 512 multipliers, adder tree configured as D (512/D)-way trees,
+ * accumulating A_j = sum_i prob_i * V_ij. Only the V rows surviving local
+ * value pruning are fetched and multiplied.
+ */
+#ifndef SPATTEN_ACCEL_PV_MODULE_HPP
+#define SPATTEN_ACCEL_PV_MODULE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace spatten {
+
+/** Configuration of the prob x V datapath. */
+struct PvModuleConfig
+{
+    std::size_t num_multipliers = 512;
+};
+
+/** Timing outcome for one query row. */
+struct PvTiming
+{
+    Cycles cycles = 0;
+    std::size_t macs = 0;
+};
+
+/** The prob x V module. */
+class PvModule
+{
+  public:
+    explicit PvModule(PvModuleConfig cfg = PvModuleConfig{});
+
+    /** Cycle cost of accumulating @p kept_rows V rows of dimension @p d. */
+    PvTiming timing(std::size_t kept_rows, std::size_t d) const;
+
+    /**
+     * Functional weighted sum over the kept rows:
+     * out[j] = sum_{i in kept} prob[i] * v[i][j].
+     */
+    std::vector<float>
+    accumulate(const std::vector<float>& prob,
+               const std::vector<std::vector<float>>& v,
+               const std::vector<std::size_t>& kept) const;
+
+    const PvModuleConfig& config() const { return cfg_; }
+
+  private:
+    PvModuleConfig cfg_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_PV_MODULE_HPP

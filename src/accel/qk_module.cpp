@@ -1,0 +1,50 @@
+#include "accel/qk_module.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace spatten {
+
+QkModule::QkModule(QkModuleConfig cfg) : cfg_(cfg)
+{
+    SPATTEN_ASSERT(cfg_.num_multipliers > 0, "need multipliers");
+}
+
+QkTiming
+QkModule::timing(std::size_t num_keys, std::size_t d) const
+{
+    SPATTEN_ASSERT(d > 0 && d <= cfg_.num_multipliers,
+                   "head dim %zu vs %zu multipliers", d,
+                   cfg_.num_multipliers);
+    QkTiming t;
+    const std::size_t keys_per_line =
+        std::min(cfg_.num_multipliers / d, cfg_.max_tree_outputs);
+    t.scores_per_cycle = std::max<std::size_t>(1, keys_per_line);
+    t.cycles = ceilDiv(num_keys, t.scores_per_cycle);
+    t.macs = num_keys * d;
+    t.scores = num_keys;
+    return t;
+}
+
+std::vector<float>
+QkModule::computeScores(const std::vector<float>& q,
+                        const std::vector<std::vector<float>>& k,
+                        float inv_sqrt_d) const
+{
+    const std::size_t d = q.size();
+    std::vector<float> scores;
+    scores.reserve(k.size());
+    for (const auto& row : k) {
+        SPATTEN_ASSERT(row.size() == d, "key dim %zu vs query %zu",
+                       row.size(), d);
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < d; ++j)
+            acc += q[j] * row[j];
+        scores.push_back(acc * inv_sqrt_d);
+    }
+    return scores;
+}
+
+} // namespace spatten

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Query-Key multiplication module (§IV-E, Fig. 11).
+ *
+ * 512 12-bit multipliers and a reconfigurable adder tree. Each cycle one
+ * Key-SRAM line (512 elements) is multiplied against the broadcast query;
+ * the adder tree is configured as (512/D) separate D-way trees, so with
+ * D = 64 the module produces 8 attention scores per cycle. Functional
+ * behaviour and the cycle cost are modeled together.
+ */
+#ifndef SPATTEN_ACCEL_QK_MODULE_HPP
+#define SPATTEN_ACCEL_QK_MODULE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace spatten {
+
+/** Configuration of the Q x K datapath. */
+struct QkModuleConfig
+{
+    std::size_t num_multipliers = 512;
+    std::size_t max_tree_outputs = 8; ///< Adder tree outputs per cycle cap.
+};
+
+/** Timing outcome for one query against L keys. */
+struct QkTiming
+{
+    Cycles cycles = 0;          ///< SRAM-line beats consumed.
+    std::size_t macs = 0;       ///< Multiply-accumulates performed.
+    std::size_t scores = 0;     ///< Attention scores produced.
+    std::size_t scores_per_cycle = 1;
+};
+
+/** The Q x K module. */
+class QkModule
+{
+  public:
+    explicit QkModule(QkModuleConfig cfg = QkModuleConfig{});
+
+    /**
+     * Cycle cost of one query over @p num_keys keys of dimension @p d.
+     * @pre d <= num_multipliers.
+     */
+    QkTiming timing(std::size_t num_keys, std::size_t d) const;
+
+    /**
+     * Functional: scores[i] = sum_j q[j] * k[i][j] * inv_sqrt_d, computed
+     * in the order the hardware emits them (packed lines of 512/d keys).
+     */
+    std::vector<float> computeScores(const std::vector<float>& q,
+                                     const std::vector<std::vector<float>>& k,
+                                     float inv_sqrt_d) const;
+
+    const QkModuleConfig& config() const { return cfg_; }
+
+  private:
+    QkModuleConfig cfg_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_QK_MODULE_HPP

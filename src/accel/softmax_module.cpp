@@ -1,0 +1,56 @@
+#include "accel/softmax_module.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/taylor_exp.hpp"
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace spatten {
+
+SoftmaxModule::SoftmaxModule(SoftmaxModuleConfig cfg) : cfg_(cfg)
+{
+    SPATTEN_ASSERT(cfg_.parallelism > 0, "softmax parallelism");
+}
+
+Cycles
+SoftmaxModule::timingCycles(std::size_t n) const
+{
+    // Streaming exp+accumulate, then a division pass, both `parallelism`
+    // wide; the pipeline depth is paid once per row.
+    return 2 * ceilDiv(n, cfg_.parallelism) + cfg_.pipeline_depth;
+}
+
+SoftmaxTiming
+SoftmaxModule::run(const std::vector<float>& scores,
+                   std::vector<float>& prob_out, double lsb_threshold) const
+{
+    SoftmaxTiming t;
+    t.elems = scores.size();
+    t.cycles = timingCycles(scores.size());
+    prob_out.resize(scores.size());
+    if (scores.empty())
+        return t;
+
+    float m = scores[0];
+    for (float s : scores)
+        m = std::max(m, s);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        // Hardware exp: 5th-order Taylor with range reduction (§V-A).
+        prob_out[i] = taylorExp5(scores[i] - m);
+        denom += prob_out[i];
+    }
+    // Re-quantize probabilities to prob_bits fixed point in [0, 1).
+    const float steps = static_cast<float>(1 << cfg_.prob_bits);
+    for (auto& p : prob_out) {
+        p = static_cast<float>(p / denom);
+        p = std::round(p * steps) / steps;
+        t.max_prob = std::max(t.max_prob, p);
+    }
+    t.needs_lsb = static_cast<double>(t.max_prob) < lsb_threshold;
+    return t;
+}
+
+} // namespace spatten

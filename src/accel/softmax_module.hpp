@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Softmax + progressive-quantization determination modules (§IV-F,
+ * Fig. 12). Scores are dequantized (the 1/sqrt(D) normalization folded
+ * into the scale), pushed through a floating-point exp/accumulate/divide
+ * pipeline of width `parallelism` (Table I: 8), re-quantized, and the max
+ * probability is compared against the LSB-fetch threshold.
+ */
+#ifndef SPATTEN_ACCEL_SOFTMAX_MODULE_HPP
+#define SPATTEN_ACCEL_SOFTMAX_MODULE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace spatten {
+
+/** Configuration of the softmax unit. */
+struct SoftmaxModuleConfig
+{
+    std::size_t parallelism = 8;   ///< Elements per cycle (Table I).
+    std::size_t fifo_depth = 128;  ///< Score FIFO depth (Table I).
+    std::size_t pipeline_depth = 12; ///< exp Taylor-5 + div stages.
+    int prob_bits = 12;            ///< Re-quantized probability width.
+};
+
+/** Timing + decision outcome for one row. */
+struct SoftmaxTiming
+{
+    Cycles cycles = 0;
+    std::size_t elems = 0;
+    bool needs_lsb = false;
+    float max_prob = 0.0f;
+};
+
+/** The softmax hardware module. */
+class SoftmaxModule
+{
+  public:
+    explicit SoftmaxModule(SoftmaxModuleConfig cfg = SoftmaxModuleConfig{});
+
+    /** Cycle cost of a row of @p n scores. */
+    Cycles timingCycles(std::size_t n) const;
+
+    /**
+     * Functional softmax of a score row with the progressive-quantization
+     * comparison folded in; probabilities are re-quantized to prob_bits
+     * (matching the fixed-point downstream datapath).
+     *
+     * @param scores dequantized attention scores.
+     * @param lsb_threshold LSB decision threshold on the max probability.
+     */
+    SoftmaxTiming run(const std::vector<float>& scores,
+                      std::vector<float>& prob_out,
+                      double lsb_threshold) const;
+
+    const SoftmaxModuleConfig& config() const { return cfg_; }
+
+  private:
+    SoftmaxModuleConfig cfg_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_SOFTMAX_MODULE_HPP

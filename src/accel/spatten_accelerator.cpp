@@ -1,0 +1,73 @@
+#include "accel/spatten_accelerator.hpp"
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+SpAttenAccelerator::SpAttenAccelerator(SpAttenConfig cfg)
+    : cfg_(cfg), pipeline_(cfg)
+{
+}
+
+RunResult
+SpAttenAccelerator::run(const WorkloadSpec& workload,
+                        const PruningPolicy& policy)
+{
+    return pipeline_.run(workload, policy);
+}
+
+std::vector<AreaEntry>
+SpAttenAccelerator::area() const
+{
+    return areaBreakdown(
+        static_cast<int>(cfg_.totalMultipliers()),
+        static_cast<int>(cfg_.key_sram_kb + cfg_.value_sram_kb),
+        static_cast<int>(cfg_.topk_parallelism));
+}
+
+double
+SpAttenAccelerator::areaMm2() const
+{
+    return totalAreaMm2(area());
+}
+
+double
+SpAttenAccelerator::computeRoofTflops() const
+{
+    // mul + add per multiplier per cycle.
+    return 2.0 * static_cast<double>(cfg_.totalMultipliers()) *
+           cfg_.core_freq_ghz * 1e-3;
+}
+
+double
+SpAttenAccelerator::bandwidthRoofGBs() const
+{
+    return cfg_.hbm.peakBandwidthGBs();
+}
+
+std::string
+SpAttenAccelerator::configTable() const
+{
+    std::string s;
+    s += strfmt("%-24s %s\n", "Q-K-V Fetcher",
+                strfmt("32x%d addr xbar, %dx32 data xbar, 64-deep FIFOs",
+                       cfg_.hbm.channels, cfg_.hbm.channels)
+                    .c_str());
+    s += strfmt("%-24s %zu KB Key SRAM; %zux12-bit multipliers\n", "Q x K",
+                cfg_.key_sram_kb, cfg_.qk.num_multipliers);
+    s += strfmt("%-24s FIFO depth %zu; parallelism %zu\n", "Softmax",
+                cfg_.softmax.fifo_depth, cfg_.softmax.parallelism);
+    s += strfmt("%-24s %zu KB Value SRAM; %zux12-bit multipliers\n",
+                "AttnProb x V", cfg_.value_sram_kb,
+                cfg_.pv.num_multipliers);
+    s += strfmt("%-24s parallelism %zu (x2 engines)\n", "Top-k",
+                cfg_.topk_parallelism);
+    s += strfmt("%-24s HBM2, %dx128-bit channels @ %.0f GHz, %.0f GB/s\n",
+                "HBM", cfg_.hbm.channels, cfg_.hbm.freq_ghz,
+                cfg_.hbm.peakBandwidthGBs());
+    s += strfmt("%-24s %.2f mm^2 @ 40 nm, %.2f TFLOPS roof\n", "Synthesis",
+                areaMm2(), computeRoofTflops());
+    return s;
+}
+
+} // namespace spatten

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Public facade of the SpAtten accelerator model: configuration (Table I),
+ * workload execution, and area/power reporting (Table II / Fig. 13).
+ * This is the main entry point a library user interacts with.
+ */
+#ifndef SPATTEN_ACCEL_SPATTEN_ACCELERATOR_HPP
+#define SPATTEN_ACCEL_SPATTEN_ACCELERATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "accel/pipeline.hpp"
+
+namespace spatten {
+
+/**
+ * The SpAtten accelerator.
+ *
+ * Typical use:
+ * @code
+ *   SpAttenAccelerator accel;                       // Table I config
+ *   WorkloadSpec w = ...;                           // e.g. GPT-2, 992+32
+ *   PruningPolicy p = ...;                          // token/head/quant
+ *   RunResult r = accel.run(w, p);
+ *   std::printf("%.3f ms, %.2fx DRAM reduction\n",
+ *               r.seconds * 1e3, r.dramReduction());
+ * @endcode
+ */
+class SpAttenAccelerator
+{
+  public:
+    explicit SpAttenAccelerator(SpAttenConfig cfg = SpAttenConfig{});
+
+    /** Simulate attention layers of a workload under a policy. */
+    RunResult run(const WorkloadSpec& workload, const PruningPolicy& policy);
+
+    /** Fig. 13 area breakdown for this configuration. */
+    std::vector<AreaEntry> area() const;
+
+    /** Total area in mm^2. */
+    double areaMm2() const;
+
+    /** Peak compute (TFLOPS) — the roofline computation roof. */
+    double computeRoofTflops() const;
+
+    /** Peak DRAM bandwidth (GB/s) — the roofline slope. */
+    double bandwidthRoofGBs() const;
+
+    /** Human-readable Table I-style configuration dump. */
+    std::string configTable() const;
+
+    const SpAttenConfig& config() const { return cfg_; }
+
+  private:
+    SpAttenConfig cfg_;
+    SpAttenPipeline pipeline_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_SPATTEN_ACCELERATOR_HPP

@@ -1,0 +1,57 @@
+#include "accel/sram.hpp"
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+SramModel::SramModel(SramConfig cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name))
+{
+    SPATTEN_ASSERT(cfg_.capacity_kb > 0 && cfg_.line_bytes > 0,
+                   "bad SRAM geometry for %s", name_.c_str());
+}
+
+std::size_t
+SramModel::usableBytes() const
+{
+    const std::size_t total = cfg_.capacity_kb * 1024;
+    return cfg_.double_buffered ? total / 2 : total;
+}
+
+std::size_t
+SramModel::maxTokens(std::size_t d) const
+{
+    SPATTEN_ASSERT(d > 0, "zero token dimension");
+    const double bytes_per_token = d * cfg_.elem_bits / 8.0;
+    return static_cast<std::size_t>(usableBytes() / bytes_per_token);
+}
+
+bool
+SramModel::fits(std::size_t tokens, std::size_t d) const
+{
+    return tokens <= maxTokens(d);
+}
+
+void
+SramModel::recordFill(std::size_t tokens, std::size_t d)
+{
+    SPATTEN_ASSERT(fits(tokens, d),
+                   "%s overflow: %zu tokens x %zu dims exceeds %zu tokens",
+                   name_.c_str(), tokens, d, maxTokens(d));
+    bytes_written_ += tokens * d * cfg_.elem_bits / 8.0;
+}
+
+void
+SramModel::recordReads(double elems)
+{
+    bytes_read_ += elems * cfg_.elem_bits / 8.0;
+}
+
+void
+SramModel::reset()
+{
+    bytes_written_ = 0;
+    bytes_read_ = 0;
+}
+
+} // namespace spatten

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Key/Value SRAM model (Fig. 8 modules 7/11): 196 KB each, double
+ * buffered so the fetcher can load head h+1 while head h computes.
+ *
+ * The model tracks capacity (which bounds the supported context length),
+ * line geometry (the Q x K module reads one 512-element line per cycle),
+ * and read/write byte counts for the energy model.
+ */
+#ifndef SPATTEN_ACCEL_SRAM_HPP
+#define SPATTEN_ACCEL_SRAM_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "sim/clock.hpp"
+
+namespace spatten {
+
+/** Configuration of one on-chip SRAM. */
+struct SramConfig
+{
+    std::size_t capacity_kb = 196;
+    std::size_t line_bytes = 768;  ///< 512 elements x 12 bits.
+    bool double_buffered = true;   ///< Halves the usable capacity.
+    double elem_bits = 12.0;       ///< On-chip element width.
+};
+
+/** The SRAM model. */
+class SramModel
+{
+  public:
+    explicit SramModel(SramConfig cfg = SramConfig{},
+                       std::string name = "sram");
+
+    const SramConfig& config() const { return cfg_; }
+    const std::string& name() const { return name_; }
+
+    /** Usable bytes per buffer (capacity / 2 when double buffered). */
+    std::size_t usableBytes() const;
+
+    /**
+     * Maximum number of token vectors of dimension @p d that fit in one
+     * buffer. This bounds the context length (Table I: 196 KB supports a
+     * 1024-token, 64-dim context double buffered).
+     */
+    std::size_t maxTokens(std::size_t d) const;
+
+    /** True if @p tokens vectors of dimension @p d fit. */
+    bool fits(std::size_t tokens, std::size_t d) const;
+
+    /** Record a fill of @p tokens x @p d elements (fetcher side). */
+    void recordFill(std::size_t tokens, std::size_t d);
+
+    /** Record @p elems element reads (datapath side). */
+    void recordReads(double elems);
+
+    double bytesWritten() const { return bytes_written_; }
+    double bytesRead() const { return bytes_read_; }
+
+    void reset();
+
+  private:
+    SramConfig cfg_;
+    std::string name_;
+    double bytes_written_ = 0;
+    double bytes_read_ = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_SRAM_HPP

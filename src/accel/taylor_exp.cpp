@@ -1,0 +1,48 @@
+#include "accel/taylor_exp.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+float
+taylorExp5(float x)
+{
+    SPATTEN_ASSERT(x <= 0.0f, "taylorExp5 expects x <= 0, got %f", x);
+    if (x < -60.0f)
+        return 0.0f; // underflow guard, matches fixed-point flush
+    constexpr float kLn2 = 0.6931471805599453f;
+    const float ax = -x;
+    const int k = static_cast<int>(ax / kLn2);
+    const float r = ax - static_cast<float>(k) * kLn2; // in [0, ln2)
+
+    // e^-r via 5th-order Taylor in Horner form.
+    const float t = -r;
+    float e = 1.0f + t / 5.0f;
+    e = 1.0f + t / 4.0f * e;
+    e = 1.0f + t / 3.0f * e;
+    e = 1.0f + t / 2.0f * e;
+    e = 1.0f + t * e;
+
+    return std::ldexp(e, -k); // 2^-k * e^-r
+}
+
+double
+taylorExp5MaxRelError(float lo, std::size_t samples)
+{
+    SPATTEN_ASSERT(lo < 0.0f && samples > 1, "bad sweep range");
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const float x = lo * static_cast<float>(i) /
+                        static_cast<float>(samples - 1);
+        const double ref = std::exp(static_cast<double>(x));
+        if (ref < 1e-18)
+            continue;
+        const double got = taylorExp5(x);
+        max_rel = std::max(max_rel, std::fabs(got - ref) / ref);
+    }
+    return max_rel;
+}
+
+} // namespace spatten

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hardware exponential function (§V-A): the paper's softmax unit
+ * evaluates e^x with a 5th-order Taylor expansion on floating-point
+ * multiply-accumulate units (after Nilsson et al., NORCHIP'14).
+ *
+ * Softmax inputs are pre-normalized to x = s_i - max(s) <= 0; to keep the
+ * truncated series accurate over the full range, the hardware splits
+ * x = -(k * ln2 + r) with r in [0, ln2) and computes e^x = 2^-k * e^-r,
+ * where e^-r uses the 5-term Horner-form Taylor series (one FMA chain).
+ */
+#ifndef SPATTEN_ACCEL_TAYLOR_EXP_HPP
+#define SPATTEN_ACCEL_TAYLOR_EXP_HPP
+
+#include <cstddef>
+
+namespace spatten {
+
+/**
+ * 5th-order Taylor e^x for x <= 0, with range reduction.
+ * @pre x <= 0 (softmax-normalized scores).
+ */
+float taylorExp5(float x);
+
+/** Number of FMA operations one evaluation costs (for energy). */
+constexpr std::size_t kTaylorExpFmas = 7; // 5 Horner + reduce/scale
+
+/**
+ * Worst-case relative error of taylorExp5 over [lo, 0], measured by a
+ * dense sweep (used by tests and documentation).
+ */
+double taylorExp5MaxRelError(float lo, std::size_t samples = 4096);
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_TAYLOR_EXP_HPP

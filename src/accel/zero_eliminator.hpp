@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Zero eliminator (Fig. 10): compacts the non-zero survivors of a
+ * comparator pass while preserving their original order.
+ *
+ * Hardware: a prefix-sum network counts the zeros before each element
+ * (zero_cnt); a log2(n)-stage shifter then moves each element left by
+ * zero_cnt positions, one bit of the count per stage. We model both the
+ * function (order-preserving compaction) and the cost (stages, shifts).
+ */
+#ifndef SPATTEN_ACCEL_ZERO_ELIMINATOR_HPP
+#define SPATTEN_ACCEL_ZERO_ELIMINATOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace spatten {
+
+/** Result of one zero-eliminator pass. */
+struct ZeroEliminateResult
+{
+    std::vector<float> compacted; ///< Non-zero elements, original order.
+    std::size_t stages = 0;       ///< log2(ceil) shifter stages used.
+    std::size_t shifts = 0;       ///< Total element shifts performed.
+};
+
+/**
+ * Functional + cost model of the zero eliminator.
+ *
+ * The implementation literally executes the hardware algorithm: prefix
+ * zero counts, then log(n) rounds of conditional shifts keyed on each
+ * count's bits — and checks the result against the obvious compaction.
+ */
+class ZeroEliminator
+{
+  public:
+    /** Compact @p input, treating exact 0.0f as "eliminated". */
+    ZeroEliminateResult run(const std::vector<float>& input) const;
+
+    /** Pipeline latency in cycles for an @p n element vector. */
+    static Cycles latencyCycles(std::size_t n);
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_ZERO_ELIMINATOR_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model of the A3 attention accelerator (Ham et al., HPCA 2020), the
+ * paper's main prior-art comparison (Table III).
+ *
+ * A3's mechanism, as described in §V-B: it pre-sorts each dimension of
+ * the key matrix, then uses a pre-specified number of largest/smallest
+ * entries per dimension to compute partial attention scores; keys whose
+ * partial score falls below a threshold are pruned locally (inside one
+ * head). Consequences modeled here:
+ *   - everything is fetched from DRAM before pruning (no DRAM savings);
+ *   - pruning is local, so FFN work is untouched;
+ *   - preprocessing (sorting) runs before each attention layer;
+ *   - approximation yields a geomean 1.73x compute reduction on the
+ *     scoring work (the figure the paper quotes).
+ */
+#ifndef SPATTEN_BASELINES_A3_MODEL_HPP
+#define SPATTEN_BASELINES_A3_MODEL_HPP
+
+#include "core/model_spec.hpp"
+
+namespace spatten {
+
+/** A3 hardware configuration (paper comparison point). */
+struct A3Config
+{
+    std::size_t num_multipliers = 128; ///< Parallelism d=64 -> 128 mults.
+    double freq_ghz = 1.0;
+    double mem_bw_gbs = 64.0;
+    double approx_speedup = 1.73; ///< Geomean compute reduction on QxK.
+    std::size_t sort_parallelism = 64; ///< Preprocessing sort throughput.
+    double energy_per_flop_pj = 3.7;   ///< Calibrated to 269 GOP/J.
+};
+
+/** Latency/throughput estimate for A3 on one workload. */
+struct A3Result
+{
+    double seconds = 0;
+    double dense_flops = 0;  ///< Work a dense datapath would do.
+    double dram_bytes = 0;
+    double preprocess_seconds = 0;
+    double energy_j = 0;
+
+    /** Effective throughput (dense work / time), the paper's metric. */
+    double effectiveGops() const
+    {
+        return seconds > 0 ? dense_flops / seconds * 1e-9 : 0;
+    }
+};
+
+/** The A3 model. Only BERT-style (summarization) workloads supported —
+ *  A3 cannot accelerate memory-bounded generative models (§V-B). */
+class A3Model
+{
+  public:
+    explicit A3Model(A3Config cfg = A3Config{}) : cfg_(cfg) {}
+
+    A3Result run(const WorkloadSpec& workload) const;
+
+    const A3Config& config() const { return cfg_; }
+
+  private:
+    A3Config cfg_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_BASELINES_A3_MODEL_HPP

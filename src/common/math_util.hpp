@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small arithmetic helpers used throughout the codebase.
+ */
+#ifndef SPATTEN_COMMON_MATH_UTIL_HPP
+#define SPATTEN_COMMON_MATH_UTIL_HPP
+
+#include <cstdint>
+#include <type_traits>
+
+namespace spatten {
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    static_assert(std::is_integral_v<T>);
+    return (num + den - 1) / den;
+}
+
+/** Round @p x up to the nearest multiple of @p align. */
+template <typename T>
+constexpr T
+roundUp(T x, T align)
+{
+    return ceilDiv(x, align) * align;
+}
+
+/** Clamp @p x to [lo, hi]. */
+template <typename T>
+constexpr T
+clampTo(T x, T lo, T hi)
+{
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/** Integer ceil(log2(x)) for x >= 1. */
+constexpr int
+ceilLog2(std::uint64_t x)
+{
+    int bits = 0;
+    std::uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** True if x is a power of two (x > 0). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace spatten
+
+#endif // SPATTEN_COMMON_MATH_UTIL_HPP

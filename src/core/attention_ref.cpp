@@ -1,0 +1,168 @@
+#include "core/attention_ref.hpp"
+
+#include <cmath>
+
+#include "core/pruning.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+
+void
+AttentionStats::add(const AttentionStats& o)
+{
+    qk_macs += o.qk_macs;
+    pv_macs += o.pv_macs;
+    softmax_elems += o.softmax_elems;
+    dram_bits_qkv += o.dram_bits_qkv;
+    queries += o.queries;
+    lsb_refetches += o.lsb_refetches;
+    v_rows_kept += o.v_rows_kept;
+    v_rows_total += o.v_rows_total;
+}
+
+AttentionOutput
+attentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
+                 std::size_t num_heads)
+{
+    SPATTEN_ASSERT(q.ndim() == 2 && k.ndim() == 2 && v.ndim() == 2,
+                   "2-D Q/K/V expected");
+    const std::size_t din = q.dim(1);
+    SPATTEN_ASSERT(k.dim(1) == din && v.dim(1) == din,
+                   "Q/K/V feature dims differ");
+    SPATTEN_ASSERT(num_heads > 0 && din % num_heads == 0,
+                   "Din %zu not divisible by %zu heads", din, num_heads);
+    const std::size_t d = din / num_heads;
+    const std::size_t l0 = q.dim(0), l1 = k.dim(0);
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+    AttentionOutput out;
+    out.out = Tensor({l0, din});
+    out.probs.reserve(num_heads);
+    for (std::size_t h = 0; h < num_heads; ++h) {
+        const Tensor qh = ops::sliceCols(q, h * d, (h + 1) * d);
+        const Tensor kh = ops::sliceCols(k, h * d, (h + 1) * d);
+        const Tensor vh = ops::sliceCols(v, h * d, (h + 1) * d);
+        const Tensor scores =
+            ops::scale(ops::matmulTransposedB(qh, kh), inv_sqrt_d);
+        const Tensor prob = ops::softmaxRows(scores);
+        const Tensor eh = ops::matmul(prob, vh);
+        for (std::size_t i = 0; i < l0; ++i)
+            for (std::size_t j = 0; j < d; ++j)
+                out.out.at(i, h * d + j) = eh.at(i, j);
+        out.probs.push_back(prob);
+        out.stats.qk_macs += static_cast<double>(l0) * l1 * d;
+        out.stats.pv_macs += static_cast<double>(l0) * l1 * d;
+        out.stats.softmax_elems += static_cast<double>(l0) * l1;
+        out.stats.queries += static_cast<double>(l0);
+    }
+    return out;
+}
+
+AttentionOutput
+SpAttenAttention::run(const Tensor& q, const Tensor& k, const Tensor& v,
+                      const std::vector<std::size_t>& head_ids) const
+{
+    const std::size_t din = q.dim(1);
+    const std::size_t h_total = cfg_.num_heads;
+    SPATTEN_ASSERT(din % h_total == 0, "Din %zu not divisible by %zu heads",
+                   din, h_total);
+    const std::size_t d = din / h_total;
+    const std::size_t l0 = q.dim(0), l1 = k.dim(0);
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+    AttentionOutput out;
+    // Output keeps the full Din layout; pruned head chunks stay zero
+    // (the downstream FC sees zeros, matching hardware that skips them).
+    out.out = Tensor({l0, din});
+
+    const int data_bits =
+        cfg_.quantize_inputs ? cfg_.pq.setting.totalBits() : 32;
+
+    for (std::size_t head : head_ids) {
+        SPATTEN_ASSERT(head < h_total, "head id %zu out of %zu", head,
+                       h_total);
+        const Tensor qh = ops::sliceCols(q, head * d, (head + 1) * d);
+        const Tensor kh = ops::sliceCols(k, head * d, (head + 1) * d);
+        const Tensor vh = ops::sliceCols(v, head * d, (head + 1) * d);
+
+        // DRAM traffic for this head's Q and K. Q is fetched once per
+        // query row; K once per head (kept in SRAM across queries).
+        out.stats.dram_bits_qkv +=
+            static_cast<double>(l0 + l1) * d *
+            (cfg_.quantize_inputs ? cfg_.pq.setting.msb_bits : 32);
+
+        BitplaneTensor kh_planes;
+        if (cfg_.quantize_inputs)
+            kh_planes = quant::splitPlanes(kh, cfg_.pq.setting);
+
+        Tensor prob_mat({l0, l1});
+        for (std::size_t row = 0; row < l0; ++row) {
+            const Tensor q_row = qh.row(row);
+            std::vector<float> prob;
+            if (cfg_.quantize_inputs) {
+                const ProgressiveResult pr = progressiveScores(
+                    q_row, kh_planes, inv_sqrt_d, cfg_.pq);
+                prob = pr.prob;
+                if (pr.fetched_lsb) {
+                    out.stats.lsb_refetches += 1;
+                    out.stats.dram_bits_qkv +=
+                        static_cast<double>(l1) * d *
+                        cfg_.pq.setting.lsb_bits;
+                    // The LSB pass recomputes the scores.
+                    out.stats.qk_macs += static_cast<double>(l1) * d;
+                }
+            } else {
+                std::vector<float> scores(l1, 0.0f);
+                for (std::size_t i = 0; i < l1; ++i) {
+                    float acc = 0.0f;
+                    for (std::size_t j = 0; j < d; ++j)
+                        acc += q_row[j] * kh.at(i, j);
+                    scores[i] = acc * inv_sqrt_d;
+                }
+                float m = scores.empty() ? 0.0f : scores[0];
+                for (float s : scores)
+                    m = std::max(m, s);
+                double denom = 0.0;
+                prob.resize(l1);
+                for (std::size_t i = 0; i < l1; ++i) {
+                    prob[i] = std::exp(scores[i] - m);
+                    denom += prob[i];
+                }
+                for (auto& p : prob)
+                    p = static_cast<float>(p / denom);
+            }
+            out.stats.qk_macs += static_cast<double>(l1) * d;
+            out.stats.softmax_elems += static_cast<double>(l1);
+            out.stats.queries += 1;
+
+            for (std::size_t i = 0; i < l1; ++i)
+                prob_mat.at(row, i) = prob[i];
+
+            // Local value pruning: only the kept V rows are fetched and
+            // multiplied for this head/query.
+            const std::vector<std::size_t> kept =
+                localValuePrune(prob, cfg_.local_v_ratio);
+            out.stats.v_rows_kept += static_cast<double>(kept.size());
+            out.stats.v_rows_total += static_cast<double>(l1);
+            out.stats.dram_bits_qkv +=
+                static_cast<double>(kept.size()) * d * data_bits;
+            out.stats.pv_macs +=
+                static_cast<double>(kept.size()) * d;
+
+            // Renormalize over the kept probabilities so the weighted sum
+            // remains a convex combination (hardware divides by the same
+            // softmax denominator; dropped probs are the smallest, so we
+            // keep the raw values — matching the paper, no renorm).
+            for (std::size_t j = 0; j < d; ++j) {
+                float acc = 0.0f;
+                for (std::size_t idx : kept)
+                    acc += prob[idx] * vh.at(idx, j);
+                out.out.at(row, head * d + j) = acc;
+            }
+        }
+        out.probs.push_back(prob_mat);
+    }
+    return out;
+}
+
+} // namespace spatten

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Functional attention models.
+ *
+ * - attentionForward: the plain multi-head attention of Algorithm 1
+ *   (fp32 reference).
+ * - SpAttenAttention: the SpAtten algorithmic pipeline for one attention
+ *   layer — per-head, per-query processing with local value pruning and
+ *   progressive quantization — which also counts the work performed
+ *   (MACs, DRAM bits, LSB refetches). The cycle-level accelerator model
+ *   consumes these counts.
+ */
+#ifndef SPATTEN_CORE_ATTENTION_REF_HPP
+#define SPATTEN_CORE_ATTENTION_REF_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/progressive_quant.hpp"
+#include "tensor/tensor.hpp"
+
+namespace spatten {
+
+/** Work counters for one attention layer run. */
+struct AttentionStats
+{
+    double qk_macs = 0;        ///< Multiply-accumulates in Q x K^T.
+    double pv_macs = 0;        ///< Multiply-accumulates in prob x V.
+    double softmax_elems = 0;  ///< Elements passed through softmax.
+    double dram_bits_qkv = 0;  ///< Bits of Q/K/V fetched from DRAM.
+    double queries = 0;        ///< Query-head rows processed.
+    double lsb_refetches = 0;  ///< Queries that needed the LSB pass.
+    double v_rows_kept = 0;    ///< Sum over rows of kept V vectors.
+    double v_rows_total = 0;   ///< Sum over rows of pre-prune V vectors.
+
+    double totalMacs() const { return qk_macs + pv_macs; }
+    /// 2 ops (mul+add) per MAC, the convention used in the paper's FLOPS.
+    double flops() const { return 2.0 * totalMacs(); }
+    void add(const AttentionStats& o);
+};
+
+/** Output of an attention layer. */
+struct AttentionOutput
+{
+    Tensor out;                ///< L0 x Din attention output.
+    std::vector<Tensor> probs; ///< Per alive head: L0 x L1 probabilities.
+    AttentionStats stats;
+};
+
+/**
+ * Reference multi-head attention (Algorithm 1), fp32.
+ *
+ * @param q L0 x Din queries; @param k,v L1 x Din keys/values.
+ * @param num_heads h; Din must be divisible by h.
+ */
+AttentionOutput attentionForward(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, std::size_t num_heads);
+
+/** Configuration of the SpAtten algorithmic attention pipeline. */
+struct SpAttenAttentionConfig
+{
+    std::size_t num_heads = 12;
+    double local_v_ratio = 0.0;       ///< Local value pruning ratio (§III-C).
+    ProgressiveQuantConfig pq;        ///< Progressive quantization policy.
+    bool quantize_inputs = false;     ///< Run the quantized datapath.
+};
+
+/**
+ * SpAtten attention for one layer over the *surviving* tokens/heads.
+ * The caller passes already-pruned Q/K/V (cascade pruning happens between
+ * layers); this class handles per-head work: scores, softmax, local V
+ * pruning, prob x V, and the progressive quantization loop, and it counts
+ * the DRAM traffic the accelerator would issue.
+ */
+class SpAttenAttention
+{
+  public:
+    explicit SpAttenAttention(SpAttenAttentionConfig cfg) : cfg_(cfg) {}
+
+    /**
+     * Run one layer.
+     * @param q L0 x Din, @param k,v L1 x Din (pruned survivors only).
+     * @param head_ids global ids of the alive heads (size == columns/D
+     *        chunks actually processed; pass 0..h-1 when none pruned).
+     */
+    AttentionOutput run(const Tensor& q, const Tensor& k, const Tensor& v,
+                        const std::vector<std::size_t>& head_ids) const;
+
+    const SpAttenAttentionConfig& config() const { return cfg_; }
+
+  private:
+    SpAttenAttentionConfig cfg_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_CORE_ATTENTION_REF_HPP

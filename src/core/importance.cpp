@@ -1,0 +1,109 @@
+#include "core/importance.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+TokenImportanceAccumulator::TokenImportanceAccumulator(std::size_t num_tokens)
+    : scores_(num_tokens, 0.0f)
+{
+}
+
+void
+TokenImportanceAccumulator::reset(std::size_t num_tokens)
+{
+    scores_.assign(num_tokens, 0.0f);
+}
+
+void
+TokenImportanceAccumulator::accumulate(
+    const Tensor& attention_prob, const std::vector<std::size_t>& key_token_ids)
+{
+    SPATTEN_ASSERT(attention_prob.ndim() == 2 &&
+                       attention_prob.dim(1) == key_token_ids.size(),
+                   "prob %s vs %zu key ids", attention_prob.shapeStr().c_str(),
+                   key_token_ids.size());
+    const std::size_t rows = attention_prob.dim(0);
+    const std::size_t cols = attention_prob.dim(1);
+    for (std::size_t j = 0; j < cols; ++j) {
+        const std::size_t id = key_token_ids[j];
+        SPATTEN_ASSERT(id < scores_.size(), "token id %zu out of %zu", id,
+                       scores_.size());
+        float col_sum = 0.0f;
+        for (std::size_t i = 0; i < rows; ++i)
+            col_sum += attention_prob.at(i, j);
+        scores_[id] += col_sum;
+    }
+}
+
+void
+TokenImportanceAccumulator::accumulateRow(
+    const std::vector<float>& prob_row,
+    const std::vector<std::size_t>& key_token_ids)
+{
+    SPATTEN_ASSERT(prob_row.size() == key_token_ids.size(),
+                   "row size %zu vs %zu ids", prob_row.size(),
+                   key_token_ids.size());
+    for (std::size_t j = 0; j < prob_row.size(); ++j) {
+        const std::size_t id = key_token_ids[j];
+        SPATTEN_ASSERT(id < scores_.size(), "token id %zu out of %zu", id,
+                       scores_.size());
+        scores_[id] += prob_row[j];
+    }
+}
+
+void
+TokenImportanceAccumulator::addToken()
+{
+    scores_.push_back(0.0f);
+}
+
+float
+TokenImportanceAccumulator::score(std::size_t id) const
+{
+    SPATTEN_ASSERT(id < scores_.size(), "token id %zu out of %zu", id,
+                   scores_.size());
+    return scores_[id];
+}
+
+HeadImportanceAccumulator::HeadImportanceAccumulator(std::size_t num_heads)
+    : scores_(num_heads, 0.0f)
+{
+}
+
+void
+HeadImportanceAccumulator::reset(std::size_t num_heads)
+{
+    scores_.assign(num_heads, 0.0f);
+}
+
+void
+HeadImportanceAccumulator::accumulate(const Tensor& head_out,
+                                      std::size_t head_id)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < head_out.numel(); ++i)
+        s += std::fabs(head_out[i]);
+    accumulateAbsSum(s, head_id);
+}
+
+void
+HeadImportanceAccumulator::accumulateAbsSum(double abs_sum,
+                                            std::size_t head_id)
+{
+    SPATTEN_ASSERT(head_id < scores_.size(), "head id %zu out of %zu",
+                   head_id, scores_.size());
+    scores_[head_id] += static_cast<float>(abs_sum);
+}
+
+float
+HeadImportanceAccumulator::score(std::size_t id) const
+{
+    SPATTEN_ASSERT(id < scores_.size(), "head id %zu out of %zu", id,
+                   scores_.size());
+    return scores_[id];
+}
+
+} // namespace spatten

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cumulative token and head importance scores (Algorithm 2 of the paper).
+ *
+ * Token importance: attention probabilities are accumulated column-wise —
+ * each key token's score grows by the probability every query assigns to
+ * it, across heads, layers and (for GPT-2) generation iterations.
+ *
+ * Head importance: the mean absolute magnitude of each head's slice of
+ * attention_out is accumulated across layers; a large magnitude means the
+ * following FC (and hence block_out) is strongly influenced by that head.
+ */
+#ifndef SPATTEN_CORE_IMPORTANCE_HPP
+#define SPATTEN_CORE_IMPORTANCE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace spatten {
+
+/**
+ * Accumulates cumulative token importance scores over the lifetime of a
+ * sentence (across heads, layers and generation iterations). Scores are
+ * indexed by *global* token id, so cascade pruning can always refer back
+ * to original positions.
+ */
+class TokenImportanceAccumulator
+{
+  public:
+    /** @param num_tokens initial sentence length (global token count). */
+    explicit TokenImportanceAccumulator(std::size_t num_tokens = 0);
+
+    /** Reset to @p num_tokens zero scores. */
+    void reset(std::size_t num_tokens);
+
+    /**
+     * Accumulate one head's attention probabilities.
+     *
+     * @param attention_prob L0 x L1 row-stochastic matrix for one head.
+     * @param key_token_ids  global token id of each of the L1 columns
+     *                       (identity when nothing was pruned yet).
+     */
+    void accumulate(const Tensor& attention_prob,
+                    const std::vector<std::size_t>& key_token_ids);
+
+    /** Accumulate a single query row (generation stage). */
+    void accumulateRow(const std::vector<float>& prob_row,
+                       const std::vector<std::size_t>& key_token_ids);
+
+    /** Grow the score table by one token (a newly generated token). */
+    void addToken();
+
+    std::size_t numTokens() const { return scores_.size(); }
+
+    /** Cumulative score of global token @p id. */
+    float score(std::size_t id) const;
+
+    const std::vector<float>& scores() const { return scores_; }
+
+  private:
+    std::vector<float> scores_;
+};
+
+/**
+ * Accumulates cumulative head importance scores across layers. All layers
+ * of a model share one accumulator (head h of layer l accumulates into
+ * slot h, matching the paper's per-model cumulative score).
+ */
+class HeadImportanceAccumulator
+{
+  public:
+    explicit HeadImportanceAccumulator(std::size_t num_heads = 0);
+
+    void reset(std::size_t num_heads);
+
+    /**
+     * Accumulate the magnitude of one head's output.
+     * @param head_out L0 x D slice of attention_out belonging to the head.
+     * @param head_id  global head id.
+     */
+    void accumulate(const Tensor& head_out, std::size_t head_id);
+
+    /** Accumulate a precomputed sum of |elements| for @p head_id. */
+    void accumulateAbsSum(double abs_sum, std::size_t head_id);
+
+    std::size_t numHeads() const { return scores_.size(); }
+    float score(std::size_t id) const;
+    const std::vector<float>& scores() const { return scores_; }
+
+  private:
+    std::vector<float> scores_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_CORE_IMPORTANCE_HPP

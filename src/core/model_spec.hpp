@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared description of an attention workload: the transformer shape
+ * (Fig. 3) plus the SpAtten pruning/quantization policy applied to it.
+ * Both the accelerator model and the baseline platform models consume
+ * this, so it lives in core.
+ */
+#ifndef SPATTEN_CORE_MODEL_SPEC_HPP
+#define SPATTEN_CORE_MODEL_SPEC_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "core/progressive_quant.hpp"
+#include "core/schedule.hpp"
+
+namespace spatten {
+
+/** Transformer model shape. */
+struct ModelSpec
+{
+    std::string name = "bert-base";
+    std::size_t num_layers = 12;
+    std::size_t num_heads = 12;
+    std::size_t d_head = 64;
+    std::size_t ffn_mult = 4; ///< FFN hidden = ffn_mult * dModel().
+    /// Explicit FFN hidden size; overrides ffn_mult when non-zero
+    /// (used by the HAT co-design search, whose space includes FFN dims
+    /// that are not multiples of the embedding dim).
+    std::size_t ffn_hidden_override = 0;
+
+    std::size_t dModel() const { return num_heads * d_head; }
+    std::size_t ffnHidden() const
+    {
+        return ffn_hidden_override ? ffn_hidden_override
+                                   : ffn_mult * dModel();
+    }
+
+    static ModelSpec bertBase();
+    static ModelSpec bertLarge();
+    static ModelSpec gpt2Small();
+    static ModelSpec gpt2Medium();
+};
+
+inline ModelSpec
+ModelSpec::bertBase()
+{
+    return {"bert-base", 12, 12, 64, 4};
+}
+
+inline ModelSpec
+ModelSpec::bertLarge()
+{
+    return {"bert-large", 24, 16, 64, 4};
+}
+
+inline ModelSpec
+ModelSpec::gpt2Small()
+{
+    return {"gpt2-small", 12, 12, 64, 4};
+}
+
+inline ModelSpec
+ModelSpec::gpt2Medium()
+{
+    return {"gpt2-medium", 24, 16, 64, 4};
+}
+
+/** One benchmark instance: model shape + sequence lengths. */
+struct WorkloadSpec
+{
+    std::string name = "workload";
+    ModelSpec model;
+    std::size_t summarize_len = 128; ///< Input tokens (summarization stage).
+    std::size_t generate_len = 0;    ///< Generated tokens (0 => BERT-style).
+    /// Measure the generation stage only (§V-A: GPT-2 benchmarks set a
+    /// 992-token initial sentence and measure the latency of generating
+    /// 32 tokens). The context still includes the summarized tokens.
+    bool skip_summarization = false;
+
+    bool isGenerative() const { return generate_len > 0; }
+};
+
+/**
+ * How token importance is derived (§VI): SpAtten accumulates attention
+ * probabilities across heads/layers/iterations; PoWER-BERT-style pruning
+ * uses only the instant probabilities of the current layer.
+ */
+enum class ImportanceMode
+{
+    Cumulative, ///< SpAtten: scores accumulate across layers.
+    Instant,    ///< PoWER-BERT-style: current layer's probabilities only.
+    Random,     ///< Ablation lower bound: prune uniformly at random.
+};
+
+/** The SpAtten policy knobs applied to a workload (§III, §V-A). */
+struct PruningPolicy
+{
+    bool token_pruning = true;
+    ImportanceMode importance_mode = ImportanceMode::Cumulative;
+    bool head_pruning = true;
+    bool local_value_pruning = true;
+    double token_avg_ratio = 0.15;  ///< Per-layer average token prune ratio.
+    double head_avg_ratio = 0.03;   ///< Per-layer average head prune ratio.
+    double local_v_ratio = 0.3;     ///< Per-row local V pruning ratio.
+    ProgressiveQuantConfig pq;      ///< Progressive quantization policy.
+    /// Fraction of queries whose probability row is flat enough to need
+    /// the LSB pass. The paper measures 5.9% on average; the functional
+    /// experiments (src/nn + src/workload) measure it per task.
+    double lsb_fraction = 0.059;
+
+    /** Everything off: the unpruned fp32-equivalent baseline policy. */
+    static PruningPolicy disabled();
+};
+
+inline PruningPolicy
+PruningPolicy::disabled()
+{
+    PruningPolicy p;
+    p.token_pruning = false;
+    p.head_pruning = false;
+    p.local_value_pruning = false;
+    p.token_avg_ratio = 0.0;
+    p.head_avg_ratio = 0.0;
+    p.local_v_ratio = 0.0;
+    p.pq.enabled = false;
+    p.lsb_fraction = 0.0;
+    return p;
+}
+
+} // namespace spatten
+
+#endif // SPATTEN_CORE_MODEL_SPEC_HPP

@@ -1,0 +1,95 @@
+#include "core/progressive_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace spatten {
+
+bool
+needsLsb(const std::vector<float>& prob_row, double threshold)
+{
+    float m = 0.0f;
+    for (float p : prob_row)
+        m = std::max(m, p);
+    return m < threshold;
+}
+
+bool
+needsLsb(const Tensor& prob_row, double threshold)
+{
+    return prob_row.numel() == 0 ||
+           static_cast<double>(prob_row.maxElem()) < threshold;
+}
+
+namespace {
+
+std::vector<float>
+softmaxScores(const std::vector<float>& scores)
+{
+    std::vector<float> out(scores.size());
+    float m = scores.empty() ? 0.0f : scores[0];
+    for (float s : scores)
+        m = std::max(m, s);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        out[i] = std::exp(scores[i] - m);
+        denom += out[i];
+    }
+    for (auto& p : out)
+        p = static_cast<float>(p / denom);
+    return out;
+}
+
+std::vector<float>
+dotScores(const Tensor& q, const Tensor& k_mat, float inv_sqrt_d)
+{
+    const std::size_t rows = k_mat.dim(0), d = k_mat.dim(1);
+    std::vector<float> scores(rows, 0.0f);
+    for (std::size_t i = 0; i < rows; ++i) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < d; ++j)
+            acc += q[j] * k_mat.at(i, j);
+        scores[i] = acc * inv_sqrt_d;
+    }
+    return scores;
+}
+
+} // namespace
+
+ProgressiveResult
+progressiveScores(const Tensor& q_full, const BitplaneTensor& keys,
+                  float inv_sqrt_d, const ProgressiveQuantConfig& cfg)
+{
+    SPATTEN_ASSERT(keys.shape.size() == 2 && q_full.dim(0) == keys.shape[1],
+                   "query dim %zu vs key dim", q_full.dim(0));
+    ProgressiveResult res;
+    const std::size_t rows = keys.shape[0];
+    const std::size_t d = keys.shape[1];
+    res.msb_bits_fetched = static_cast<double>(rows * d) *
+                           keys.setting.msb_bits;
+
+    const Tensor k_msb = quant::reconstructMsbOnly(keys);
+    res.prob = softmaxScores(dotScores(q_full, k_msb, inv_sqrt_d));
+
+    if (cfg.enabled && needsLsb(res.prob, cfg.max_prob_threshold)) {
+        res.fetched_lsb = true;
+        res.lsb_bits_fetched = static_cast<double>(rows * d) *
+                               keys.setting.lsb_bits;
+        const Tensor k_full = quant::reconstructFull(keys);
+        res.prob = softmaxScores(dotScores(q_full, k_full, inv_sqrt_d));
+    }
+    return res;
+}
+
+double
+quantizedSoftmaxError(const Tensor& scores, int bits)
+{
+    SPATTEN_ASSERT(scores.ndim() == 1, "1-D scores expected");
+    const Tensor p_ref = ops::softmax(scores);
+    const Tensor p_q = ops::softmax(quant::fakeQuantize(scores, bits));
+    return ops::meanAbsDiff(p_ref, p_q);
+}
+
+} // namespace spatten

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Progressive quantization (§III-D): fetch MSBs eagerly, compute attention
+ * probabilities, and only when the distribution is flat (max probability
+ * below a threshold) fetch the LSBs and recompute.
+ *
+ * The theoretical basis (Eq. 1/2): the post-softmax error contributed by a
+ * score perturbation ∆s is ∆s * 2p(1-p) < ∆s, and is smallest when a
+ * dominant probability exists (p near 1).
+ */
+#ifndef SPATTEN_CORE_PROGRESSIVE_QUANT_HPP
+#define SPATTEN_CORE_PROGRESSIVE_QUANT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "quant/bitplane.hpp"
+#include "tensor/tensor.hpp"
+
+namespace spatten {
+
+/** Configuration of the progressive quantization policy. */
+struct ProgressiveQuantConfig
+{
+    bool enabled = true;
+    BitplaneSetting setting{8, 4}; ///< MSB+LSB storage (paper: 6+4, 8+4 common).
+    /// If max attention probability < threshold, fetch LSBs and recompute.
+    double max_prob_threshold = 0.1;
+};
+
+/**
+ * The progressive-quantization decision (Fig. 6 / Fig. 12 right):
+ * true when the probability row is flat and LSBs must be fetched.
+ */
+bool needsLsb(const std::vector<float>& prob_row, double threshold);
+bool needsLsb(const Tensor& prob_row, double threshold);
+
+/** Outcome of running one query through the progressive pipeline. */
+struct ProgressiveResult
+{
+    std::vector<float> prob; ///< Final attention probabilities.
+    bool fetched_lsb = false;
+    double msb_bits_fetched = 0;  ///< Bits of K fetched in the MSB pass.
+    double lsb_bits_fetched = 0;  ///< Bits of K fetched in the LSB pass.
+};
+
+/**
+ * Functional model of progressive quantized score computation for a single
+ * query against a key matrix.
+ *
+ * @param q_full  query vector (length D), already on chip.
+ * @param keys    bit-plane-split key matrix (L x D).
+ * @param inv_sqrt_d score normalization 1/sqrt(D).
+ * @param cfg     policy configuration.
+ */
+ProgressiveResult progressiveScores(const Tensor& q_full,
+                                    const BitplaneTensor& keys,
+                                    float inv_sqrt_d,
+                                    const ProgressiveQuantConfig& cfg);
+
+/**
+ * Mean absolute softmax error between probabilities computed from fp32
+ * scores and from @p bits-quantized scores. Used by the Fig. 7
+ * reproduction (error shrinks as max probability grows).
+ */
+double quantizedSoftmaxError(const Tensor& scores, int bits);
+
+} // namespace spatten
+
+#endif // SPATTEN_CORE_PROGRESSIVE_QUANT_HPP

@@ -1,0 +1,146 @@
+#include "core/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace spatten {
+
+std::vector<std::size_t>
+topkKeepOrder(const std::vector<float>& scores, std::size_t k)
+{
+    const std::size_t n = scores.size();
+    k = std::min(k, n);
+    if (k == 0)
+        return {};
+    if (k == n) {
+        std::vector<std::size_t> all(n);
+        for (std::size_t i = 0; i < n; ++i)
+            all[i] = i;
+        return all;
+    }
+    // nth_element on (value desc, index asc) finds the cut; then keep the
+    // original order, which is what the hardware zero eliminator produces.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    std::nth_element(idx.begin(), idx.begin() + static_cast<long>(k - 1),
+                     idx.end(), [&](std::size_t a, std::size_t b) {
+                         if (scores[a] != scores[b])
+                             return scores[a] > scores[b];
+                         return a < b;
+                     });
+    idx.resize(k);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+}
+
+namespace {
+
+/** Survivor count when pruning @p alive elements by @p ratio. */
+std::size_t
+survivorCount(std::size_t alive, double ratio)
+{
+    if (ratio <= 0.0)
+        return alive;
+    ratio = std::min(ratio, 1.0);
+    const double keep = static_cast<double>(alive) * (1.0 - ratio);
+    const auto k = static_cast<std::size_t>(std::ceil(keep));
+    return std::max<std::size_t>(k, 1); // never prune everything
+}
+
+} // namespace
+
+CascadeTokenPruner::CascadeTokenPruner(std::size_t num_tokens)
+{
+    reset(num_tokens);
+}
+
+void
+CascadeTokenPruner::reset(std::size_t num_tokens)
+{
+    alive_.resize(num_tokens);
+    for (std::size_t i = 0; i < num_tokens; ++i)
+        alive_[i] = i;
+}
+
+const std::vector<std::size_t>&
+CascadeTokenPruner::pruneToRatio(const TokenImportanceAccumulator& acc,
+                                 double ratio)
+{
+    return pruneToCount(acc, survivorCount(alive_.size(), ratio));
+}
+
+const std::vector<std::size_t>&
+CascadeTokenPruner::pruneToCount(const TokenImportanceAccumulator& acc,
+                                 std::size_t k)
+{
+    k = std::min(k, alive_.size());
+    // Scores of currently-alive tokens, in alive order.
+    std::vector<float> alive_scores(alive_.size());
+    for (std::size_t i = 0; i < alive_.size(); ++i)
+        alive_scores[i] = acc.score(alive_[i]);
+    const std::vector<std::size_t> kept = topkKeepOrder(alive_scores, k);
+    std::vector<std::size_t> next;
+    next.reserve(kept.size());
+    for (std::size_t pos : kept)
+        next.push_back(alive_[pos]);
+    alive_ = std::move(next);
+    return alive_;
+}
+
+void
+CascadeTokenPruner::addToken(std::size_t global_id)
+{
+    SPATTEN_ASSERT(alive_.empty() || global_id > alive_.back(),
+                   "generated token id %zu must be past the end", global_id);
+    alive_.push_back(global_id);
+}
+
+CascadeHeadPruner::CascadeHeadPruner(std::size_t num_heads)
+{
+    reset(num_heads);
+}
+
+void
+CascadeHeadPruner::reset(std::size_t num_heads)
+{
+    alive_.resize(num_heads);
+    for (std::size_t i = 0; i < num_heads; ++i)
+        alive_[i] = i;
+}
+
+const std::vector<std::size_t>&
+CascadeHeadPruner::pruneToRatio(const HeadImportanceAccumulator& acc,
+                                double ratio)
+{
+    const std::size_t k = survivorCount(alive_.size(), ratio);
+    std::vector<float> alive_scores(alive_.size());
+    for (std::size_t i = 0; i < alive_.size(); ++i)
+        alive_scores[i] = acc.score(alive_[i]);
+    const std::vector<std::size_t> kept = topkKeepOrder(alive_scores, k);
+    std::vector<std::size_t> next;
+    next.reserve(kept.size());
+    for (std::size_t pos : kept)
+        next.push_back(alive_[pos]);
+    alive_ = std::move(next);
+    return alive_;
+}
+
+std::vector<std::size_t>
+localValuePrune(const std::vector<float>& prob_row, double ratio)
+{
+    const std::size_t n = prob_row.size();
+    if (ratio <= 0.0 || n == 0) {
+        std::vector<std::size_t> all(n);
+        for (std::size_t i = 0; i < n; ++i)
+            all[i] = i;
+        return all;
+    }
+    const std::size_t k = survivorCount(n, ratio);
+    return topkKeepOrder(prob_row, k);
+}
+
+} // namespace spatten

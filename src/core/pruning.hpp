@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cascade token pruning, cascade head pruning and local value pruning
+ * (§III-A/B/C and Algorithm 2).
+ *
+ * "Cascade" means monotone: once a token or head is pruned it never
+ * reappears in a later layer — each layer selects its survivors from the
+ * previous layer's survivors. Selection uses top-k over the cumulative
+ * importance scores; the functional top-k here mirrors the hardware
+ * engine's semantics (ties resolved in favour of earlier positions, output
+ * preserves the original input order).
+ */
+#ifndef SPATTEN_CORE_PRUNING_HPP
+#define SPATTEN_CORE_PRUNING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/importance.hpp"
+
+namespace spatten {
+
+/**
+ * Indices of the k largest values of @p scores, returned in ascending
+ * index order (the hardware zero-eliminator keeps the original order).
+ * Ties are broken toward smaller indices, matching the quick-select
+ * engine's num_eq_k_th_largest handling.
+ */
+std::vector<std::size_t> topkKeepOrder(const std::vector<float>& scores,
+                                       std::size_t k);
+
+/**
+ * Tracks the set of surviving global token ids for one sentence and
+ * applies cascade pruning rounds against a TokenImportanceAccumulator.
+ */
+class CascadeTokenPruner
+{
+  public:
+    /** Start with all of @p num_tokens alive. */
+    explicit CascadeTokenPruner(std::size_t num_tokens = 0);
+
+    void reset(std::size_t num_tokens);
+
+    /**
+     * Prune so that only ceil(alive * (1 - ratio)) tokens survive, chosen
+     * by descending cumulative importance. No-op when ratio <= 0.
+     *
+     * @return surviving global token ids (ascending).
+     */
+    const std::vector<std::size_t>&
+    pruneToRatio(const TokenImportanceAccumulator& acc, double ratio);
+
+    /** Keep exactly @p k tokens (k clamped to alive count). */
+    const std::vector<std::size_t>&
+    pruneToCount(const TokenImportanceAccumulator& acc, std::size_t k);
+
+    /** A newly generated token joins the alive set (generation stage). */
+    void addToken(std::size_t global_id);
+
+    const std::vector<std::size_t>& alive() const { return alive_; }
+    std::size_t aliveCount() const { return alive_.size(); }
+
+  private:
+    std::vector<std::size_t> alive_;
+};
+
+/** Tracks surviving head ids across layers (cascade head pruning). */
+class CascadeHeadPruner
+{
+  public:
+    explicit CascadeHeadPruner(std::size_t num_heads = 0);
+
+    void reset(std::size_t num_heads);
+
+    /** Prune to ceil(alive * (1 - ratio)) heads by cumulative importance. */
+    const std::vector<std::size_t>&
+    pruneToRatio(const HeadImportanceAccumulator& acc, double ratio);
+
+    const std::vector<std::size_t>& alive() const { return alive_; }
+    std::size_t aliveCount() const { return alive_.size(); }
+
+  private:
+    std::vector<std::size_t> alive_;
+};
+
+/**
+ * Local value pruning (§III-C): given one query's attention probability
+ * row, keep the positions with the largest probabilities; the dropped V
+ * vectors are never fetched for the prob x V product of this head only.
+ *
+ * @param prob_row attention probabilities of the current query.
+ * @param ratio    fraction of V vectors to prune (0 disables).
+ * @return kept column indices in ascending order.
+ */
+std::vector<std::size_t> localValuePrune(const std::vector<float>& prob_row,
+                                         double ratio);
+
+} // namespace spatten
+
+#endif // SPATTEN_CORE_PRUNING_HPP

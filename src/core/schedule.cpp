@@ -1,0 +1,100 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+PruningSchedule::PruningSchedule(std::size_t num_layers,
+                                 const ScheduleConfig& cfg)
+{
+    SPATTEN_ASSERT(cfg.avg_ratio >= 0.0 && cfg.avg_ratio < 1.0,
+                   "avg_ratio %f out of [0,1)", cfg.avg_ratio);
+    ratios_.assign(num_layers, 0.0);
+    if (num_layers == 0 || cfg.avg_ratio == 0.0)
+        return;
+    const auto front = static_cast<std::size_t>(
+        std::ceil(cfg.front_frac * static_cast<double>(num_layers)));
+    if (front >= num_layers) {
+        // Degenerate: every layer is a "front" layer; nothing to prune.
+        return;
+    }
+    const std::size_t pruned_layers = num_layers - front;
+    const double r_start = cfg.avg_ratio * (1.0 - cfg.spread);
+    const double r_end = cfg.avg_ratio * (1.0 + cfg.spread);
+    for (std::size_t i = 0; i < pruned_layers; ++i) {
+        const double t = pruned_layers == 1
+                             ? 0.5
+                             : static_cast<double>(i) /
+                                   static_cast<double>(pruned_layers - 1);
+        double r = r_start + (r_end - r_start) * t;
+        ratios_[front + i] = std::clamp(r, 0.0, 0.95);
+    }
+}
+
+PruningSchedule
+PruningSchedule::uniform(std::size_t num_layers, double ratio)
+{
+    PruningSchedule s;
+    s.ratios_.assign(num_layers, ratio);
+    return s;
+}
+
+PruningSchedule
+PruningSchedule::disabled(std::size_t num_layers)
+{
+    return uniform(num_layers, 0.0);
+}
+
+double
+PruningSchedule::ratioAt(std::size_t layer) const
+{
+    SPATTEN_ASSERT(layer < ratios_.size(), "layer %zu out of %zu", layer,
+                   ratios_.size());
+    return ratios_[layer];
+}
+
+double
+PruningSchedule::keepFraction() const
+{
+    double keep = 1.0;
+    for (double r : ratios_)
+        keep *= (1.0 - r);
+    return keep;
+}
+
+PruningSchedule
+makeTokenSchedule(std::size_t num_layers, double avg_ratio)
+{
+    ScheduleConfig cfg;
+    cfg.avg_ratio = avg_ratio;
+    cfg.front_frac = 0.15;
+    return PruningSchedule(num_layers, cfg);
+}
+
+PruningSchedule
+makeHeadSchedule(std::size_t num_layers, double avg_ratio)
+{
+    ScheduleConfig cfg;
+    cfg.avg_ratio = avg_ratio;
+    cfg.front_frac = 0.30;
+    return PruningSchedule(num_layers, cfg);
+}
+
+double
+lengthAdaptiveRatio(std::size_t sentence_len, double min_ratio,
+                    double max_ratio, std::size_t saturate_len)
+{
+    SPATTEN_ASSERT(min_ratio <= max_ratio, "min_ratio > max_ratio");
+    if (sentence_len >= saturate_len)
+        return max_ratio;
+    // Log interpolation: redundancy grows roughly with log length.
+    const double t =
+        std::log(1.0 + static_cast<double>(sentence_len)) /
+        std::log(1.0 + static_cast<double>(saturate_len));
+    return min_ratio + (max_ratio - min_ratio) * std::clamp(t, 0.0, 1.0);
+}
+
+} // namespace spatten

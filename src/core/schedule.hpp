@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-layer pruning-ratio schedules (§V-A of the paper).
+ *
+ * The paper keeps the front 15% of layers un-pruned for token pruning
+ * (30% for head pruning), then linearly interpolates per-layer ratios
+ * from r_start to r_end with r_start + r_end = 2 * r_avg, so the average
+ * over the pruned layers equals the requested r_avg.
+ */
+#ifndef SPATTEN_CORE_SCHEDULE_HPP
+#define SPATTEN_CORE_SCHEDULE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace spatten {
+
+/** How a per-layer pruning schedule is generated. */
+struct ScheduleConfig
+{
+    double avg_ratio = 0.0;   ///< r_avg over the pruned (non-front) layers.
+    double front_frac = 0.15; ///< Fraction of front layers left un-pruned.
+    double spread = 0.5;      ///< r_start = r_avg*(1-spread), r_end = r_avg*(1+spread).
+};
+
+/**
+ * Incremental per-layer pruning ratios. ratio[l] is the fraction of the
+ * *currently alive* tokens/heads pruned after layer l's attention.
+ */
+class PruningSchedule
+{
+  public:
+    PruningSchedule() = default;
+
+    /** Build a schedule for @p num_layers layers from @p cfg. */
+    PruningSchedule(std::size_t num_layers, const ScheduleConfig& cfg);
+
+    /** Schedule with a single uniform ratio on every layer (for tests). */
+    static PruningSchedule uniform(std::size_t num_layers, double ratio);
+
+    /** All-zero schedule (pruning disabled). */
+    static PruningSchedule disabled(std::size_t num_layers);
+
+    double ratioAt(std::size_t layer) const;
+    std::size_t numLayers() const { return ratios_.size(); }
+    const std::vector<double>& ratios() const { return ratios_; }
+
+    /**
+     * Overall keep fraction after all layers: prod(1 - ratio[l]).
+     * The paper's "pruning ratio 3.8x" equals 1 / keepFraction().
+     */
+    double keepFraction() const;
+
+  private:
+    std::vector<double> ratios_;
+};
+
+/** Token-pruning schedule with the paper's defaults (15% front). */
+PruningSchedule makeTokenSchedule(std::size_t num_layers, double avg_ratio);
+
+/** Head-pruning schedule with the paper's defaults (30% front). */
+PruningSchedule makeHeadSchedule(std::size_t num_layers, double avg_ratio);
+
+/**
+ * Sentence-length-adaptive average ratio (§III-A: "the longer, the more
+ * tokens are pruned"). Maps a length to an average per-layer ratio such
+ * that long GPT-2-style contexts reach about `max_ratio` and short BERT
+ * sentences stay near `min_ratio`.
+ */
+double lengthAdaptiveRatio(std::size_t sentence_len, double min_ratio,
+                           double max_ratio, std::size_t saturate_len = 1024);
+
+} // namespace spatten
+
+#endif // SPATTEN_CORE_SCHEDULE_HPP

@@ -1,0 +1,164 @@
+#include "hat/hat_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/prng.hpp"
+
+namespace spatten {
+
+const std::vector<std::size_t>&
+hatEmbedChoices()
+{
+    static const std::vector<std::size_t> v{512, 640, 768};
+    return v;
+}
+
+const std::vector<std::size_t>&
+hatFfnChoices()
+{
+    static const std::vector<std::size_t> v{512, 1024, 2048, 3072};
+    return v;
+}
+
+const std::vector<std::size_t>&
+hatLayerChoices()
+{
+    static const std::vector<std::size_t> v{1, 2, 3, 4, 5, 6};
+    return v;
+}
+
+double
+proxyBleu(const HatCandidate& c)
+{
+    // Capacity score with diminishing returns per dimension. Weights
+    // reflect WMT ablations: depth and width matter more than FFN size.
+    // Calibrated so (512, 2048, 6) ~ 27.3 (Transformer-Base) and
+    // (1024, 4096, 6) ~ 28.4 (Transformer-Big).
+    const double e = std::log2(static_cast<double>(c.embed_dim) / 512.0);
+    const double f = std::log2(static_cast<double>(c.ffn_dim) / 512.0);
+    const double l = static_cast<double>(c.layers);
+    const double capacity =
+        0.9 * e + 0.20 * f + 0.9 * std::log2(1.0 + l);
+    return 29.2 - 18.9 * std::exp(-0.786 * capacity);
+}
+
+ModelSpec
+hatModelSpec(const HatCandidate& c)
+{
+    SPATTEN_ASSERT(c.embed_dim % 64 == 0, "embed dim %zu not head-aligned",
+                   c.embed_dim);
+    ModelSpec m;
+    m.name = strfmt("hat-e%zu-f%zu-l%zu", c.embed_dim, c.ffn_dim,
+                    c.layers);
+    m.num_layers = c.layers;
+    m.d_head = 64;
+    m.num_heads = c.embed_dim / 64;
+    m.ffn_hidden_override = c.ffn_dim;
+    return m;
+}
+
+HatEvaluated
+evaluateCandidate(const HatCandidate& c, const SpAttenConfig& hw,
+                  const E2eConfig& e2e)
+{
+    HatEvaluated ev;
+    ev.cand = c;
+    ev.bleu = proxyBleu(c);
+
+    // Probe workload: WMT'14-style sentence translation — ~30-token
+    // source summarized, ~30 tokens generated.
+    WorkloadSpec w;
+    w.name = "wmt14-probe";
+    w.model = hatModelSpec(c);
+    w.summarize_len = 30;
+    w.generate_len = 30;
+
+    PruningPolicy policy;
+    policy.token_avg_ratio = 0.05; // short sentences: light pruning
+    policy.head_avg_ratio = 0.0;
+    policy.local_v_ratio = 0.2;
+    policy.pq.enabled = true;
+    policy.pq.setting = {8, 4};
+    policy.lsb_fraction = 0.059;
+
+    SpAttenE2e engine(hw, e2e);
+    const E2eResult r = engine.run(w, policy);
+    ev.latency_ms = r.totalSeconds() * 1e3;
+    ev.attn_flops = r.attention.attention_flops;
+    ev.fc_flops = r.fc_flops;
+    return ev;
+}
+
+namespace {
+
+HatCandidate
+randomCandidate(Prng& prng)
+{
+    HatCandidate c;
+    c.embed_dim = hatEmbedChoices()[prng.below(hatEmbedChoices().size())];
+    c.ffn_dim = hatFfnChoices()[prng.below(hatFfnChoices().size())];
+    c.layers = hatLayerChoices()[prng.below(hatLayerChoices().size())];
+    return c;
+}
+
+HatCandidate
+mutate(const HatCandidate& c, Prng& prng, double prob)
+{
+    HatCandidate out = c;
+    if (prng.chance(prob))
+        out.embed_dim =
+            hatEmbedChoices()[prng.below(hatEmbedChoices().size())];
+    if (prng.chance(prob))
+        out.ffn_dim = hatFfnChoices()[prng.below(hatFfnChoices().size())];
+    if (prng.chance(prob))
+        out.layers =
+            hatLayerChoices()[prng.below(hatLayerChoices().size())];
+    return out;
+}
+
+} // namespace
+
+std::vector<HatEvaluated>
+searchFrontier(const std::vector<double>& latency_budgets_ms,
+               const SpAttenConfig& hw, const E2eConfig& e2e,
+               HatSearchConfig cfg)
+{
+    Prng prng(cfg.seed);
+    std::vector<HatEvaluated> frontier;
+    for (double budget : latency_budgets_ms) {
+        // Evolutionary search under this latency budget.
+        std::vector<HatEvaluated> pop;
+        for (std::size_t i = 0; i < cfg.population; ++i)
+            pop.push_back(
+                evaluateCandidate(randomCandidate(prng), hw, e2e));
+        const auto fitness = [&](const HatEvaluated& ev) {
+            // Hard budget: infeasible candidates rank below everything.
+            return ev.latency_ms <= budget ? ev.bleu
+                                           : ev.bleu - 100.0 -
+                                                 (ev.latency_ms - budget);
+        };
+        for (std::size_t g = 0; g < cfg.generations; ++g) {
+            std::sort(pop.begin(), pop.end(),
+                      [&](const HatEvaluated& a, const HatEvaluated& b) {
+                          return fitness(a) > fitness(b);
+                      });
+            pop.resize(cfg.population / 2); // keep the fit half
+            const std::size_t parents = pop.size();
+            while (pop.size() < cfg.population) {
+                const HatCandidate child = mutate(
+                    pop[prng.below(parents)].cand, prng, cfg.mutate_prob);
+                pop.push_back(evaluateCandidate(child, hw, e2e));
+            }
+        }
+        std::sort(pop.begin(), pop.end(),
+                  [&](const HatEvaluated& a, const HatEvaluated& b) {
+                      return fitness(a) > fitness(b);
+                  });
+        frontier.push_back(pop.front());
+    }
+    return frontier;
+}
+
+} // namespace spatten

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hardware-Aware Transformer (HAT) co-design search for SpAtten-e2e
+ * (§V-B, Fig. 16/17). The search space follows the paper: embedding dim
+ * in {512, 640, 768}, FFN hidden dim in {512, 1024, 2048, 3072}, decoder
+ * layer count in {1..6}. Candidates are scored by SpAtten-e2e latency
+ * (the FC layers bottleneck SpAtten, so the search is expected to shrink
+ * FFN dims and lean on attention) and a proxy accuracy model.
+ *
+ * Substitution note (DESIGN.md): the original HAT trains a weight-shared
+ * supernet on WMT'14 and evaluates BLEU; we use a calibrated
+ * saturating-capacity proxy for BLEU, which preserves the mechanism the
+ * figure demonstrates (latency-constrained search shifts FLOPs from FC
+ * to attention) without the dataset.
+ */
+#ifndef SPATTEN_HAT_HAT_SEARCH_HPP
+#define SPATTEN_HAT_HAT_SEARCH_HPP
+
+#include <vector>
+
+#include "accel/e2e.hpp"
+
+namespace spatten {
+
+/** One point in the HAT search space. */
+struct HatCandidate
+{
+    std::size_t embed_dim = 512;
+    std::size_t ffn_dim = 2048;
+    std::size_t layers = 6;
+};
+
+/** A candidate with its evaluation. */
+struct HatEvaluated
+{
+    HatCandidate cand;
+    double latency_ms = 0; ///< SpAtten-e2e latency on the probe workload.
+    double bleu = 0;       ///< Proxy BLEU.
+    double attn_flops = 0;
+    double fc_flops = 0;
+};
+
+/** Proxy BLEU: saturating in capacity, calibrated near WMT'14 En-De
+ *  (Transformer-Base ~27.3, Transformer-Big ~28.4). */
+double proxyBleu(const HatCandidate& c);
+
+/** Build the (decoder-only cost proxy) model spec for a candidate. */
+ModelSpec hatModelSpec(const HatCandidate& c);
+
+/** Evaluate a candidate on SpAtten-e2e. */
+HatEvaluated evaluateCandidate(const HatCandidate& c,
+                               const SpAttenConfig& hw,
+                               const E2eConfig& e2e);
+
+/** Configuration of the evolutionary search. */
+struct HatSearchConfig
+{
+    std::size_t population = 24;
+    std::size_t generations = 12;
+    double mutate_prob = 0.4;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Evolutionary search: maximize proxy BLEU subject to a latency budget.
+ * @return the best evaluated candidate per budget, one per entry of
+ *         @p latency_budgets_ms (the Fig. 16 frontier).
+ */
+std::vector<HatEvaluated>
+searchFrontier(const std::vector<double>& latency_budgets_ms,
+               const SpAttenConfig& hw, const E2eConfig& e2e,
+               HatSearchConfig cfg = HatSearchConfig{});
+
+/** All legal values of each search dimension. */
+const std::vector<std::size_t>& hatEmbedChoices();
+const std::vector<std::size_t>& hatFfnChoices();
+const std::vector<std::size_t>& hatLayerChoices();
+
+} // namespace spatten
+
+#endif // SPATTEN_HAT_HAT_SEARCH_HPP

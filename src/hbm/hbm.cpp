@@ -1,0 +1,146 @@
+#include "hbm/hbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace spatten {
+
+HbmModel::HbmModel(HbmConfig cfg) : cfg_(cfg)
+{
+    SPATTEN_ASSERT(cfg_.channels > 0 && cfg_.banks_per_channel > 0,
+                   "bad HBM geometry");
+    SPATTEN_ASSERT(isPow2(cfg_.interleave_bytes) && isPow2(cfg_.row_bytes),
+                   "interleave/row sizes must be powers of two");
+    channels_.resize(static_cast<std::size_t>(cfg_.channels));
+    for (auto& ch : channels_)
+        ch.banks.resize(static_cast<std::size_t>(cfg_.banks_per_channel));
+}
+
+void
+HbmModel::mapAddress(std::uint64_t addr, int& channel, int& bank,
+                     std::int64_t& row) const
+{
+    const std::uint64_t block = addr / cfg_.interleave_bytes;
+    channel = static_cast<int>(block % static_cast<std::uint64_t>(
+                                           cfg_.channels));
+    // Address within the channel after removing the interleave bits.
+    const std::uint64_t in_channel =
+        (block / static_cast<std::uint64_t>(cfg_.channels)) *
+            cfg_.interleave_bytes +
+        addr % cfg_.interleave_bytes;
+    row = static_cast<std::int64_t>(in_channel / cfg_.row_bytes);
+    bank = static_cast<int>(static_cast<std::uint64_t>(row) %
+                            static_cast<std::uint64_t>(
+                                cfg_.banks_per_channel));
+}
+
+Cycles
+HbmModel::serveChunk(std::uint64_t addr, std::uint64_t bytes, bool write,
+                     Cycles ready)
+{
+    int ch_idx = 0, bank_idx = 0;
+    std::int64_t row = 0;
+    mapAddress(addr, ch_idx, bank_idx, row);
+    Channel& ch = channels_[static_cast<std::size_t>(ch_idx)];
+    Bank& bank = ch.banks[static_cast<std::size_t>(bank_idx)];
+
+    Cycles start = std::max(ready, ch.busy_until);
+    Cycles access_lat = cfg_.t_cl;
+    if (bank.open_row != row) {
+        access_lat += (bank.open_row >= 0 ? cfg_.t_rp : 0) + cfg_.t_rcd;
+        bank.open_row = row;
+        ++activations_;
+    }
+    const double eff_bytes_per_cycle =
+        cfg_.bytes_per_cycle * cfg_.bus_efficiency;
+    const Cycles burst = std::max<Cycles>(
+        1, static_cast<Cycles>(std::ceil(
+               static_cast<double>(bytes) / eff_bytes_per_cycle)));
+    // The channel data bus is occupied for the burst; CAS latency
+    // overlaps with other banks' work and extends only the completion.
+    ch.busy_until = start + burst;
+    if (write)
+        bytes_written_ += bytes;
+    else
+        bytes_read_ += bytes;
+    return start + access_lat + burst;
+}
+
+Cycles
+HbmModel::access(const HbmRequest& req, Cycles ready)
+{
+    SPATTEN_ASSERT(req.bytes > 0, "zero-byte HBM request");
+    ++requests_;
+    Cycles done = ready;
+    std::uint64_t addr = req.addr;
+    std::uint64_t remaining = req.bytes;
+    while (remaining > 0) {
+        const std::uint64_t in_block = addr % cfg_.interleave_bytes;
+        const std::uint64_t chunk =
+            std::min(remaining, cfg_.interleave_bytes - in_block);
+        done = std::max(done, serveChunk(addr, chunk, req.write, ready));
+        addr += chunk;
+        remaining -= chunk;
+    }
+    return done;
+}
+
+Cycles
+HbmModel::accessBatch(const std::vector<HbmRequest>& reqs, Cycles ready)
+{
+    Cycles done = ready;
+    for (const auto& r : reqs)
+        done = std::max(done, access(r, ready));
+    return done;
+}
+
+Cycles
+HbmModel::streamCycles(std::uint64_t bytes) const
+{
+    const std::uint64_t per_cycle =
+        static_cast<std::uint64_t>(cfg_.channels) *
+        static_cast<std::uint64_t>(cfg_.bytes_per_cycle);
+    return std::max<Cycles>(1, ceilDiv(bytes, per_cycle));
+}
+
+double
+HbmModel::energyPj() const
+{
+    return static_cast<double>(activations_) * cfg_.act_energy_pj +
+           static_cast<double>(totalBytes()) * 8.0 * cfg_.bit_energy_pj;
+}
+
+Cycles
+HbmModel::drainCycle() const
+{
+    Cycles m = 0;
+    for (const auto& ch : channels_)
+        m = std::max(m, ch.busy_until);
+    return m;
+}
+
+void
+HbmModel::exportStats(StatSet& stats) const
+{
+    stats.add("hbm.bytes_read", static_cast<double>(bytes_read_));
+    stats.add("hbm.bytes_written", static_cast<double>(bytes_written_));
+    stats.add("hbm.row_activations", static_cast<double>(activations_));
+    stats.add("hbm.requests", static_cast<double>(requests_));
+    stats.add("hbm.energy_pj", energyPj());
+}
+
+void
+HbmModel::reset()
+{
+    for (auto& ch : channels_) {
+        ch.busy_until = 0;
+        for (auto& b : ch.banks)
+            b.open_row = -1;
+    }
+    bytes_read_ = bytes_written_ = activations_ = requests_ = 0;
+}
+
+} // namespace spatten

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * HBM2 memory model (the paper uses Ramulator with HBM2 settings;
+ * Table I: 16 x 128-bit channels @ 2 GHz, 2 x 64-bit pseudo-channels per
+ * channel, 32 GB/s per channel = 512 GB/s aggregate).
+ *
+ * The model is built from scratch: requests are interleaved across
+ * channels at a fixed granularity; each channel has banks with a row
+ * buffer, FR-FCFS-lite timing (row hit = CAS only, miss = PRE+ACT+CAS),
+ * and a data bus that moves a fixed number of bytes per DRAM cycle.
+ * Energy is counted per activation and per bit moved, using the
+ * fine-grained-DRAM numbers the paper cites (O'Connor et al., MICRO'17).
+ */
+#ifndef SPATTEN_HBM_HBM_HPP
+#define SPATTEN_HBM_HBM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/stats.hpp"
+
+namespace spatten {
+
+/** Static configuration of the HBM stack. */
+struct HbmConfig
+{
+    int channels = 16;            ///< 128-bit channels.
+    double freq_ghz = 2.0;        ///< Effective data-rate clock (2 GHz).
+    int bytes_per_cycle = 16;     ///< 128-bit bus -> 16 B per data cycle.
+    int banks_per_channel = 16;
+    std::uint64_t row_bytes = 1024;        ///< Row-buffer size per bank.
+    std::uint64_t interleave_bytes = 256;  ///< Channel interleave stride.
+
+    // Core timing in DRAM cycles (~7 ns each at 2 GHz => 14 cycles).
+    Cycles t_rcd = 28; ///< ACT -> CAS.
+    Cycles t_rp = 28;  ///< PRE -> ACT.
+    Cycles t_cl = 28;  ///< CAS -> first data.
+
+    /// Sustained fraction of peak bandwidth (refresh, turnaround, bank
+    /// conflicts). Ramulator-style models land at ~0.7 for streaming
+    /// gathers of this kind.
+    double bus_efficiency = 0.72;
+
+    // Energy constants (pJ), after O'Connor et al. fine-grained DRAM.
+    double act_energy_pj = 909.0;    ///< Per row activation.
+    double bit_energy_pj = 3.9;      ///< Per bit moved (array+IO).
+
+    /** Aggregate peak bandwidth in GB/s. */
+    double peakBandwidthGBs() const
+    {
+        return channels * bytes_per_cycle * freq_ghz;
+    }
+};
+
+/** A single read or write request. */
+struct HbmRequest
+{
+    std::uint64_t addr = 0;
+    std::uint64_t bytes = 0;
+    bool write = false;
+};
+
+/**
+ * The HBM stack model. Time is kept in DRAM cycles of the config's
+ * frequency; the accelerator converts with its own ClockDomain.
+ */
+class HbmModel
+{
+  public:
+    explicit HbmModel(HbmConfig cfg = HbmConfig{});
+
+    const HbmConfig& config() const { return cfg_; }
+
+    /**
+     * Issue one request at DRAM-cycle @p ready.
+     * The request is split across channels by the interleave mapping;
+     * completion is when the last channel finishes.
+     * @return completion cycle.
+     */
+    Cycles access(const HbmRequest& req, Cycles ready);
+
+    /**
+     * Issue a batch of independent requests (e.g. the gather of surviving
+     * K rows) that may proceed in parallel across channels.
+     * @return completion cycle of the last request.
+     */
+    Cycles accessBatch(const std::vector<HbmRequest>& reqs, Cycles ready);
+
+    /**
+     * Idealized streaming time: cycles to move @p bytes at peak bandwidth
+     * (used for roofline checks, not for simulation).
+     */
+    Cycles streamCycles(std::uint64_t bytes) const;
+
+    /** Total energy consumed so far, in pJ. */
+    double energyPj() const;
+
+    /** Total bytes moved (reads + writes). */
+    std::uint64_t totalBytes() const { return bytes_read_ + bytes_written_; }
+    std::uint64_t bytesRead() const { return bytes_read_; }
+    std::uint64_t bytesWritten() const { return bytes_written_; }
+    std::uint64_t rowActivations() const { return activations_; }
+
+    /** Cycle at which every channel is drained. */
+    Cycles drainCycle() const;
+
+    /** Export counters into a StatSet under the "hbm." prefix. */
+    void exportStats(StatSet& stats) const;
+
+    void reset();
+
+  private:
+    struct Bank
+    {
+        std::int64_t open_row = -1;
+    };
+    struct Channel
+    {
+        Cycles busy_until = 0;
+        std::vector<Bank> banks;
+    };
+
+    /** Map an address to (channel, bank, row). */
+    void mapAddress(std::uint64_t addr, int& channel, int& bank,
+                    std::int64_t& row) const;
+
+    /** Serve @p bytes at @p addr on its home channel; returns done cycle. */
+    Cycles serveChunk(std::uint64_t addr, std::uint64_t bytes, bool write,
+                      Cycles ready);
+
+    HbmConfig cfg_;
+    std::vector<Channel> channels_;
+    std::uint64_t bytes_read_ = 0;
+    std::uint64_t bytes_written_ = 0;
+    std::uint64_t activations_ = 0;
+    std::uint64_t requests_ = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_HBM_HBM_HPP

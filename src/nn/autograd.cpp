@@ -1,0 +1,68 @@
+#include "nn/autograd.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+Param::Param(std::string n, Tensor init)
+    : name(std::move(n)),
+      value(std::move(init)),
+      grad(value.shape()),
+      m(value.shape()),
+      v(value.shape())
+{
+}
+
+void
+Param::zeroGrad()
+{
+    grad.fill(0.0f);
+}
+
+void
+AdamOptimizer::step(std::vector<Param*>& params)
+{
+    ++t_;
+    // Optional global-norm gradient clipping.
+    double scale = 1.0;
+    if (cfg_.grad_clip > 0.0) {
+        double norm2 = 0.0;
+        for (const Param* p : params)
+            for (std::size_t i = 0; i < p->grad.numel(); ++i)
+                norm2 += static_cast<double>(p->grad[i]) * p->grad[i];
+        const double norm = std::sqrt(norm2);
+        if (norm > cfg_.grad_clip)
+            scale = cfg_.grad_clip / norm;
+    }
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+    for (Param* p : params) {
+        SPATTEN_ASSERT(p->grad.numel() == p->value.numel(),
+                       "grad/value mismatch for %s", p->name.c_str());
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+            const double g = p->grad[i] * scale;
+            p->m[i] = static_cast<float>(cfg_.beta1 * p->m[i] +
+                                         (1.0 - cfg_.beta1) * g);
+            p->v[i] = static_cast<float>(cfg_.beta2 * p->v[i] +
+                                         (1.0 - cfg_.beta2) * g * g);
+            const double mhat = p->m[i] / bc1;
+            const double vhat = p->v[i] / bc2;
+            p->value[i] -= static_cast<float>(
+                cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps));
+        }
+        p->zeroGrad();
+    }
+}
+
+std::size_t
+totalParams(const std::vector<Param*>& params)
+{
+    std::size_t n = 0;
+    for (const Param* p : params)
+        n += p->numel();
+    return n;
+}
+
+} // namespace spatten

@@ -1,0 +1,344 @@
+#include "nn/generation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/pruning.hpp"
+#include "quant/linear_quant.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+
+GenerativeRunner::GenerativeRunner(const TransformerModel& model)
+    : model_(model)
+{
+}
+
+std::vector<double>
+GenerativeRunner::stepToken(Beam& beam, std::size_t token,
+                            std::size_t position,
+                            const PruningPolicy& policy)
+{
+    const auto& cfg = model_.cfg_;
+    const std::size_t h_total = cfg.heads;
+    const std::size_t d = cfg.d_model / h_total;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(d));
+
+    Tensor x = model_.embed_.forwardOne(token, position);
+    for (std::size_t l = 0; l < model_.blocks_.size(); ++l) {
+        const TransformerBlock& blk = model_.blocks_[l];
+        LayerCache& cache = beam.caches[l];
+
+        const Tensor q = blk.attn_.wq_.forward(x);
+        const Tensor k = blk.attn_.wk_.forward(x);
+        const Tensor v = blk.attn_.wv_.forward(x);
+        cache.k.emplace_back(k.vec());
+        cache.v.emplace_back(v.vec());
+        cache.pos.push_back(position);
+        if (policy.pq.enabled) {
+            // The appended key row lives in DRAM as MSB + LSB planes.
+            cache.kq.push_back(
+                quant::splitPlanes(k, policy.pq.setting));
+        }
+
+        const std::size_t rows = cache.k.size();
+        // Key views for scoring: the eager pass sees MSB-only keys,
+        // the recompute pass sees the fully reconstructed codes.
+        const auto keyElem = [&](std::size_t r, std::size_t col,
+                                 bool full) -> float {
+            if (!policy.pq.enabled)
+                return cache.k[r][col];
+            const BitplaneTensor& bp = cache.kq[r];
+            const int lsb = bp.setting.lsb_bits;
+            if (full) {
+                const std::int32_t code =
+                    (bp.msb[col] << lsb) | bp.lsb[col];
+                return static_cast<float>(code) * bp.scale;
+            }
+            return static_cast<float>(bp.msb[col]) * bp.scale *
+                   static_cast<float>(1 << lsb);
+        };
+        const auto scorePass = [&](std::size_t head, bool full,
+                                   std::vector<float>& prob) -> float {
+            std::vector<float> scores(rows);
+            for (std::size_t r = 0; r < rows; ++r) {
+                float acc = 0.0f;
+                for (std::size_t j = 0; j < d; ++j)
+                    acc += q[head * d + j] * keyElem(r, head * d + j,
+                                                     full);
+                scores[r] = acc * inv;
+            }
+            float m = scores[0];
+            for (float s : scores)
+                m = std::max(m, s);
+            double denom = 0.0;
+            prob.resize(rows);
+            for (std::size_t r = 0; r < rows; ++r) {
+                prob[r] = std::exp(scores[r] - m);
+                denom += prob[r];
+            }
+            float maxp = 0.0f;
+            for (auto& p : prob) {
+                p = static_cast<float>(p / denom);
+                maxp = std::max(maxp, p);
+            }
+            return maxp;
+        };
+
+        Tensor concat({1, cfg.d_model});
+        for (std::size_t head : heads_alive_) {
+            std::vector<float> prob;
+            const float maxp = scorePass(head, false, prob);
+            total_rows_ += 1.0;
+            if (maxp < policy.pq.max_prob_threshold) {
+                flat_rows_ += 1.0;
+                if (policy.pq.enabled) {
+                    // Flat distribution: fetch LSBs and recompute
+                    // (Fig. 6). One extra pass, more precise scores.
+                    lsb_refetches_ += 1.0;
+                    scorePass(head, true, prob);
+                }
+            }
+            token_acc_.accumulateRow(prob, cache.pos);
+
+            const auto kept =
+                policy.local_value_pruning
+                    ? localValuePrune(prob, policy.local_v_ratio)
+                    : localValuePrune(prob, 0.0);
+            double head_mag = 0.0;
+            for (std::size_t j = 0; j < d; ++j) {
+                float acc = 0.0f;
+                for (std::size_t idx : kept)
+                    acc += prob[idx] * cache.v[idx][head * d + j];
+                concat.at(0, head * d + j) = acc;
+                head_mag += std::fabs(acc);
+            }
+            head_acc_.accumulateAbsSum(head_mag, head);
+        }
+        const Tensor attn_out = blk.attn_.wo_.forward(concat);
+        const Tensor res1 = ops::add(x, attn_out);
+        LayerNorm::Cache scratch;
+        const Tensor y = blk.ln1_.forward(res1, scratch);
+        const Tensor hidden = reluForward(blk.fc1_.forward(y));
+        const Tensor res2 = ops::add(y, blk.fc2_.forward(hidden));
+        x = blk.ln2_.forward(res2, scratch);
+    }
+
+    const Tensor logits = model_.lm_head_.forward(x);
+    // Log-softmax over the vocabulary.
+    float m = logits[0];
+    for (std::size_t i = 0; i < logits.numel(); ++i)
+        m = std::max(m, logits[i]);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.numel(); ++i)
+        denom += std::exp(logits[i] - m);
+    std::vector<double> logprobs(logits.numel());
+    for (std::size_t i = 0; i < logits.numel(); ++i)
+        logprobs[i] = logits[i] - m - std::log(denom);
+    return logprobs;
+}
+
+void
+GenerativeRunner::pruneCaches(std::vector<Beam>& beams,
+                              const PruningPolicy& policy,
+                              std::size_t context_len,
+                              std::size_t prompt_len)
+{
+    const std::size_t layers = model_.blocks_.size();
+
+    // Head pruning: shrink the shared alive-head set toward the
+    // schedule-implied keep fraction.
+    if (policy.head_pruning) {
+        const auto target = static_cast<std::size_t>(std::ceil(
+            model_.cfg_.heads * head_sched_.keepFraction()));
+        if (heads_alive_.size() > std::max<std::size_t>(target, 1)) {
+            CascadeHeadPruner pruner(model_.cfg_.heads);
+            // Re-derive the alive set, then prune to the target count.
+            std::vector<float> scores(model_.cfg_.heads, -1.0f);
+            for (std::size_t h : heads_alive_)
+                scores[h] = head_acc_.score(h);
+            heads_alive_ = topkKeepOrder(scores, target);
+        }
+    }
+
+    if (!policy.token_pruning)
+        return;
+
+    // Cascade across layers: positions dropped at layer l stay dropped
+    // for every deeper layer. Only prompt positions are prunable — the
+    // generated tokens differ per beam and are always kept.
+    std::vector<bool> dropped(context_len, false);
+    double keep_frac = 1.0;
+    for (std::size_t l = 0; l < layers; ++l) {
+        keep_frac *= 1.0 - token_sched_.ratioAt(l);
+        const auto target = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(context_len * keep_frac)));
+
+        // Current alive prompt positions at this layer (beam 0 is the
+        // reference; prompt rows are identical across beams).
+        LayerCache& ref = beams.front().caches[l];
+        std::vector<std::size_t> alive_prompt;
+        std::size_t gen_rows = 0;
+        for (std::size_t pos : ref.pos) {
+            if (pos < prompt_len) {
+                if (!dropped[pos])
+                    alive_prompt.push_back(pos);
+            } else {
+                ++gen_rows;
+            }
+        }
+        if (alive_prompt.size() + gen_rows <= target)
+            continue;
+        const std::size_t keep_prompt = std::max<std::size_t>(
+            1, target > gen_rows ? target - gen_rows : 1);
+        if (alive_prompt.size() <= keep_prompt)
+            continue;
+
+        std::vector<float> scores(alive_prompt.size());
+        for (std::size_t i = 0; i < alive_prompt.size(); ++i)
+            scores[i] = token_acc_.score(alive_prompt[i]);
+        const auto kept_idx = topkKeepOrder(scores, keep_prompt);
+        std::vector<bool> keep_pos(context_len, false);
+        for (std::size_t i : kept_idx)
+            keep_pos[alive_prompt[i]] = true;
+        for (std::size_t pos : alive_prompt)
+            if (!keep_pos[pos])
+                dropped[pos] = true;
+
+        // Physically erase dropped rows from layer l (and, via the
+        // running `dropped` set, from all deeper layers) in every beam.
+        for (Beam& beam : beams) {
+            for (std::size_t ll = l; ll < layers; ++ll) {
+                LayerCache& c = beam.caches[ll];
+                LayerCache pruned;
+                for (std::size_t r = 0; r < c.pos.size(); ++r) {
+                    if (c.pos[r] < prompt_len && dropped[c.pos[r]])
+                        continue;
+                    pruned.k.push_back(std::move(c.k[r]));
+                    pruned.v.push_back(std::move(c.v[r]));
+                    pruned.pos.push_back(c.pos[r]);
+                    if (!c.kq.empty())
+                        pruned.kq.push_back(std::move(c.kq[r]));
+                }
+                c = std::move(pruned);
+            }
+        }
+    }
+}
+
+GenerateResult
+GenerativeRunner::generate(const std::vector<std::size_t>& prompt,
+                           const GenerateOptions& opts)
+{
+    SPATTEN_ASSERT(!prompt.empty(), "empty prompt");
+    SPATTEN_ASSERT(opts.beam_width >= 1, "beam width must be >= 1");
+    const auto& cfg = model_.cfg_;
+    SPATTEN_ASSERT(prompt.size() + opts.max_new_tokens <= cfg.max_len,
+                   "generation exceeds max_len %zu", cfg.max_len);
+
+    const std::size_t layers = model_.blocks_.size();
+    flat_rows_ = total_rows_ = lsb_refetches_ = 0.0;
+    token_acc_.reset(prompt.size() + opts.max_new_tokens);
+    head_acc_.reset(cfg.heads);
+    heads_alive_.resize(cfg.heads);
+    for (std::size_t h = 0; h < cfg.heads; ++h)
+        heads_alive_[h] = h;
+    token_sched_ = opts.policy.token_pruning
+                       ? makeTokenSchedule(layers,
+                                           opts.policy.token_avg_ratio)
+                       : PruningSchedule::disabled(layers);
+    head_sched_ = opts.policy.head_pruning
+                      ? makeHeadSchedule(layers,
+                                         opts.policy.head_avg_ratio)
+                      : PruningSchedule::disabled(layers);
+
+    // Summarize the prompt into beam 0's caches.
+    Beam seed;
+    seed.caches.resize(layers);
+    std::vector<double> last_logprobs;
+    for (std::size_t i = 0; i < prompt.size(); ++i)
+        last_logprobs = stepToken(seed, prompt[i], i, opts.policy);
+
+    struct Hypothesis
+    {
+        Beam beam;
+        std::vector<double> logprobs;
+    };
+    std::vector<Hypothesis> beams;
+    beams.push_back({std::move(seed), std::move(last_logprobs)});
+
+    for (std::size_t step = 0; step < opts.max_new_tokens; ++step) {
+        const std::size_t position = prompt.size() + step;
+
+        // Expand every beam with its top-width candidates.
+        struct Cand
+        {
+            std::size_t beam_idx;
+            std::size_t token;
+            double logprob;
+        };
+        std::vector<Cand> cands;
+        for (std::size_t b = 0; b < beams.size(); ++b) {
+            const auto& lp = beams[b].logprobs;
+            std::vector<std::size_t> order(lp.size());
+            for (std::size_t i = 0; i < lp.size(); ++i)
+                order[i] = i;
+            std::partial_sort(order.begin(),
+                              order.begin() + static_cast<long>(std::min(
+                                  opts.beam_width, order.size())),
+                              order.end(),
+                              [&](std::size_t a, std::size_t c) {
+                                  return lp[a] > lp[c];
+                              });
+            for (std::size_t i = 0;
+                 i < std::min(opts.beam_width, order.size()); ++i) {
+                cands.push_back({b, order[i],
+                                 beams[b].beam.logprob + lp[order[i]]});
+            }
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const Cand& a, const Cand& b) {
+                      return a.logprob > b.logprob;
+                  });
+        cands.resize(std::min(cands.size(), opts.beam_width));
+
+        // Materialize the surviving hypotheses (copying caches).
+        std::vector<Hypothesis> next;
+        for (const Cand& c : cands) {
+            Hypothesis h;
+            h.beam = beams[c.beam_idx].beam; // cache copy
+            h.beam.tokens.push_back(c.token);
+            h.beam.logprob = c.logprob;
+            h.logprobs =
+                stepToken(h.beam, c.token, position, opts.policy);
+            next.push_back(std::move(h));
+        }
+        beams = std::move(next);
+
+        // Cascade pruning of the shared prompt context.
+        std::vector<Beam> all;
+        all.reserve(beams.size());
+        for (auto& h : beams)
+            all.push_back(std::move(h.beam));
+        pruneCaches(all, opts.policy, position + 1, prompt.size());
+        for (std::size_t b = 0; b < beams.size(); ++b)
+            beams[b].beam = std::move(all[b]);
+    }
+
+    GenerateResult res;
+    const Hypothesis& best = beams.front();
+    res.tokens = best.beam.tokens;
+    res.logprob = best.beam.logprob;
+    res.heads_alive = heads_alive_.size();
+    const std::size_t ctx = prompt.size() + opts.max_new_tokens;
+    res.final_keys_frac =
+        static_cast<double>(best.beam.caches.back().pos.size()) /
+        static_cast<double>(ctx);
+    res.lsb_fraction = total_rows_ > 0 ? flat_rows_ / total_rows_ : 0.0;
+    res.lsb_refetches = lsb_refetches_;
+    return res;
+}
+
+} // namespace spatten

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Autoregressive generation with per-layer KV caches and on-the-fly
+ * SpAtten pruning (Fig. 3 right, §III-A).
+ *
+ * Each transformer layer owns a K/V cache that grows by one row per
+ * generated token (the "Concat K,V" box of Fig. 3). Cumulative token
+ * importance is accumulated across layers *and* generation iterations;
+ * cascade pruning physically erases pruned rows from the caches, so a
+ * pruned token is never fetched again — including under beam search,
+ * where the prompt caches are shared semantics ("when a token is pruned
+ * it will not be used by any beams", §V-B).
+ */
+#ifndef SPATTEN_NN_GENERATION_HPP
+#define SPATTEN_NN_GENERATION_HPP
+
+#include <vector>
+
+#include "core/importance.hpp"
+#include "nn/transformer.hpp"
+#include "quant/bitplane.hpp"
+
+namespace spatten {
+
+/** Options for GenerativeRunner::generate. */
+struct GenerateOptions
+{
+    std::size_t max_new_tokens = 8;
+    std::size_t beam_width = 1; ///< 1 = greedy decoding.
+    PruningPolicy policy;       ///< KV pruning applied on the fly.
+};
+
+/** Result of a generation run. */
+struct GenerateResult
+{
+    std::vector<std::size_t> tokens; ///< Generated continuation.
+    double logprob = 0.0;            ///< Sum log-prob of the best beam.
+    double final_keys_frac = 1.0;    ///< Cached keys alive at the end
+                                     ///< (deepest layer) / context length.
+    std::size_t heads_alive = 0;     ///< Heads alive after head pruning.
+    /// Fraction of attention rows whose max probability fell below the
+    /// policy's progressive-quantization threshold (i.e. would have
+    /// triggered an LSB refetch on SpAtten; paper average: 5.9%).
+    double lsb_fraction = 0.0;
+    double lsb_refetches = 0.0; ///< Actual LSB recompute passes taken.
+};
+
+/**
+ * Generation engine over a trained TransformerModel. The model is only
+ * read; all mutable state (caches, importance, alive sets) lives here.
+ */
+class GenerativeRunner
+{
+  public:
+    explicit GenerativeRunner(const TransformerModel& model);
+
+    /** Generate a continuation of @p prompt. */
+    GenerateResult generate(const std::vector<std::size_t>& prompt,
+                            const GenerateOptions& opts);
+
+  private:
+    struct LayerCache
+    {
+        std::vector<std::vector<float>> k; ///< Cached key rows (fp32).
+        std::vector<std::vector<float>> v; ///< Cached value rows.
+        std::vector<std::size_t> pos;      ///< Global position per row.
+        /// Quantized key planes (only when the policy enables
+        /// progressive quantization): MSBs are used for the eager score
+        /// pass, MSB+LSB for the recompute pass.
+        std::vector<BitplaneTensor> kq;
+    };
+
+    /** One beam hypothesis: its caches and its score. */
+    struct Beam
+    {
+        std::vector<LayerCache> caches; ///< One per layer.
+        std::vector<std::size_t> tokens;
+        double logprob = 0.0;
+    };
+
+    /**
+     * Run one token through all layers, appending to the beam's caches.
+     * @return the next-token log-probabilities (vocab-sized).
+     */
+    std::vector<double> stepToken(Beam& beam, std::size_t token,
+                                  std::size_t position,
+                                  const PruningPolicy& policy);
+
+    /** Apply cascade pruning against the schedule-implied targets. */
+    void pruneCaches(std::vector<Beam>& beams, const PruningPolicy& policy,
+                     std::size_t context_len, std::size_t prompt_len);
+
+    const TransformerModel& model_;
+    double flat_rows_ = 0.0;
+    double total_rows_ = 0.0;
+    double lsb_refetches_ = 0.0;
+    TokenImportanceAccumulator token_acc_;
+    HeadImportanceAccumulator head_acc_;
+    std::vector<std::size_t> heads_alive_;
+    PruningSchedule token_sched_;
+    PruningSchedule head_sched_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_NN_GENERATION_HPP

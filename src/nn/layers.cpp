@@ -1,0 +1,242 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+
+Linear::Linear(std::string name, std::size_t in, std::size_t out,
+               Prng& prng)
+    : in_(in),
+      out_(out),
+      w_(name + ".w",
+         Tensor::randn({in, out}, prng, 0.0f,
+                       std::sqrt(2.0f / static_cast<float>(in + out)))),
+      b_(name + ".b", Tensor({out}))
+{
+}
+
+Tensor
+Linear::forward(const Tensor& x) const
+{
+    return ops::addRowBias(ops::matmul(x, w_.value), b_.value);
+}
+
+Tensor
+Linear::backward(const Tensor& x, const Tensor& dy)
+{
+    SPATTEN_ASSERT(x.dim(0) == dy.dim(0) && dy.dim(1) == out_,
+                   "linear backward shape mismatch");
+    // dW += x^T dy; db += column sums of dy; dx = dy W^T.
+    const std::size_t n = x.dim(0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < in_; ++k) {
+            const float xv = x.at(i, k);
+            if (xv == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < out_; ++j)
+                w_.grad.at(k, j) += xv * dy.at(i, j);
+        }
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < out_; ++j)
+            b_.grad[j] += dy.at(i, j);
+    return ops::matmulTransposedB(dy, w_.value);
+}
+
+void
+Linear::collectParams(std::vector<Param*>& out)
+{
+    out.push_back(&w_);
+    out.push_back(&b_);
+}
+
+LayerNorm::LayerNorm(std::string name, std::size_t dim)
+    : dim_(dim),
+      gamma_(name + ".gamma", Tensor({dim}, 1.0f)),
+      beta_(name + ".beta", Tensor({dim}))
+{
+}
+
+Tensor
+LayerNorm::forward(const Tensor& x, Cache& cache) const
+{
+    SPATTEN_ASSERT(x.ndim() == 2 && x.dim(1) == dim_, "layernorm input %s",
+                   x.shapeStr().c_str());
+    const std::size_t n = x.dim(0);
+    cache.xhat = Tensor({n, dim_});
+    cache.inv_std.assign(n, 0.0f);
+    Tensor y({n, dim_});
+    for (std::size_t i = 0; i < n; ++i) {
+        double mean = 0.0;
+        for (std::size_t j = 0; j < dim_; ++j)
+            mean += x.at(i, j);
+        mean /= static_cast<double>(dim_);
+        double var = 0.0;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const double d = x.at(i, j) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(dim_);
+        const float inv = static_cast<float>(1.0 / std::sqrt(var + eps_));
+        cache.inv_std[i] = inv;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float xh =
+                (x.at(i, j) - static_cast<float>(mean)) * inv;
+            cache.xhat.at(i, j) = xh;
+            y.at(i, j) = xh * gamma_.value[j] + beta_.value[j];
+        }
+    }
+    return y;
+}
+
+Tensor
+LayerNorm::backward(const Cache& cache, const Tensor& dy)
+{
+    const std::size_t n = dy.dim(0);
+    SPATTEN_ASSERT(dy.dim(1) == dim_ && cache.xhat.dim(0) == n,
+                   "layernorm backward shapes");
+    Tensor dx({n, dim_});
+    const double dinv = 1.0 / static_cast<double>(dim_);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const float dxhat = dy.at(i, j) * gamma_.value[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * cache.xhat.at(i, j);
+            gamma_.grad[j] += dy.at(i, j) * cache.xhat.at(i, j);
+            beta_.grad[j] += dy.at(i, j);
+        }
+        for (std::size_t j = 0; j < dim_; ++j) {
+            const double dxhat = dy.at(i, j) * gamma_.value[j];
+            dx.at(i, j) = static_cast<float>(
+                cache.inv_std[i] *
+                (dxhat - dinv * sum_dxhat -
+                 cache.xhat.at(i, j) * dinv * sum_dxhat_xhat));
+        }
+    }
+    return dx;
+}
+
+void
+LayerNorm::collectParams(std::vector<Param*>& out)
+{
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+}
+
+Embedding::Embedding(std::string name, std::size_t vocab, std::size_t dim,
+                     std::size_t max_len, Prng& prng)
+    : vocab_(vocab),
+      dim_(dim),
+      max_len_(max_len),
+      tok_(name + ".tok", Tensor::randn({vocab, dim}, prng, 0.0f, 0.1f)),
+      pos_(name + ".pos", Tensor::randn({max_len, dim}, prng, 0.0f, 0.1f))
+{
+}
+
+Tensor
+Embedding::forward(const std::vector<std::size_t>& ids) const
+{
+    SPATTEN_ASSERT(ids.size() <= max_len_, "sequence %zu exceeds max %zu",
+                   ids.size(), max_len_);
+    Tensor out({ids.size(), dim_});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        SPATTEN_ASSERT(ids[i] < vocab_, "token id %zu out of vocab %zu",
+                       ids[i], vocab_);
+        for (std::size_t j = 0; j < dim_; ++j)
+            out.at(i, j) =
+                tok_.value.at(ids[i], j) + pos_.value.at(i, j);
+    }
+    return out;
+}
+
+Tensor
+Embedding::forwardOne(std::size_t id, std::size_t pos) const
+{
+    SPATTEN_ASSERT(id < vocab_ && pos < max_len_,
+                   "token %zu / position %zu out of range", id, pos);
+    Tensor out({1, dim_});
+    for (std::size_t j = 0; j < dim_; ++j)
+        out.at(0, j) = tok_.value.at(id, j) + pos_.value.at(pos, j);
+    return out;
+}
+
+void
+Embedding::backward(const std::vector<std::size_t>& ids, const Tensor& dy)
+{
+    SPATTEN_ASSERT(dy.dim(0) == ids.size() && dy.dim(1) == dim_,
+                   "embedding backward shapes");
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        for (std::size_t j = 0; j < dim_; ++j) {
+            tok_.grad.at(ids[i], j) += dy.at(i, j);
+            pos_.grad.at(i, j) += dy.at(i, j);
+        }
+}
+
+void
+Embedding::collectParams(std::vector<Param*>& out)
+{
+    out.push_back(&tok_);
+    out.push_back(&pos_);
+}
+
+Tensor
+reluForward(const Tensor& x)
+{
+    return ops::relu(x);
+}
+
+Tensor
+reluBackward(const Tensor& x, const Tensor& dy)
+{
+    SPATTEN_ASSERT(x.sameShape(dy), "relu backward shapes");
+    Tensor dx(x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+    return dx;
+}
+
+double
+softmaxCrossEntropy(const Tensor& logits,
+                    const std::vector<std::size_t>& labels,
+                    Tensor& d_logits)
+{
+    SPATTEN_ASSERT(logits.ndim() == 2 && logits.dim(0) == labels.size(),
+                   "loss shapes: %s vs %zu labels",
+                   logits.shapeStr().c_str(), labels.size());
+    const std::size_t n = logits.dim(0), c = logits.dim(1);
+    const Tensor prob = ops::softmaxRows(logits);
+    d_logits = prob;
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        SPATTEN_ASSERT(labels[i] < c, "label %zu out of %zu", labels[i], c);
+        loss -= std::log(
+            std::max(prob.at(i, labels[i]), 1e-12f));
+        d_logits.at(i, labels[i]) -= 1.0f;
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < d_logits.numel(); ++i)
+        d_logits[i] *= inv_n;
+    return loss / static_cast<double>(n);
+}
+
+Tensor
+softmaxBackwardRows(const Tensor& prob, const Tensor& dprob)
+{
+    SPATTEN_ASSERT(prob.sameShape(dprob), "softmax backward shapes");
+    const std::size_t n = prob.dim(0), c = prob.dim(1);
+    Tensor ds({n, c});
+    for (std::size_t i = 0; i < n; ++i) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < c; ++j)
+            dot += prob.at(i, j) * dprob.at(i, j);
+        for (std::size_t j = 0; j < c; ++j)
+            ds.at(i, j) = prob.at(i, j) *
+                          (dprob.at(i, j) - static_cast<float>(dot));
+    }
+    return ds;
+}
+
+} // namespace spatten

@@ -1,0 +1,257 @@
+#include "nn/memnet.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/importance.hpp"
+#include "core/pruning.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+
+MemoryNetwork::MemoryNetwork(MemNetConfig cfg)
+    : cfg_(cfg),
+      prng_(cfg.seed),
+      emb_a_key_("mem.a_key",
+                 Tensor::randn({cfg.vocab, cfg.dim}, prng_, 0.0f, 0.1f)),
+      emb_a_val_("mem.a_val",
+                 Tensor::randn({cfg.vocab, cfg.dim}, prng_, 0.0f, 0.1f)),
+      emb_c_key_("mem.c_key",
+                 Tensor::randn({cfg.vocab, cfg.dim}, prng_, 0.0f, 0.1f)),
+      emb_c_val_("mem.c_val",
+                 Tensor::randn({cfg.vocab, cfg.dim}, prng_, 0.0f, 0.1f)),
+      emb_q_("mem.q",
+             Tensor::randn({cfg.vocab, cfg.dim}, prng_, 0.0f, 0.1f)),
+      answer_("mem.answer", cfg.dim, cfg.vocab, prng_)
+{
+    SPATTEN_ASSERT(cfg_.hops >= 1, "need at least one hop");
+}
+
+Tensor
+MemoryNetwork::embedSlotsA(const std::vector<MemoryFact>& facts) const
+{
+    Tensor m({facts.size(), cfg_.dim});
+    for (std::size_t i = 0; i < facts.size(); ++i)
+        for (std::size_t j = 0; j < cfg_.dim; ++j)
+            m.at(i, j) = emb_a_key_.value.at(facts[i].key, j) +
+                         emb_a_val_.value.at(facts[i].value, j);
+    return m;
+}
+
+Tensor
+MemoryNetwork::embedSlotsC(const std::vector<MemoryFact>& facts) const
+{
+    Tensor c({facts.size(), cfg_.dim});
+    for (std::size_t i = 0; i < facts.size(); ++i)
+        for (std::size_t j = 0; j < cfg_.dim; ++j)
+            c.at(i, j) = emb_c_key_.value.at(facts[i].key, j) +
+                         emb_c_val_.value.at(facts[i].value, j);
+    return c;
+}
+
+double
+MemoryNetwork::trainStep(const MemoryQaExample& ex)
+{
+    SPATTEN_ASSERT(!ex.facts.empty(), "empty memory");
+    const std::size_t n = ex.facts.size(), d = cfg_.dim;
+    const Tensor m = embedSlotsA(ex.facts);
+    const Tensor c = embedSlotsC(ex.facts);
+
+    // ---- Forward with caches ----
+    std::vector<HopCache> hops(cfg_.hops);
+    Tensor u({1, d});
+    for (std::size_t j = 0; j < d; ++j)
+        u.at(0, j) = emb_q_.value.at(ex.query, j);
+    for (std::size_t h = 0; h < cfg_.hops; ++h) {
+        hops[h].u.assign(u.data(), u.data() + d);
+        hops[h].m = m;
+        hops[h].c = c;
+        const Tensor scores = ops::matmulTransposedB(u, m); // 1 x n
+        hops[h].prob = ops::softmaxRows(scores);
+        const Tensor o = ops::matmul(hops[h].prob, c); // 1 x d
+        u = ops::add(u, o);
+    }
+    const Tensor logits = answer_.forward(u);
+    Tensor dlogits;
+    const double loss = softmaxCrossEntropy(logits, {ex.answer}, dlogits);
+
+    // ---- Backward ----
+    Tensor du = answer_.backward(u, dlogits); // 1 x d
+    for (std::size_t h = cfg_.hops; h-- > 0;) {
+        const HopCache& hc = hops[h];
+        // u_{h+1} = u_h + prob * c  =>  du flows to both summands.
+        const Tensor& prob = hc.prob;
+        // dprob = du * c^T  (1 x n); dc_i += prob_i * du.
+        const Tensor dprob = ops::matmulTransposedB(du, hc.c);
+        for (std::size_t i = 0; i < n; ++i) {
+            const float p = prob.at(0, i);
+            for (std::size_t j = 0; j < d; ++j) {
+                const float g = p * du.at(0, j);
+                emb_c_key_.grad.at(ex.facts[i].key, j) += g;
+                emb_c_val_.grad.at(ex.facts[i].value, j) += g;
+            }
+        }
+        const Tensor ds = softmaxBackwardRows(prob, dprob); // 1 x n
+        // scores_i = u . m_i  =>  dm_i = ds_i * u; du += ds * m.
+        Tensor u_h({1, d});
+        for (std::size_t j = 0; j < d; ++j)
+            u_h.at(0, j) = hc.u[j];
+        for (std::size_t i = 0; i < n; ++i) {
+            const float s = ds.at(0, i);
+            for (std::size_t j = 0; j < d; ++j) {
+                const float g = s * u_h.at(0, j);
+                emb_a_key_.grad.at(ex.facts[i].key, j) += g;
+                emb_a_val_.grad.at(ex.facts[i].value, j) += g;
+            }
+        }
+        const Tensor du_scores = ops::matmul(ds, hc.m); // 1 x d
+        du = ops::add(du, du_scores);
+    }
+    for (std::size_t j = 0; j < d; ++j)
+        emb_q_.grad.at(ex.query, j) += du.at(0, j);
+
+    auto ps = params();
+    opt_.step(ps);
+    return loss;
+}
+
+std::size_t
+MemoryNetwork::predict(const MemoryQaExample& ex) const
+{
+    return predictPruned(ex, 0.0);
+}
+
+std::size_t
+MemoryNetwork::predictPruned(const MemoryQaExample& ex,
+                             double per_hop_ratio,
+                             MemPruneStats* stats) const
+{
+    SPATTEN_ASSERT(!ex.facts.empty(), "empty memory");
+    SPATTEN_ASSERT(per_hop_ratio >= 0.0 && per_hop_ratio < 1.0,
+                   "ratio %f out of [0,1)", per_hop_ratio);
+    const std::size_t n = ex.facts.size(), d = cfg_.dim;
+    const Tensor m_all = embedSlotsA(ex.facts);
+    const Tensor c_all = embedSlotsC(ex.facts);
+
+    TokenImportanceAccumulator acc(n);
+    std::vector<std::size_t> alive(n);
+    for (std::size_t i = 0; i < n; ++i)
+        alive[i] = i;
+
+    Tensor u({1, d});
+    for (std::size_t j = 0; j < d; ++j)
+        u.at(0, j) = emb_q_.value.at(ex.query, j);
+
+    for (std::size_t h = 0; h < cfg_.hops; ++h) {
+        const Tensor m = ops::gatherRows(m_all, alive);
+        const Tensor c = ops::gatherRows(c_all, alive);
+        const Tensor prob =
+            ops::softmaxRows(ops::matmulTransposedB(u, m));
+        std::vector<float> row(alive.size());
+        for (std::size_t i = 0; i < alive.size(); ++i)
+            row[i] = prob.at(0, i);
+        acc.accumulateRow(row, alive);
+        u = ops::add(u, ops::matmul(prob, c));
+
+        // Cascade slot pruning between hops (never after the last hop —
+        // its read is already done).
+        if (per_hop_ratio > 0.0 && h + 1 < cfg_.hops) {
+            const auto keep = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::ceil(
+                       alive.size() * (1.0 - per_hop_ratio))));
+            std::vector<float> scores(alive.size());
+            for (std::size_t i = 0; i < alive.size(); ++i)
+                scores[i] = acc.score(alive[i]);
+            const auto kept = topkKeepOrder(scores, keep);
+            std::vector<std::size_t> next;
+            next.reserve(kept.size());
+            for (std::size_t pos : kept)
+                next.push_back(alive[pos]);
+            alive = std::move(next);
+        }
+    }
+    if (stats) {
+        stats->slots_kept_frac =
+            static_cast<double>(alive.size()) / static_cast<double>(n);
+        stats->surviving_slots = alive;
+    }
+    const Tensor logits = answer_.forward(u);
+    return ops::argmax(logits.row(0));
+}
+
+double
+MemoryNetwork::accuracy(const std::vector<MemoryQaExample>& examples) const
+{
+    SPATTEN_ASSERT(!examples.empty(), "no examples");
+    std::size_t correct = 0;
+    for (const auto& ex : examples)
+        correct += predictPruned(ex, 0.0) == ex.answer;
+    return static_cast<double>(correct) /
+           static_cast<double>(examples.size());
+}
+
+double
+MemoryNetwork::accuracyPruned(const std::vector<MemoryQaExample>& examples,
+                              double per_hop_ratio,
+                              double* mean_kept) const
+{
+    SPATTEN_ASSERT(!examples.empty(), "no examples");
+    std::size_t correct = 0;
+    double kept = 0.0;
+    for (const auto& ex : examples) {
+        MemPruneStats st;
+        correct += predictPruned(ex, per_hop_ratio, &st) == ex.answer;
+        kept += st.slots_kept_frac;
+    }
+    if (mean_kept)
+        *mean_kept = kept / static_cast<double>(examples.size());
+    return static_cast<double>(correct) /
+           static_cast<double>(examples.size());
+}
+
+std::vector<Param*>
+MemoryNetwork::params()
+{
+    std::vector<Param*> out{&emb_a_key_, &emb_a_val_, &emb_c_key_,
+                            &emb_c_val_, &emb_q_};
+    answer_.collectParams(out);
+    return out;
+}
+
+MemoryQaTask::MemoryQaTask(Config cfg) : cfg_(cfg), prng_(cfg.seed)
+{
+    SPATTEN_ASSERT(cfg_.num_slots >= 2 && cfg_.num_keys >= 2 &&
+                       cfg_.num_values >= 2,
+                   "task too small");
+}
+
+std::vector<MemoryQaExample>
+MemoryQaTask::sample(std::size_t n)
+{
+    std::vector<MemoryQaExample> out;
+    out.reserve(n);
+    for (std::size_t e = 0; e < n; ++e) {
+        MemoryQaExample ex;
+        // Distinct keys per slot so the query is unambiguous.
+        std::vector<std::size_t> keys(cfg_.num_keys);
+        for (std::size_t i = 0; i < cfg_.num_keys; ++i)
+            keys[i] = i;
+        for (std::size_t i = cfg_.num_keys; i > 1; --i)
+            std::swap(keys[i - 1], keys[prng_.below(i)]);
+        const std::size_t slots =
+            std::min(cfg_.num_slots, cfg_.num_keys);
+        ex.facts.resize(slots);
+        for (std::size_t s = 0; s < slots; ++s) {
+            ex.facts[s].key = keys[s];
+            ex.facts[s].value =
+                cfg_.num_keys + prng_.below(cfg_.num_values);
+        }
+        const std::size_t target = prng_.below(slots);
+        ex.query = ex.facts[target].key;
+        ex.answer = ex.facts[target].value;
+        out.push_back(std::move(ex));
+    }
+    return out;
+}
+
+} // namespace spatten

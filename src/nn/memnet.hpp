@@ -1,0 +1,140 @@
+/**
+ * @file
+ * End-to-end memory network (Sukhbaatar et al., the paper's ref [101])
+ * with SpAtten-style memory-slot pruning — the generalization the paper
+ * proposes in §VI: "Our token pruning idea can also be generalized to
+ * Memory-Augmented Networks to remove unimportant memory vectors and
+ * improve efficiency."
+ *
+ * The model is a K-hop MemN2N over (key, value) fact slots: each hop
+ * attends over memory with softmax(u · m_i), reads o = sum p_i c_i and
+ * updates u <- u + o; an answer head classifies the final state. Slot
+ * pruning accumulates attention probabilities across hops (the cumulative
+ * importance of Alg. 2, with memory slots playing the role of tokens) and
+ * drops the lowest-scoring slots between hops — cascade semantics: a
+ * pruned slot never returns.
+ */
+#ifndef SPATTEN_NN_MEMNET_HPP
+#define SPATTEN_NN_MEMNET_HPP
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace spatten {
+
+/** One (key, value) fact. */
+struct MemoryFact
+{
+    std::size_t key = 0;
+    std::size_t value = 0;
+};
+
+/** One QA example: facts + query key + expected value. */
+struct MemoryQaExample
+{
+    std::vector<MemoryFact> facts;
+    std::size_t query = 0;
+    std::size_t answer = 0;
+};
+
+/** Model shape. */
+struct MemNetConfig
+{
+    std::size_t vocab = 32;  ///< Shared key/value/query vocabulary.
+    std::size_t dim = 24;    ///< Embedding dimension.
+    std::size_t hops = 2;    ///< Attention hops.
+    std::uint64_t seed = 55;
+};
+
+/** Statistics of one pruned QA forward pass. */
+struct MemPruneStats
+{
+    double slots_kept_frac = 1.0;
+    std::vector<std::size_t> surviving_slots; ///< After the last hop.
+};
+
+/** Trainable end-to-end memory network with slot pruning. */
+class MemoryNetwork
+{
+  public:
+    explicit MemoryNetwork(MemNetConfig cfg);
+
+    const MemNetConfig& config() const { return cfg_; }
+
+    /** One training example (forward + backward + Adam step). */
+    double trainStep(const MemoryQaExample& ex);
+
+    /** Dense answer prediction. */
+    std::size_t predict(const MemoryQaExample& ex) const;
+
+    /**
+     * Prediction with cascade memory-slot pruning: after each hop,
+     * keep ceil((1 - ratio) * alive) slots by cumulative attention.
+     * @param per_hop_ratio fraction pruned between hops.
+     */
+    std::size_t predictPruned(const MemoryQaExample& ex,
+                              double per_hop_ratio,
+                              MemPruneStats* stats = nullptr) const;
+
+    /** Mean accuracy helpers. */
+    double accuracy(const std::vector<MemoryQaExample>& examples) const;
+    double accuracyPruned(const std::vector<MemoryQaExample>& examples,
+                          double per_hop_ratio,
+                          double* mean_kept = nullptr) const;
+
+    std::vector<Param*> params();
+
+  private:
+    /** Forward to the final state; caches per-hop data when training. */
+    struct HopCache
+    {
+        std::vector<float> u;       ///< Query state entering the hop.
+        Tensor prob;                ///< 1 x slots attention.
+        Tensor m;                   ///< slots x dim input memory.
+        Tensor c;                   ///< slots x dim output memory.
+    };
+    Tensor embedSlotsA(const std::vector<MemoryFact>& facts) const;
+    Tensor embedSlotsC(const std::vector<MemoryFact>& facts) const;
+
+    MemNetConfig cfg_;
+    Prng prng_;
+    Param emb_a_key_, emb_a_val_; ///< Input memory embeddings.
+    Param emb_c_key_, emb_c_val_; ///< Output memory embeddings.
+    Param emb_q_;                 ///< Query embedding.
+    Linear answer_;               ///< Answer head over the final state.
+    AdamOptimizer opt_;
+};
+
+/** Synthetic QA task generator: one relevant fact among noise slots. */
+class MemoryQaTask
+{
+  public:
+    struct Config
+    {
+        std::size_t num_keys = 12;
+        std::size_t num_values = 12;
+        std::size_t num_slots = 16; ///< 1 relevant + noise.
+        std::uint64_t seed = 77;
+    };
+
+    MemoryQaTask() : MemoryQaTask(Config{}) {}
+    explicit MemoryQaTask(Config cfg);
+
+    std::size_t vocabSize() const
+    {
+        return cfg_.num_keys + cfg_.num_values;
+    }
+
+    std::vector<MemoryQaExample> sample(std::size_t n);
+
+    const Config& config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    Prng prng_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_NN_MEMNET_HPP

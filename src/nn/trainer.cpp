@@ -1,0 +1,136 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/prng.hpp"
+
+namespace spatten {
+
+namespace {
+
+std::vector<std::size_t>
+shuffledOrder(std::size_t n, Prng& prng)
+{
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[prng.below(i)]);
+    return order;
+}
+
+void
+accumulateStats(PrunedRunStats& mean, const PrunedRunStats& s, double w)
+{
+    mean.tokens_kept_frac += s.tokens_kept_frac * w;
+    mean.heads_kept_frac += s.heads_kept_frac * w;
+    mean.avg_keys_frac += s.avg_keys_frac * w;
+    mean.lsb_fraction += s.lsb_fraction * w;
+}
+
+} // namespace
+
+double
+trainClassifier(TransformerModel& model,
+                const std::vector<ClassifyExample>& examples,
+                std::size_t epochs, std::uint64_t shuffle_seed)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no training examples");
+    Prng prng(shuffle_seed);
+    double last_epoch_loss = 0.0;
+    for (std::size_t e = 0; e < epochs; ++e) {
+        double loss_sum = 0.0;
+        for (std::size_t i : shuffledOrder(examples.size(), prng)) {
+            loss_sum += model.trainStepClassify(examples[i].ids,
+                                                examples[i].label);
+        }
+        last_epoch_loss = loss_sum / static_cast<double>(examples.size());
+    }
+    return last_epoch_loss;
+}
+
+double
+classifierAccuracy(const TransformerModel& model,
+                   const std::vector<ClassifyExample>& examples)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no eval examples");
+    std::size_t correct = 0;
+    for (const auto& ex : examples)
+        correct += model.predictClass(ex.ids) == ex.label;
+    return static_cast<double>(correct) /
+           static_cast<double>(examples.size());
+}
+
+double
+classifierAccuracyPruned(const TransformerModel& model,
+                         const std::vector<ClassifyExample>& examples,
+                         const PruningPolicy& policy,
+                         PrunedRunStats* mean_stats)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no eval examples");
+    std::size_t correct = 0;
+    PrunedRunStats mean;
+    mean.tokens_kept_frac = mean.heads_kept_frac = mean.avg_keys_frac =
+        mean.lsb_fraction = 0.0;
+    const double w = 1.0 / static_cast<double>(examples.size());
+    for (const auto& ex : examples) {
+        PrunedRunStats s;
+        correct += model.predictClassPruned(ex.ids, policy, &s) == ex.label;
+        accumulateStats(mean, s, w);
+    }
+    if (mean_stats)
+        *mean_stats = mean;
+    return static_cast<double>(correct) /
+           static_cast<double>(examples.size());
+}
+
+double
+trainLm(TransformerModel& model, const std::vector<LmExample>& examples,
+        std::size_t epochs, std::uint64_t shuffle_seed)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no training examples");
+    Prng prng(shuffle_seed);
+    double last_epoch_loss = 0.0;
+    for (std::size_t e = 0; e < epochs; ++e) {
+        double loss_sum = 0.0;
+        for (std::size_t i : shuffledOrder(examples.size(), prng))
+            loss_sum += model.trainStepLm(examples[i].ids);
+        last_epoch_loss = loss_sum / static_cast<double>(examples.size());
+    }
+    return last_epoch_loss;
+}
+
+double
+lmMeanLoss(const TransformerModel& model,
+           const std::vector<LmExample>& examples)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no eval examples");
+    double loss = 0.0;
+    for (const auto& ex : examples)
+        loss += model.lmLoss(ex.ids);
+    return loss / static_cast<double>(examples.size());
+}
+
+double
+lmMeanLossPruned(const TransformerModel& model,
+                 const std::vector<LmExample>& examples,
+                 const PruningPolicy& policy, PrunedRunStats* mean_stats)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no eval examples");
+    double loss = 0.0;
+    PrunedRunStats mean;
+    mean.tokens_kept_frac = mean.heads_kept_frac = mean.avg_keys_frac =
+        mean.lsb_fraction = 0.0;
+    const double w = 1.0 / static_cast<double>(examples.size());
+    for (const auto& ex : examples) {
+        PrunedRunStats s;
+        loss += model.lmLossPruned(ex.ids, policy, &s);
+        accumulateStats(mean, s, w);
+    }
+    if (mean_stats)
+        *mean_stats = mean;
+    return loss / static_cast<double>(examples.size());
+}
+
+} // namespace spatten

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Training and evaluation loops for the tiny transformer substrate:
+ * classification (BERT-style) and causal language modeling (GPT-2-style),
+ * with dense and SpAtten-pruned evaluation paths.
+ */
+#ifndef SPATTEN_NN_TRAINER_HPP
+#define SPATTEN_NN_TRAINER_HPP
+
+#include <vector>
+
+#include "nn/transformer.hpp"
+
+namespace spatten {
+
+/** One classification example. */
+struct ClassifyExample
+{
+    std::vector<std::size_t> ids;
+    std::size_t label = 0;
+};
+
+/** One language-modeling example. */
+struct LmExample
+{
+    std::vector<std::size_t> ids;
+};
+
+/**
+ * Train a classifier for @p epochs passes over @p examples (shuffled
+ * deterministically). @return mean loss of the final epoch.
+ */
+double trainClassifier(TransformerModel& model,
+                       const std::vector<ClassifyExample>& examples,
+                       std::size_t epochs, std::uint64_t shuffle_seed = 7);
+
+/** Dense classification accuracy in [0, 1]. */
+double classifierAccuracy(const TransformerModel& model,
+                          const std::vector<ClassifyExample>& examples);
+
+/**
+ * Classification accuracy under a SpAtten pruning policy.
+ * @param mean_stats optional: averaged pruning statistics.
+ */
+double classifierAccuracyPruned(const TransformerModel& model,
+                                const std::vector<ClassifyExample>& examples,
+                                const PruningPolicy& policy,
+                                PrunedRunStats* mean_stats = nullptr);
+
+/** Train a causal LM; @return mean loss of the final epoch. */
+double trainLm(TransformerModel& model,
+               const std::vector<LmExample>& examples, std::size_t epochs,
+               std::uint64_t shuffle_seed = 7);
+
+/** Dense mean next-token loss (perplexity = exp of this). */
+double lmMeanLoss(const TransformerModel& model,
+                  const std::vector<LmExample>& examples);
+
+/** Mean next-token loss under a SpAtten pruning policy. */
+double lmMeanLossPruned(const TransformerModel& model,
+                        const std::vector<LmExample>& examples,
+                        const PruningPolicy& policy,
+                        PrunedRunStats* mean_stats = nullptr);
+
+} // namespace spatten
+
+#endif // SPATTEN_NN_TRAINER_HPP

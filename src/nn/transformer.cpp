@@ -1,0 +1,632 @@
+#include "nn/transformer.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/importance.hpp"
+#include "core/pruning.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+
+namespace {
+
+constexpr float kMaskValue = -1e9f;
+
+} // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name,
+                                               std::size_t d_model,
+                                               std::size_t heads,
+                                               Prng& prng)
+    : d_model_(d_model),
+      heads_(heads),
+      wq_(name + ".wq", d_model, d_model, prng),
+      wk_(name + ".wk", d_model, d_model, prng),
+      wv_(name + ".wv", d_model, d_model, prng),
+      wo_(name + ".wo", d_model, d_model, prng)
+{
+    SPATTEN_ASSERT(heads > 0 && d_model % heads == 0,
+                   "d_model %zu %% heads %zu != 0", d_model, heads);
+}
+
+Tensor
+MultiHeadSelfAttention::forward(const Tensor& x, bool causal,
+                                Cache& cache) const
+{
+    const std::size_t l = x.dim(0), d = headDim();
+    cache.x = x;
+    cache.q = wq_.forward(x);
+    cache.k = wk_.forward(x);
+    cache.v = wv_.forward(x);
+    cache.probs.clear();
+    cache.concat = Tensor({l, d_model_});
+    const float inv = 1.0f / std::sqrt(static_cast<float>(d));
+    for (std::size_t h = 0; h < heads_; ++h) {
+        const Tensor qh = ops::sliceCols(cache.q, h * d, (h + 1) * d);
+        const Tensor kh = ops::sliceCols(cache.k, h * d, (h + 1) * d);
+        const Tensor vh = ops::sliceCols(cache.v, h * d, (h + 1) * d);
+        Tensor scores = ops::scale(ops::matmulTransposedB(qh, kh), inv);
+        if (causal) {
+            for (std::size_t i = 0; i < l; ++i)
+                for (std::size_t j = i + 1; j < l; ++j)
+                    scores.at(i, j) = kMaskValue;
+        }
+        const Tensor prob = ops::softmaxRows(scores);
+        const Tensor eh = ops::matmul(prob, vh);
+        for (std::size_t i = 0; i < l; ++i)
+            for (std::size_t j = 0; j < d; ++j)
+                cache.concat.at(i, h * d + j) = eh.at(i, j);
+        cache.probs.push_back(prob);
+    }
+    return wo_.forward(cache.concat);
+}
+
+Tensor
+MultiHeadSelfAttention::backward(const Cache& cache, const Tensor& dy,
+                                 bool causal)
+{
+    (void)causal; // masked entries have prob 0, so their grads vanish.
+    const std::size_t l = cache.x.dim(0), d = headDim();
+    const Tensor dconcat = wo_.backward(cache.concat, dy);
+    Tensor dq({l, d_model_}), dk({l, d_model_}), dv({l, d_model_});
+    const float inv = 1.0f / std::sqrt(static_cast<float>(d));
+    for (std::size_t h = 0; h < heads_; ++h) {
+        const Tensor qh = ops::sliceCols(cache.q, h * d, (h + 1) * d);
+        const Tensor kh = ops::sliceCols(cache.k, h * d, (h + 1) * d);
+        const Tensor vh = ops::sliceCols(cache.v, h * d, (h + 1) * d);
+        const Tensor de = ops::sliceCols(dconcat, h * d, (h + 1) * d);
+        const Tensor& prob = cache.probs[h];
+
+        const Tensor dprob = ops::matmulTransposedB(de, vh);
+        const Tensor dvh = ops::matmul(ops::transpose(prob), de);
+        const Tensor ds =
+            ops::scale(softmaxBackwardRows(prob, dprob), inv);
+        const Tensor dqh = ops::matmul(ds, kh);
+        const Tensor dkh = ops::matmul(ops::transpose(ds), qh);
+        for (std::size_t i = 0; i < l; ++i)
+            for (std::size_t j = 0; j < d; ++j) {
+                dq.at(i, h * d + j) = dqh.at(i, j);
+                dk.at(i, h * d + j) = dkh.at(i, j);
+                dv.at(i, h * d + j) = dvh.at(i, j);
+            }
+    }
+    Tensor dx = wq_.backward(cache.x, dq);
+    dx = ops::add(dx, wk_.backward(cache.x, dk));
+    dx = ops::add(dx, wv_.backward(cache.x, dv));
+    return dx;
+}
+
+void
+MultiHeadSelfAttention::collectParams(std::vector<Param*>& out)
+{
+    wq_.collectParams(out);
+    wk_.collectParams(out);
+    wv_.collectParams(out);
+    wo_.collectParams(out);
+}
+
+TransformerBlock::TransformerBlock(std::string name, std::size_t d_model,
+                                   std::size_t heads, std::size_t ffn_dim,
+                                   Prng& prng)
+    : attn_(name + ".attn", d_model, heads, prng),
+      fc1_(name + ".fc1", d_model, ffn_dim, prng),
+      fc2_(name + ".fc2", ffn_dim, d_model, prng),
+      ln1_(name + ".ln1", d_model),
+      ln2_(name + ".ln2", d_model)
+{
+}
+
+Tensor
+TransformerBlock::forward(const Tensor& x, bool causal, Cache& cache) const
+{
+    cache.x = x;
+    const Tensor attn_out = attn_.forward(x, causal, cache.attn);
+    cache.res1 = ops::add(x, attn_out);
+    cache.y = ln1_.forward(cache.res1, cache.ln1);
+    cache.hidden_pre = fc1_.forward(cache.y);
+    cache.hidden = reluForward(cache.hidden_pre);
+    const Tensor ff = fc2_.forward(cache.hidden);
+    cache.res2 = ops::add(cache.y, ff);
+    return ln2_.forward(cache.res2, cache.ln2);
+}
+
+Tensor
+TransformerBlock::backward(const Cache& cache, const Tensor& dz,
+                           bool causal)
+{
+    const Tensor dres2 = ln2_.backward(cache.ln2, dz);
+    const Tensor dhidden = fc2_.backward(cache.hidden, dres2);
+    const Tensor dhidden_pre = reluBackward(cache.hidden_pre, dhidden);
+    const Tensor dy_ffn = fc1_.backward(cache.y, dhidden_pre);
+    const Tensor dy = ops::add(dres2, dy_ffn); // residual
+    const Tensor dres1 = ln1_.backward(cache.ln1, dy);
+    const Tensor dx_attn = attn_.backward(cache.attn, dres1, causal);
+    return ops::add(dres1, dx_attn); // residual
+}
+
+void
+TransformerBlock::collectParams(std::vector<Param*>& out)
+{
+    attn_.collectParams(out);
+    fc1_.collectParams(out);
+    fc2_.collectParams(out);
+    ln1_.collectParams(out);
+    ln2_.collectParams(out);
+}
+
+TransformerModel::TransformerModel(TinyModelConfig cfg)
+    : cfg_(cfg),
+      prng_(cfg.seed),
+      embed_("embed", cfg.vocab, cfg.d_model, cfg.max_len, prng_),
+      cls_head_("cls_head", cfg.d_model, cfg.num_classes, prng_),
+      lm_head_("lm_head", cfg.d_model, cfg.vocab, prng_)
+{
+    blocks_.reserve(cfg.layers);
+    for (std::size_t i = 0; i < cfg.layers; ++i)
+        blocks_.emplace_back(strfmt("block%zu", i), cfg.d_model,
+                             cfg.heads, cfg.ffn_dim, prng_);
+}
+
+Tensor
+TransformerModel::forwardHidden(const std::vector<std::size_t>& ids,
+                                bool causal, ForwardCache& cache) const
+{
+    cache.embedded = embed_.forward(ids);
+    cache.blocks.resize(blocks_.size());
+    Tensor x = cache.embedded;
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        x = blocks_[i].forward(x, causal, cache.blocks[i]);
+    cache.final_hidden = x;
+    return x;
+}
+
+void
+TransformerModel::backwardHidden(const std::vector<std::size_t>& ids,
+                                 ForwardCache& cache,
+                                 const Tensor& d_hidden, bool causal)
+{
+    Tensor dx = d_hidden;
+    for (std::size_t i = blocks_.size(); i-- > 0;)
+        dx = blocks_[i].backward(cache.blocks[i], dx, causal);
+    embed_.backward(ids, dx);
+}
+
+double
+TransformerModel::lossClassifyGrad(const std::vector<std::size_t>& ids,
+                                   std::size_t label)
+{
+    ForwardCache cache;
+    const Tensor hidden = forwardHidden(ids, false, cache);
+    const std::size_t l = hidden.dim(0);
+    // Mean pooling over positions.
+    Tensor pooled({1, cfg_.d_model});
+    for (std::size_t i = 0; i < l; ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            pooled.at(0, j) += hidden.at(i, j) / static_cast<float>(l);
+    const Tensor logits = cls_head_.forward(pooled);
+    Tensor dlogits;
+    const double loss = softmaxCrossEntropy(logits, {label}, dlogits);
+    const Tensor dpooled = cls_head_.backward(pooled, dlogits);
+    Tensor dhidden({l, cfg_.d_model});
+    for (std::size_t i = 0; i < l; ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            dhidden.at(i, j) = dpooled.at(0, j) / static_cast<float>(l);
+    backwardHidden(ids, cache, dhidden, false);
+    return loss;
+}
+
+double
+TransformerModel::lossClassify(const std::vector<std::size_t>& ids,
+                               std::size_t label) const
+{
+    ForwardCache cache;
+    const Tensor hidden = forwardHidden(ids, false, cache);
+    const std::size_t l = hidden.dim(0);
+    Tensor pooled({1, cfg_.d_model});
+    for (std::size_t i = 0; i < l; ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            pooled.at(0, j) += hidden.at(i, j) / static_cast<float>(l);
+    const Tensor logits = cls_head_.forward(pooled);
+    Tensor dlogits;
+    return softmaxCrossEntropy(logits, {label}, dlogits);
+}
+
+double
+TransformerModel::trainStepClassify(const std::vector<std::size_t>& ids,
+                                    std::size_t label)
+{
+    const double loss = lossClassifyGrad(ids, label);
+    auto ps = params();
+    opt_.step(ps);
+    return loss;
+}
+
+double
+TransformerModel::lossLmGrad(const std::vector<std::size_t>& ids)
+{
+    SPATTEN_ASSERT(ids.size() >= 2, "LM needs at least 2 tokens");
+    ForwardCache cache;
+    const Tensor hidden = forwardHidden(ids, true, cache);
+    const std::size_t n = ids.size() - 1;
+    Tensor pred_in({n, cfg_.d_model});
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            pred_in.at(i, j) = hidden.at(i, j);
+    const Tensor logits = lm_head_.forward(pred_in);
+    std::vector<std::size_t> targets(ids.begin() + 1, ids.end());
+    Tensor dlogits;
+    const double loss = softmaxCrossEntropy(logits, targets, dlogits);
+    const Tensor dpred = lm_head_.backward(pred_in, dlogits);
+    Tensor dhidden({ids.size(), cfg_.d_model});
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            dhidden.at(i, j) = dpred.at(i, j);
+    backwardHidden(ids, cache, dhidden, true);
+    return loss;
+}
+
+double
+TransformerModel::trainStepLm(const std::vector<std::size_t>& ids)
+{
+    const double loss = lossLmGrad(ids);
+    auto ps = params();
+    opt_.step(ps);
+    return loss;
+}
+
+void
+TransformerModel::zeroGrads()
+{
+    for (Param* p : params())
+        p->zeroGrad();
+}
+
+std::size_t
+TransformerModel::predictClass(const std::vector<std::size_t>& ids) const
+{
+    ForwardCache cache;
+    const Tensor hidden = forwardHidden(ids, false, cache);
+    Tensor pooled({1, cfg_.d_model});
+    for (std::size_t i = 0; i < hidden.dim(0); ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            pooled.at(0, j) +=
+                hidden.at(i, j) / static_cast<float>(hidden.dim(0));
+    const Tensor logits = cls_head_.forward(pooled);
+    return ops::argmax(logits.row(0));
+}
+
+double
+TransformerModel::lmLoss(const std::vector<std::size_t>& ids) const
+{
+    ForwardCache cache;
+    const Tensor hidden = forwardHidden(ids, true, cache);
+    const std::size_t n = ids.size() - 1;
+    Tensor pred_in({n, cfg_.d_model});
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            pred_in.at(i, j) = hidden.at(i, j);
+    const Tensor logits = lm_head_.forward(pred_in);
+    std::vector<std::size_t> targets(ids.begin() + 1, ids.end());
+    Tensor dlogits;
+    return softmaxCrossEntropy(logits, targets, dlogits);
+}
+
+std::vector<Param*>
+TransformerModel::params()
+{
+    std::vector<Param*> out;
+    embed_.collectParams(out);
+    for (auto& b : blocks_)
+        b.collectParams(out);
+    cls_head_.collectParams(out);
+    lm_head_.collectParams(out);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// SpAtten-pruned inference
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** LayerNorm application without touching gradients. */
+Tensor
+applyLn(const LayerNorm& ln, const Tensor& x)
+{
+    LayerNorm::Cache scratch;
+    return ln.forward(x, scratch);
+}
+
+} // namespace
+
+std::size_t
+TransformerModel::predictClassPruned(const std::vector<std::size_t>& ids,
+                                     const PruningPolicy& policy,
+                                     PrunedRunStats* stats) const
+{
+    const std::size_t l0 = ids.size();
+    const std::size_t h_total = cfg_.heads;
+    const std::size_t d = cfg_.d_model / h_total;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(d));
+
+    const PruningSchedule tok_sched =
+        policy.token_pruning
+            ? makeTokenSchedule(blocks_.size(), policy.token_avg_ratio)
+            : PruningSchedule::disabled(blocks_.size());
+    const PruningSchedule head_sched =
+        policy.head_pruning
+            ? makeHeadSchedule(blocks_.size(), policy.head_avg_ratio)
+            : PruningSchedule::disabled(blocks_.size());
+
+    TokenImportanceAccumulator acc(l0);
+    HeadImportanceAccumulator hacc(h_total);
+    CascadeTokenPruner tpruner(l0);
+    CascadeHeadPruner hpruner(h_total);
+
+    Tensor x = embed_.forward(ids); // rows follow tpruner.alive()
+    double flat_rows = 0.0, total_rows = 0.0, keys_frac_sum = 0.0;
+    PrunedRunStats local_stats;
+
+    for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+        const TransformerBlock& blk = blocks_[bi];
+        const auto& alive = tpruner.alive();
+        const std::size_t n = alive.size();
+        keys_frac_sum += static_cast<double>(n) / l0;
+        local_stats.alive_per_layer.push_back(alive);
+
+        // PoWER-BERT-style ablation: importance from this layer only.
+        if (policy.importance_mode == ImportanceMode::Instant)
+            acc.reset(l0);
+
+        const Tensor q = blk.attn_.wq_.forward(x);
+        const Tensor k = blk.attn_.wk_.forward(x);
+        const Tensor v = blk.attn_.wv_.forward(x);
+        Tensor concat({n, cfg_.d_model});
+        for (std::size_t head : hpruner.alive()) {
+            const Tensor qh = ops::sliceCols(q, head * d, (head + 1) * d);
+            const Tensor kh = ops::sliceCols(k, head * d, (head + 1) * d);
+            const Tensor vh = ops::sliceCols(v, head * d, (head + 1) * d);
+            const Tensor prob = ops::softmaxRows(
+                ops::scale(ops::matmulTransposedB(qh, kh), inv));
+            acc.accumulate(prob, alive);
+            double head_mag = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                std::vector<float> row(n);
+                for (std::size_t j = 0; j < n; ++j)
+                    row[j] = prob.at(i, j);
+                float maxp = 0.0f;
+                for (float p : row)
+                    maxp = std::max(maxp, p);
+                total_rows += 1.0;
+                if (maxp < policy.pq.max_prob_threshold)
+                    flat_rows += 1.0;
+                const auto kept =
+                    policy.local_value_pruning
+                        ? localValuePrune(row, policy.local_v_ratio)
+                        : localValuePrune(row, 0.0);
+                for (std::size_t j = 0; j < d; ++j) {
+                    float accv = 0.0f;
+                    for (std::size_t idx : kept)
+                        accv += row[idx] * vh.at(idx, j);
+                    concat.at(i, head * d + j) = accv;
+                    head_mag += std::fabs(accv);
+                }
+            }
+            hacc.accumulateAbsSum(head_mag, head);
+        }
+        const Tensor attn_out = blk.attn_.wo_.forward(concat);
+        const Tensor res1 = ops::add(x, attn_out);
+        const Tensor y = applyLn(blk.ln1_, res1);
+        const Tensor hidden = reluForward(blk.fc1_.forward(y));
+        const Tensor res2 = ops::add(y, blk.fc2_.forward(hidden));
+        x = applyLn(blk.ln2_, res2);
+
+        // Cascade pruning for the next layer.
+        if (policy.token_pruning && tok_sched.ratioAt(bi) > 0.0) {
+            if (policy.importance_mode == ImportanceMode::Random) {
+                // Ablation lower bound: random importance scores.
+                Prng rp(1000 + bi);
+                acc.reset(l0);
+                std::vector<float> rnd(l0);
+                for (auto& r : rnd)
+                    r = static_cast<float>(rp.uniform());
+                std::vector<std::size_t> all(l0);
+                for (std::size_t i = 0; i < l0; ++i)
+                    all[i] = i;
+                acc.accumulateRow(rnd, all);
+            }
+            const std::vector<std::size_t> old_alive = alive;
+            const auto& new_alive =
+                tpruner.pruneToRatio(acc, tok_sched.ratioAt(bi));
+            // Gather surviving rows of the residual stream.
+            std::vector<std::size_t> rows;
+            rows.reserve(new_alive.size());
+            std::size_t cursor = 0;
+            for (std::size_t gid : new_alive) {
+                while (old_alive[cursor] != gid)
+                    ++cursor;
+                rows.push_back(cursor);
+            }
+            x = ops::gatherRows(x, rows);
+        }
+        if (policy.head_pruning && head_sched.ratioAt(bi) > 0.0)
+            hpruner.pruneToRatio(hacc, head_sched.ratioAt(bi));
+    }
+
+    if (stats) {
+        *stats = std::move(local_stats);
+        stats->tokens_kept_frac =
+            static_cast<double>(tpruner.aliveCount()) / l0;
+        stats->heads_kept_frac =
+            static_cast<double>(hpruner.aliveCount()) / h_total;
+        stats->avg_keys_frac =
+            keys_frac_sum / static_cast<double>(blocks_.size());
+        stats->lsb_fraction =
+            total_rows > 0 ? flat_rows / total_rows : 0.0;
+        stats->surviving_tokens = tpruner.alive();
+        stats->final_token_scores = acc.scores();
+    }
+
+    // Mean-pooled classification over the survivors.
+    Tensor pooled({1, cfg_.d_model});
+    for (std::size_t i = 0; i < x.dim(0); ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            pooled.at(0, j) += x.at(i, j) / static_cast<float>(x.dim(0));
+    const Tensor logits = cls_head_.forward(pooled);
+    return ops::argmax(logits.row(0));
+}
+
+double
+TransformerModel::lmLossPruned(const std::vector<std::size_t>& ids,
+                               const PruningPolicy& policy,
+                               PrunedRunStats* stats) const
+{
+    SPATTEN_ASSERT(ids.size() >= 2, "LM needs at least 2 tokens");
+    const std::size_t l0 = ids.size();
+    const std::size_t h_total = cfg_.heads;
+    const std::size_t d = cfg_.d_model / h_total;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(d));
+
+    const PruningSchedule tok_sched =
+        policy.token_pruning
+            ? makeTokenSchedule(blocks_.size(), policy.token_avg_ratio)
+            : PruningSchedule::disabled(blocks_.size());
+    const PruningSchedule head_sched =
+        policy.head_pruning
+            ? makeHeadSchedule(blocks_.size(), policy.head_avg_ratio)
+            : PruningSchedule::disabled(blocks_.size());
+
+    TokenImportanceAccumulator acc(l0);
+    HeadImportanceAccumulator hacc(h_total);
+    CascadeTokenPruner kpruner(l0); // key-side pruning only
+    CascadeHeadPruner hpruner(h_total);
+
+    Tensor x = embed_.forward(ids); // full residual stream, all queries
+    double flat_rows = 0.0, total_rows = 0.0, keys_frac_sum = 0.0;
+    PrunedRunStats local_stats;
+
+    for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+        const TransformerBlock& blk = blocks_[bi];
+        const auto& alive_keys = kpruner.alive();
+        const std::size_t nk = alive_keys.size();
+        keys_frac_sum += static_cast<double>(nk) / l0;
+        local_stats.alive_per_layer.push_back(alive_keys);
+
+        if (policy.importance_mode == ImportanceMode::Instant)
+            acc.reset(l0);
+
+        const Tensor q = blk.attn_.wq_.forward(x);
+        const Tensor k_full = blk.attn_.wk_.forward(x);
+        const Tensor v_full = blk.attn_.wv_.forward(x);
+        const Tensor k = ops::gatherRows(k_full, alive_keys);
+        const Tensor v = ops::gatherRows(v_full, alive_keys);
+
+        Tensor concat({l0, cfg_.d_model});
+        for (std::size_t head : hpruner.alive()) {
+            const Tensor qh = ops::sliceCols(q, head * d, (head + 1) * d);
+            const Tensor kh = ops::sliceCols(k, head * d, (head + 1) * d);
+            const Tensor vh = ops::sliceCols(v, head * d, (head + 1) * d);
+            double head_mag = 0.0;
+            for (std::size_t i = 0; i < l0; ++i) {
+                // Causal: only surviving keys at positions <= i.
+                std::vector<float> scores;
+                std::vector<std::size_t> cols;
+                for (std::size_t c = 0; c < nk; ++c) {
+                    if (alive_keys[c] > i)
+                        break;
+                    float s = 0.0f;
+                    for (std::size_t j = 0; j < d; ++j)
+                        s += qh.at(i, j) * kh.at(c, j);
+                    scores.push_back(s * inv);
+                    cols.push_back(c);
+                }
+                if (scores.empty())
+                    continue; // nothing visible: head output stays zero
+                float m = scores[0];
+                for (float s : scores)
+                    m = std::max(m, s);
+                double denom = 0.0;
+                std::vector<float> prob(scores.size());
+                for (std::size_t c = 0; c < scores.size(); ++c) {
+                    prob[c] = std::exp(scores[c] - m);
+                    denom += prob[c];
+                }
+                std::vector<std::size_t> gids(cols.size());
+                for (std::size_t c = 0; c < cols.size(); ++c) {
+                    prob[c] = static_cast<float>(prob[c] / denom);
+                    gids[c] = alive_keys[cols[c]];
+                }
+                acc.accumulateRow(prob, gids);
+                float maxp = 0.0f;
+                for (float p : prob)
+                    maxp = std::max(maxp, p);
+                total_rows += 1.0;
+                if (maxp < policy.pq.max_prob_threshold)
+                    flat_rows += 1.0;
+                const auto kept =
+                    policy.local_value_pruning
+                        ? localValuePrune(prob, policy.local_v_ratio)
+                        : localValuePrune(prob, 0.0);
+                for (std::size_t j = 0; j < d; ++j) {
+                    float accv = 0.0f;
+                    for (std::size_t idx : kept)
+                        accv += prob[idx] * vh.at(cols[idx], j);
+                    concat.at(i, head * d + j) = accv;
+                    head_mag += std::fabs(accv);
+                }
+            }
+            hacc.accumulateAbsSum(head_mag, head);
+        }
+        const Tensor attn_out = blk.attn_.wo_.forward(concat);
+        const Tensor res1 = ops::add(x, attn_out);
+        const Tensor y = applyLn(blk.ln1_, res1);
+        const Tensor hidden = reluForward(blk.fc1_.forward(y));
+        const Tensor res2 = ops::add(y, blk.fc2_.forward(hidden));
+        x = applyLn(blk.ln2_, res2);
+
+        if (policy.token_pruning && tok_sched.ratioAt(bi) > 0.0) {
+            if (policy.importance_mode == ImportanceMode::Random) {
+                Prng rp(2000 + bi);
+                acc.reset(l0);
+                std::vector<float> rnd(l0);
+                for (auto& r : rnd)
+                    r = static_cast<float>(rp.uniform());
+                std::vector<std::size_t> all(l0);
+                for (std::size_t i = 0; i < l0; ++i)
+                    all[i] = i;
+                acc.accumulateRow(rnd, all);
+            }
+            kpruner.pruneToRatio(acc, tok_sched.ratioAt(bi));
+        }
+        if (policy.head_pruning && head_sched.ratioAt(bi) > 0.0)
+            hpruner.pruneToRatio(hacc, head_sched.ratioAt(bi));
+    }
+
+    if (stats) {
+        *stats = std::move(local_stats);
+        stats->tokens_kept_frac =
+            static_cast<double>(kpruner.aliveCount()) / l0;
+        stats->heads_kept_frac =
+            static_cast<double>(hpruner.aliveCount()) / h_total;
+        stats->avg_keys_frac =
+            keys_frac_sum / static_cast<double>(blocks_.size());
+        stats->lsb_fraction =
+            total_rows > 0 ? flat_rows / total_rows : 0.0;
+        stats->surviving_tokens = kpruner.alive();
+        stats->final_token_scores = acc.scores();
+    }
+
+    // Next-token loss over every position (queries were never pruned).
+    const std::size_t n = l0 - 1;
+    Tensor pred_in({n, cfg_.d_model});
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < cfg_.d_model; ++j)
+            pred_in.at(i, j) = x.at(i, j);
+    const Tensor logits = lm_head_.forward(pred_in);
+    std::vector<std::size_t> targets(ids.begin() + 1, ids.end());
+    Tensor dlogits;
+    return softmaxCrossEntropy(logits, targets, dlogits);
+}
+
+} // namespace spatten

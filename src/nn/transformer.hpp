@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Trainable transformer substrate (Fig. 3): multi-head self-attention
+ * blocks with manual backprop, a classifier head (BERT-style
+ * discriminative tasks) and an LM head (GPT-2-style generative tasks),
+ * plus SpAtten-pruned inference — cascade token pruning, cascade head
+ * pruning and local value pruning applied at inference time — used by the
+ * accuracy-vs-pruning experiments (Fig. 21) and the visualizations
+ * (Fig. 22/23).
+ */
+#ifndef SPATTEN_NN_TRANSFORMER_HPP
+#define SPATTEN_NN_TRANSFORMER_HPP
+
+#include <vector>
+
+#include "core/model_spec.hpp"
+#include "nn/layers.hpp"
+
+namespace spatten {
+
+/** Multi-head self-attention layer with manual backprop. */
+class MultiHeadSelfAttention
+{
+  public:
+    MultiHeadSelfAttention(std::string name, std::size_t d_model,
+                           std::size_t heads, Prng& prng);
+
+    struct Cache
+    {
+        Tensor x, q, k, v;         ///< Inputs and projections.
+        std::vector<Tensor> probs; ///< Per-head attention probabilities.
+        Tensor concat;             ///< Concatenated head outputs.
+    };
+
+    /** Forward over a full sequence; @p causal masks future positions. */
+    Tensor forward(const Tensor& x, bool causal, Cache& cache) const;
+
+    /** Backward; accumulates parameter grads, returns dx. */
+    Tensor backward(const Cache& cache, const Tensor& dy, bool causal);
+
+    std::size_t heads() const { return heads_; }
+    std::size_t headDim() const { return d_model_ / heads_; }
+
+    const Linear& wq() const { return wq_; }
+    const Linear& wk() const { return wk_; }
+    const Linear& wv() const { return wv_; }
+    const Linear& wo() const { return wo_; }
+
+    void collectParams(std::vector<Param*>& out);
+
+  private:
+    std::size_t d_model_, heads_;
+    Linear wq_, wk_, wv_, wo_;
+
+    friend class TransformerModel; // pruned inference uses projections
+    friend class GenerativeRunner; // KV-cache stepping uses projections
+};
+
+/** One post-LN transformer block: LN(x + Attn(x)), LN(y + FFN(y)). */
+class TransformerBlock
+{
+  public:
+    TransformerBlock(std::string name, std::size_t d_model,
+                     std::size_t heads, std::size_t ffn_dim, Prng& prng);
+
+    struct Cache
+    {
+        MultiHeadSelfAttention::Cache attn;
+        LayerNorm::Cache ln1, ln2;
+        Tensor x, res1, y, hidden_pre, hidden, res2;
+    };
+
+    Tensor forward(const Tensor& x, bool causal, Cache& cache) const;
+    Tensor backward(const Cache& cache, const Tensor& dy, bool causal);
+
+    void collectParams(std::vector<Param*>& out);
+
+  private:
+    MultiHeadSelfAttention attn_;
+    Linear fc1_, fc2_;
+    LayerNorm ln1_, ln2_;
+
+    friend class TransformerModel;
+    friend class GenerativeRunner;
+};
+
+/** Shape/hyperparameters of a small trainable transformer. */
+struct TinyModelConfig
+{
+    std::size_t vocab = 64;
+    std::size_t d_model = 48;
+    std::size_t heads = 4;
+    std::size_t layers = 3;
+    std::size_t ffn_dim = 96;
+    std::size_t max_len = 64;
+    std::size_t num_classes = 2; ///< Classifier head width.
+    std::uint64_t seed = 1234;
+};
+
+/** Statistics gathered during one pruned-inference forward pass. */
+struct PrunedRunStats
+{
+    double tokens_kept_frac = 1.0;  ///< Final alive / initial tokens.
+    double heads_kept_frac = 1.0;   ///< Final alive / total heads.
+    double avg_keys_frac = 1.0;     ///< Mean per-layer alive-key fraction.
+    double lsb_fraction = 0.0;      ///< Rows with max prob < pq threshold.
+    std::vector<std::size_t> surviving_tokens; ///< Global ids (last layer).
+    std::vector<float> final_token_scores;     ///< Cumulative importance.
+    /// Per-layer surviving token ids (Fig. 22/23 visualization).
+    std::vector<std::vector<std::size_t>> alive_per_layer;
+};
+
+/**
+ * A small trainable transformer with both heads. Training always runs
+ * dense; SpAtten pruning is applied at inference only (matching the
+ * paper, which finetunes then prunes on the fly).
+ */
+class TransformerModel
+{
+  public:
+    explicit TransformerModel(TinyModelConfig cfg);
+
+    const TinyModelConfig& config() const { return cfg_; }
+
+    // ---- Dense training / evaluation ----
+
+    /** One SGD example for classification; returns loss. */
+    double trainStepClassify(const std::vector<std::size_t>& ids,
+                             std::size_t label);
+
+    /** One SGD example for causal LM (next-token targets); returns loss. */
+    double trainStepLm(const std::vector<std::size_t>& ids);
+
+    /** Classification loss; accumulates gradients without stepping. */
+    double lossClassifyGrad(const std::vector<std::size_t>& ids,
+                            std::size_t label);
+
+    /** Classification loss, forward only (for gradient checking). */
+    double lossClassify(const std::vector<std::size_t>& ids,
+                        std::size_t label) const;
+
+    /** LM loss; accumulates gradients without stepping. */
+    double lossLmGrad(const std::vector<std::size_t>& ids);
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+
+    /** Dense classification argmax. */
+    std::size_t predictClass(const std::vector<std::size_t>& ids) const;
+
+    /** Dense mean next-token cross-entropy. */
+    double lmLoss(const std::vector<std::size_t>& ids) const;
+
+    // ---- SpAtten-pruned inference ----
+
+    /**
+     * Classification with cascade token/head pruning and local value
+     * pruning (queries and keys both pruned; mean-pooled classifier).
+     */
+    std::size_t predictClassPruned(const std::vector<std::size_t>& ids,
+                                   const PruningPolicy& policy,
+                                   PrunedRunStats* stats = nullptr) const;
+
+    /**
+     * Causal-LM loss with key-side cascade pruning: every position still
+     * predicts its next token, but attends only to surviving keys —
+     * matching the generation-stage semantics of the paper.
+     */
+    double lmLossPruned(const std::vector<std::size_t>& ids,
+                        const PruningPolicy& policy,
+                        PrunedRunStats* stats = nullptr) const;
+
+    /** All trainable parameters (for the optimizer). */
+    std::vector<Param*> params();
+
+    AdamOptimizer& optimizer() { return opt_; }
+
+  private:
+    /** Dense forward to final hidden states; caches for backward. */
+    struct ForwardCache
+    {
+        std::vector<TransformerBlock::Cache> blocks;
+        Tensor embedded;
+        Tensor final_hidden;
+    };
+    Tensor forwardHidden(const std::vector<std::size_t>& ids, bool causal,
+                         ForwardCache& cache) const;
+    void backwardHidden(const std::vector<std::size_t>& ids,
+                        ForwardCache& cache, const Tensor& d_hidden,
+                        bool causal);
+
+    TinyModelConfig cfg_;
+    Prng prng_;
+    Embedding embed_;
+    std::vector<TransformerBlock> blocks_;
+    Linear cls_head_;
+    Linear lm_head_;
+    AdamOptimizer opt_;
+
+    friend class GenerativeRunner;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_NN_TRANSFORMER_HPP

@@ -1,0 +1,94 @@
+#include "quant/bitplane.hpp"
+
+#include "common/math_util.hpp"
+
+namespace spatten {
+
+const BitplaneSetting kPaperBitplaneSettings[5] = {
+    {4, 4}, {6, 4}, {8, 4}, {10, 4}, {12, 4},
+};
+
+std::size_t
+BitplaneTensor::msbPlaneBytes() const
+{
+    return ceilDiv(numel() * static_cast<std::size_t>(setting.msb_bits),
+                   std::size_t{8});
+}
+
+std::size_t
+BitplaneTensor::lsbPlaneBytes() const
+{
+    return ceilDiv(numel() * static_cast<std::size_t>(setting.lsb_bits),
+                   std::size_t{8});
+}
+
+namespace quant {
+
+BitplaneTensor
+splitPlanes(const QuantizedTensor& qt, int lsb_bits)
+{
+    SPATTEN_ASSERT(lsb_bits >= 0 && lsb_bits < qt.bits,
+                   "lsb_bits %d invalid for %d-bit tensor", lsb_bits,
+                   qt.bits);
+    BitplaneTensor bp;
+    bp.shape = qt.shape;
+    bp.setting = {qt.bits - lsb_bits, lsb_bits};
+    bp.scale = qt.scale;
+    bp.msb.resize(qt.q.size());
+    bp.lsb.resize(qt.q.size());
+    const std::int32_t mask = (1 << lsb_bits) - 1;
+    for (std::size_t i = 0; i < qt.q.size(); ++i) {
+        // Arithmetic shift: truncation toward -inf keeps the MSB plane a
+        // valid signed (bits - lsb_bits)-bit code for any signed input.
+        bp.msb[i] = qt.q[i] >> lsb_bits;
+        bp.lsb[i] = qt.q[i] & mask;
+    }
+    return bp;
+}
+
+BitplaneTensor
+splitPlanes(const Tensor& x, const BitplaneSetting& setting)
+{
+    const QuantizedTensor qt = quantize(x, setting.totalBits());
+    return splitPlanes(qt, setting.lsb_bits);
+}
+
+Tensor
+reconstructMsbOnly(const BitplaneTensor& bp)
+{
+    Tensor out(bp.shape);
+    const float plane_scale =
+        bp.scale * static_cast<float>(1 << bp.setting.lsb_bits);
+    for (std::size_t i = 0; i < bp.msb.size(); ++i)
+        out[i] = static_cast<float>(bp.msb[i]) * plane_scale;
+    return out;
+}
+
+Tensor
+reconstructFull(const BitplaneTensor& bp)
+{
+    Tensor out(bp.shape);
+    for (std::size_t i = 0; i < bp.msb.size(); ++i) {
+        const std::int32_t code =
+            (bp.msb[i] << bp.setting.lsb_bits) | bp.lsb[i];
+        out[i] = static_cast<float>(code) * bp.scale;
+    }
+    return out;
+}
+
+std::int32_t
+convertBitwidth(std::int32_t code, int from_bits, int to_bits)
+{
+    SPATTEN_ASSERT(from_bits >= 2 && from_bits <= to_bits && to_bits <= 32,
+                   "convertBitwidth %d -> %d", from_bits, to_bits);
+    // The code is already a signed value in [-2^(from-1), 2^(from-1)-1];
+    // widening is a no-op on a two's-complement machine, so just check the
+    // range invariant.
+    SPATTEN_ASSERT(code >= -(1 << (from_bits - 1)) &&
+                       code < (1 << (from_bits - 1)),
+                   "code %d out of %d-bit range", code, from_bits);
+    return code;
+}
+
+} // namespace quant
+} // namespace spatten

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MSB/LSB bit-plane splitting for progressive quantization (§III-D).
+ *
+ * SpAtten stores the MSBs of quantized QKV contiguously in DRAM and the
+ * LSBs contiguously elsewhere, so the fetcher can eagerly fetch MSBs only
+ * and fetch LSBs on demand. The paper's MSB+LSB settings are 4+4, 6+4,
+ * 8+4, 10+4 and 12+4 bits.
+ *
+ * This module provides the functional model: split a full-precision code
+ * into planes, reconstruct from MSBs only (truncated), or from MSB+LSB
+ * (exact), mirroring the on-chip bitwidth converter.
+ */
+#ifndef SPATTEN_QUANT_BITPLANE_HPP
+#define SPATTEN_QUANT_BITPLANE_HPP
+
+#include "quant/linear_quant.hpp"
+
+namespace spatten {
+
+/** One of the paper's five MSB+LSB storage settings. */
+struct BitplaneSetting
+{
+    int msb_bits = 8; ///< Bits fetched eagerly.
+    int lsb_bits = 4; ///< Bits fetched only on low-confidence recompute.
+
+    int totalBits() const { return msb_bits + lsb_bits; }
+};
+
+/** The five settings evaluated in the paper. */
+extern const BitplaneSetting kPaperBitplaneSettings[5];
+
+/**
+ * A quantized tensor split into MSB and LSB planes. The full code is
+ * (msb << lsb_bits) | lsb with lsb held as unsigned low bits.
+ */
+struct BitplaneTensor
+{
+    Shape shape;
+    BitplaneSetting setting;
+    float scale = 1.0f;
+    std::vector<std::int32_t> msb; ///< Signed high planes.
+    std::vector<std::int32_t> lsb; ///< Unsigned low planes in [0, 2^lsb).
+
+    std::size_t numel() const { return msb.size(); }
+
+    /** Bytes occupied by the MSB plane in DRAM (bit-packed). */
+    std::size_t msbPlaneBytes() const;
+    /** Bytes occupied by the LSB plane in DRAM (bit-packed). */
+    std::size_t lsbPlaneBytes() const;
+};
+
+namespace quant {
+
+/**
+ * Quantize @p x to setting.totalBits() and split into bit planes.
+ */
+BitplaneTensor splitPlanes(const Tensor& x, const BitplaneSetting& setting);
+
+/** Split an existing full-precision quantized tensor into planes. */
+BitplaneTensor splitPlanes(const QuantizedTensor& qt, int lsb_bits);
+
+/**
+ * Reconstruct using MSBs only: the LSB plane is dropped, i.e. the code is
+ * truncated toward negative infinity. This is what the datapath computes
+ * on the eager first pass.
+ */
+Tensor reconstructMsbOnly(const BitplaneTensor& bp);
+
+/** Exact reconstruction from MSB+LSB planes (the recompute pass). */
+Tensor reconstructFull(const BitplaneTensor& bp);
+
+/**
+ * Functional model of the on-chip bitwidth converter (§IV-D): widen a code
+ * of @p from_bits to @p to_bits (sign-extended, left-aligned scale
+ * preserved by the caller's dequant scale). @pre from_bits <= to_bits.
+ */
+std::int32_t convertBitwidth(std::int32_t code, int from_bits, int to_bits);
+
+} // namespace quant
+} // namespace spatten
+
+#endif // SPATTEN_QUANT_BITPLANE_HPP

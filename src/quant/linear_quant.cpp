@@ -1,0 +1,63 @@
+#include "quant/linear_quant.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace spatten {
+namespace quant {
+
+float
+chooseScale(const Tensor& x, int bits)
+{
+    SPATTEN_ASSERT(bits >= 2 && bits <= 16, "unsupported bitwidth %d", bits);
+    float maxabs = 0.0f;
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        maxabs = std::max(maxabs, std::fabs(x[i]));
+    if (maxabs == 0.0f)
+        return 1.0f;
+    const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+    return maxabs / qmax;
+}
+
+QuantizedTensor
+quantizeWithScale(const Tensor& x, int bits, float scale)
+{
+    SPATTEN_ASSERT(bits >= 2 && bits <= 16, "unsupported bitwidth %d", bits);
+    SPATTEN_ASSERT(scale > 0.0f, "non-positive scale %f", scale);
+    QuantizedTensor qt;
+    qt.shape = x.shape();
+    qt.scale = scale;
+    qt.bits = bits;
+    qt.q.resize(x.numel());
+    const std::int32_t lo = qt.qmin(), hi = qt.qmax();
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const float r = std::round(x[i] / scale);
+        qt.q[i] = clampTo(static_cast<std::int32_t>(r), lo, hi);
+    }
+    return qt;
+}
+
+QuantizedTensor
+quantize(const Tensor& x, int bits)
+{
+    return quantizeWithScale(x, bits, chooseScale(x, bits));
+}
+
+Tensor
+dequantize(const QuantizedTensor& qt)
+{
+    Tensor out(qt.shape);
+    for (std::size_t i = 0; i < qt.q.size(); ++i)
+        out[i] = static_cast<float>(qt.q[i]) * qt.scale;
+    return out;
+}
+
+Tensor
+fakeQuantize(const Tensor& x, int bits)
+{
+    return dequantize(quantize(x, bits));
+}
+
+} // namespace quant
+} // namespace spatten

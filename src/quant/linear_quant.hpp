@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Linear symmetric quantization (the scheme SpAtten uses for QKV inputs
+ * and FC weights, §III-D). A tensor is quantized to signed integers with a
+ * single power-agnostic scale: q = clamp(round(x / scale)), x' = q * scale.
+ */
+#ifndef SPATTEN_QUANT_LINEAR_QUANT_HPP
+#define SPATTEN_QUANT_LINEAR_QUANT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace spatten {
+
+/** A linearly, symmetrically quantized tensor. */
+struct QuantizedTensor
+{
+    Shape shape;                 ///< Logical shape of the tensor.
+    std::vector<std::int32_t> q; ///< Quantized integer codes.
+    float scale = 1.0f;          ///< Dequantization scale.
+    int bits = 8;                ///< Total bitwidth (including sign).
+
+    std::size_t numel() const { return q.size(); }
+
+    /** Smallest representable code. */
+    std::int32_t qmin() const { return -(1 << (bits - 1)); }
+    /** Largest representable code. */
+    std::int32_t qmax() const { return (1 << (bits - 1)) - 1; }
+};
+
+namespace quant {
+
+/**
+ * Quantize @p x to @p bits with a scale chosen so the max-abs value maps to
+ * the largest code. @pre 2 <= bits <= 16.
+ */
+QuantizedTensor quantize(const Tensor& x, int bits);
+
+/** Quantize with an externally chosen scale (e.g. shared across tensors). */
+QuantizedTensor quantizeWithScale(const Tensor& x, int bits, float scale);
+
+/** Reconstruct the fp32 tensor q * scale. */
+Tensor dequantize(const QuantizedTensor& qt);
+
+/** Round-trip helper: dequantize(quantize(x, bits)). */
+Tensor fakeQuantize(const Tensor& x, int bits);
+
+/**
+ * Scale such that max|x| maps onto the top code of @p bits.
+ * Returns 1.0 for an all-zero tensor.
+ */
+float chooseScale(const Tensor& x, int bits);
+
+} // namespace quant
+} // namespace spatten
+
+#endif // SPATTEN_QUANT_LINEAR_QUANT_HPP

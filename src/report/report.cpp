@@ -1,0 +1,118 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+std::string
+csvEscape(const std::string& cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path)
+{
+    if (!out_.is_open())
+        fatal("cannot open CSV output '%s'", path.c_str());
+}
+
+void
+CsvWriter::writeLine(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << csvEscape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::header(const std::vector<std::string>& columns)
+{
+    SPATTEN_ASSERT(columns_ == 0 && rows_ == 0,
+                   "header must be written first (%s)", path_.c_str());
+    SPATTEN_ASSERT(!columns.empty(), "empty CSV header");
+    columns_ = columns.size();
+    writeLine(columns);
+    out_.flush();
+}
+
+void
+CsvWriter::row(const std::vector<std::string>& values)
+{
+    SPATTEN_ASSERT(columns_ > 0, "CSV header missing (%s)", path_.c_str());
+    SPATTEN_ASSERT(values.size() == columns_,
+                   "CSV row has %zu cells, header has %zu", values.size(),
+                   columns_);
+    writeLine(values);
+    ++rows_;
+    out_.flush();
+}
+
+void
+CsvWriter::rowNumeric(const std::vector<double>& values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(fmtNum(v));
+    row(cells);
+}
+
+std::string
+fmtNum(double value)
+{
+    return strfmt("%.6g", value);
+}
+
+std::string
+markdownTable(const std::vector<std::string>& headers,
+              const std::vector<std::vector<std::string>>& rows)
+{
+    SPATTEN_ASSERT(!headers.empty(), "empty table header");
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto& r : rows) {
+        SPATTEN_ASSERT(r.size() == headers.size(),
+                       "row has %zu cells, header has %zu", r.size(),
+                       headers.size());
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            s += ' ' + cells[c];
+            s.append(width[c] - cells[c].size() + 1, ' ');
+            s += '|';
+        }
+        return s + '\n';
+    };
+    std::string out = line(headers);
+    std::string sep = "|";
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        sep.append(width[c] + 2, '-');
+        sep += '|';
+    }
+    out += sep + '\n';
+    for (const auto& r : rows)
+        out += line(r);
+    return out;
+}
+
+} // namespace spatten

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Result-reporting helpers for the benchmark harness: CSV files (for
+ * plotting the reproduced figures) and aligned markdown tables (for
+ * EXPERIMENTS.md-style summaries).
+ */
+#ifndef SPATTEN_REPORT_REPORT_HPP
+#define SPATTEN_REPORT_REPORT_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace spatten {
+
+/** Streaming CSV writer with quoting and column-count checking. */
+class CsvWriter
+{
+  public:
+    /** Open (truncate) @p path; fatal() on failure. */
+    explicit CsvWriter(const std::string& path);
+
+    /** Write the header row; must be called before any data row. */
+    void header(const std::vector<std::string>& columns);
+
+    /** Write one data row; must match the header's column count. */
+    void row(const std::vector<std::string>& values);
+
+    /** Convenience: numeric row. */
+    void rowNumeric(const std::vector<double>& values);
+
+    std::size_t rowsWritten() const { return rows_; }
+    const std::string& path() const { return path_; }
+
+  private:
+    void writeLine(const std::vector<std::string>& cells);
+
+    std::string path_;
+    std::ofstream out_;
+    std::size_t columns_ = 0;
+    std::size_t rows_ = 0;
+};
+
+/** Escape a CSV cell (quotes, commas, newlines). */
+std::string csvEscape(const std::string& cell);
+
+/**
+ * Render an aligned markdown table.
+ * @pre every row has headers.size() cells.
+ */
+std::string markdownTable(const std::vector<std::string>& headers,
+                          const std::vector<std::vector<std::string>>& rows);
+
+/** Format a double with %g-style compactness. */
+std::string fmtNum(double value);
+
+} // namespace spatten
+
+#endif // SPATTEN_REPORT_REPORT_HPP

@@ -1,0 +1,50 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+ClockDomain::ClockDomain(double freq_ghz, std::string name)
+    : freq_ghz_(freq_ghz), name_(std::move(name))
+{
+    SPATTEN_ASSERT(freq_ghz > 0.0, "clock '%s' frequency %f must be > 0",
+                   name_.c_str(), freq_ghz);
+}
+
+Cycles
+ClockDomain::fromNs(double ns) const
+{
+    SPATTEN_ASSERT(ns >= 0.0, "negative duration %f ns", ns);
+    return static_cast<Cycles>(std::ceil(ns * freq_ghz_));
+}
+
+Resource::Resource(std::string name) : name_(std::move(name)) {}
+
+Cycles
+Resource::acquire(Cycles ready, Cycles occupancy)
+{
+    const Cycles start = std::max(ready, free_at_);
+    free_at_ = start + occupancy;
+    busy_cycles_ += occupancy;
+    return free_at_;
+}
+
+double
+Resource::utilization(Cycles total) const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(busy_cycles_) / static_cast<double>(total);
+}
+
+void
+Resource::reset()
+{
+    free_at_ = 0;
+    busy_cycles_ = 0;
+}
+
+} // namespace spatten

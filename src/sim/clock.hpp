@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cycle bookkeeping for the SpAtten hardware model.
+ *
+ * The accelerator model is a resource-occupancy simulator: each hardware
+ * unit is a Resource that can accept work when free and is busy for a
+ * computed number of cycles. Stages on the critical path are fully
+ * pipelined (Fig. 8), so the model advances per-unit "busy until" stamps
+ * and the pipeline latency is the max over units — the same throughput
+ * bound an RTL simulation of a fully-pipelined design converges to.
+ */
+#ifndef SPATTEN_SIM_CLOCK_HPP
+#define SPATTEN_SIM_CLOCK_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace spatten {
+
+/** Simulation time in cycles. */
+using Cycles = std::uint64_t;
+
+/** A clock domain: frequency plus helpers to convert to wall time. */
+class ClockDomain
+{
+  public:
+    /** @param freq_ghz clock frequency in GHz (SpAtten core: 1.0). */
+    explicit ClockDomain(double freq_ghz = 1.0, std::string name = "core");
+
+    double freqGhz() const { return freq_ghz_; }
+    const std::string& name() const { return name_; }
+
+    /** Convert cycles of this domain to nanoseconds. */
+    double toNs(Cycles c) const
+    {
+        return static_cast<double>(c) / freq_ghz_;
+    }
+
+    /** Convert cycles to seconds. */
+    double toSeconds(Cycles c) const { return toNs(c) * 1e-9; }
+
+    /** Cycles needed to cover @p ns nanoseconds (rounded up). */
+    Cycles fromNs(double ns) const;
+
+  private:
+    double freq_ghz_;
+    std::string name_;
+};
+
+/**
+ * A pipelined hardware resource with an initiation interval of one
+ * work-item per `occupancy` cycles. Tracks when the unit next becomes
+ * free and how many cycles it has ever been busy (for utilization).
+ */
+class Resource
+{
+  public:
+    explicit Resource(std::string name = "unit");
+
+    const std::string& name() const { return name_; }
+
+    /**
+     * Schedule a work item that wants to start at @p ready and occupies
+     * the unit for @p occupancy cycles.
+     * @return the cycle at which the item completes.
+     */
+    Cycles acquire(Cycles ready, Cycles occupancy);
+
+    /** Earliest cycle at which new work could start. */
+    Cycles freeAt() const { return free_at_; }
+
+    /** Total cycles this unit has been occupied. */
+    Cycles busyCycles() const { return busy_cycles_; }
+
+    /** Utilization in [0, 1] against a total elapsed cycle count. */
+    double utilization(Cycles total) const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    Cycles free_at_ = 0;
+    Cycles busy_cycles_ = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SIM_CLOCK_HPP

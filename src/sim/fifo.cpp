@@ -1,0 +1,13 @@
+// Fifo is a header-only template; this translation unit exists to give the
+// sim library a home for explicit instantiations used widely in tests,
+// improving build times.
+#include "sim/fifo.hpp"
+
+#include <cstdint>
+
+namespace spatten {
+
+template class Fifo<std::uint64_t>;
+template class Fifo<float>;
+
+} // namespace spatten

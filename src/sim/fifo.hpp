@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A bounded FIFO with cycle semantics, modeling the address/data FIFOs of
+ * the SpAtten datapath (32 x 64-depth FIFOs around the crossbars, the
+ * 128-deep softmax FIFO, and the quick-select FIFO_L/FIFO_R pairs).
+ *
+ * Besides functional queue behaviour it tracks occupancy statistics and
+ * backpressure (pushes that would overflow are rejected so the caller can
+ * model stalls).
+ */
+#ifndef SPATTEN_SIM_FIFO_HPP
+#define SPATTEN_SIM_FIFO_HPP
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+/** Bounded FIFO with occupancy statistics. */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(std::size_t depth, std::string name = "fifo")
+        : depth_(depth), name_(std::move(name))
+    {
+        SPATTEN_ASSERT(depth > 0, "fifo '%s' needs depth > 0", name_.c_str());
+    }
+
+    const std::string& name() const { return name_; }
+    std::size_t depth() const { return depth_; }
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= depth_; }
+
+    /**
+     * Push an item; returns false (and drops nothing) when full, which
+     * models backpressure into the producer.
+     */
+    bool tryPush(const T& item)
+    {
+        if (full()) {
+            ++rejected_;
+            return false;
+        }
+        items_.push_back(item);
+        peak_ = std::max(peak_, items_.size());
+        ++pushes_;
+        return true;
+    }
+
+    /** Push that must succeed (asserts on overflow). */
+    void push(const T& item)
+    {
+        SPATTEN_ASSERT(tryPush(item), "fifo '%s' overflow at depth %zu",
+                       name_.c_str(), depth_);
+    }
+
+    /** Pop the oldest item. @pre !empty(). */
+    T pop()
+    {
+        SPATTEN_ASSERT(!items_.empty(), "fifo '%s' underflow",
+                       name_.c_str());
+        T item = items_.front();
+        items_.pop_front();
+        return item;
+    }
+
+    const T& front() const
+    {
+        SPATTEN_ASSERT(!items_.empty(), "fifo '%s' empty front",
+                       name_.c_str());
+        return items_.front();
+    }
+
+    void clear() { items_.clear(); }
+
+    /** Lifetime statistics. */
+    std::size_t peakOccupancy() const { return peak_; }
+    std::size_t totalPushes() const { return pushes_; }
+    std::size_t rejectedPushes() const { return rejected_; }
+
+  private:
+    std::size_t depth_;
+    std::string name_;
+    std::deque<T> items_;
+    std::size_t peak_ = 0;
+    std::size_t pushes_ = 0;
+    std::size_t rejected_ = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SIM_FIFO_HPP

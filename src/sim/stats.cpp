@@ -1,0 +1,48 @@
+#include "sim/stats.hpp"
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+void
+StatSet::add(const std::string& name, double delta)
+{
+    stats_[name] += delta;
+}
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    stats_[name] = value;
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    const auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return stats_.count(name) > 0;
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [name, value] : other.stats_)
+        stats_[name] += value;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::string out;
+    for (const auto& [name, value] : stats_)
+        out += strfmt("%-40s = %.6g\n", name.c_str(), value);
+    return out;
+}
+
+} // namespace spatten

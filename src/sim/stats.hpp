@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Named statistics registry used by the hardware models to expose
+ * counters (DRAM reads, row activations, top-k iterations, ...) to the
+ * benchmark harness in a uniform way.
+ */
+#ifndef SPATTEN_SIM_STATS_HPP
+#define SPATTEN_SIM_STATS_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spatten {
+
+/** A flat name -> double statistics map with formatting helpers. */
+class StatSet
+{
+  public:
+    /** Add @p delta to the named counter (creating it at 0). */
+    void add(const std::string& name, double delta);
+
+    /** Set the named counter to @p value. */
+    void set(const std::string& name, double value);
+
+    /** Value of the counter, 0 when absent. */
+    double get(const std::string& name) const;
+
+    bool has(const std::string& name) const;
+
+    /** Merge another stat set into this one (summing counters). */
+    void merge(const StatSet& other);
+
+    /** All (name, value) pairs in name order. */
+    const std::map<std::string, double>& all() const { return stats_; }
+
+    /** Multi-line "name = value" dump, for harness output. */
+    std::string toString() const;
+
+    void clear() { stats_.clear(); }
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SIM_STATS_HPP

@@ -1,0 +1,313 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spatten {
+namespace ops {
+
+Tensor
+matmul(const Tensor& a, const Tensor& b)
+{
+    SPATTEN_ASSERT(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0),
+                   "matmul %s x %s", a.shapeStr().c_str(),
+                   b.shapeStr().c_str());
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t l = 0; l < k; ++l) {
+            const float av = pa[i * k + l];
+            if (av == 0.0f)
+                continue;
+            const float* brow = pb + l * n;
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposedB(const Tensor& a, const Tensor& b)
+{
+    SPATTEN_ASSERT(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1),
+                   "matmulT %s x %s^T", a.shapeStr().c_str(),
+                   b.shapeStr().c_str());
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    Tensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a.data() + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = b.data() + j * k;
+            float acc = 0.0f;
+            for (std::size_t l = 0; l < k; ++l)
+                acc += arow[l] * brow[l];
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose(const Tensor& a)
+{
+    SPATTEN_ASSERT(a.ndim() == 2, "transpose of %s", a.shapeStr().c_str());
+    const std::size_t m = a.dim(0), n = a.dim(1);
+    Tensor t({n, m});
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+namespace {
+
+Tensor
+zipSameShape(const Tensor& a, const Tensor& b, float (*f)(float, float))
+{
+    SPATTEN_ASSERT(a.sameShape(b), "elementwise op on %s vs %s",
+                   a.shapeStr().c_str(), b.shapeStr().c_str());
+    Tensor out(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        out[i] = f(a[i], b[i]);
+    return out;
+}
+
+} // namespace
+
+Tensor
+add(const Tensor& a, const Tensor& b)
+{
+    return zipSameShape(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor
+sub(const Tensor& a, const Tensor& b)
+{
+    return zipSameShape(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor
+mul(const Tensor& a, const Tensor& b)
+{
+    return zipSameShape(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor
+scale(const Tensor& a, float s)
+{
+    Tensor out(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        out[i] = a[i] * s;
+    return out;
+}
+
+Tensor
+addRowBias(const Tensor& a, const Tensor& bias)
+{
+    SPATTEN_ASSERT(a.ndim() == 2 && bias.ndim() == 1 &&
+                       bias.dim(0) == a.dim(1),
+                   "addRowBias %s + %s", a.shapeStr().c_str(),
+                   bias.shapeStr().c_str());
+    Tensor out = a;
+    const std::size_t rows = a.dim(0), cols = a.dim(1);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            out.at(i, j) += bias[j];
+    return out;
+}
+
+Tensor
+softmax(const Tensor& scores)
+{
+    SPATTEN_ASSERT(scores.ndim() == 1 && scores.numel() > 0,
+                   "softmax of %s", scores.shapeStr().c_str());
+    Tensor out(scores.shape());
+    const float m = scores.maxElem();
+    double denom = 0.0;
+    for (std::size_t i = 0; i < scores.numel(); ++i) {
+        out[i] = std::exp(scores[i] - m);
+        denom += out[i];
+    }
+    for (std::size_t i = 0; i < scores.numel(); ++i)
+        out[i] = static_cast<float>(out[i] / denom);
+    return out;
+}
+
+Tensor
+softmaxRows(const Tensor& scores)
+{
+    SPATTEN_ASSERT(scores.ndim() == 2, "softmaxRows of %s",
+                   scores.shapeStr().c_str());
+    const std::size_t rows = scores.dim(0), cols = scores.dim(1);
+    Tensor out(scores.shape());
+    for (std::size_t i = 0; i < rows; ++i) {
+        float m = scores.at(i, 0);
+        for (std::size_t j = 1; j < cols; ++j)
+            m = std::max(m, scores.at(i, j));
+        double denom = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            const float e = std::exp(scores.at(i, j) - m);
+            out.at(i, j) = e;
+            denom += e;
+        }
+        for (std::size_t j = 0; j < cols; ++j)
+            out.at(i, j) = static_cast<float>(out.at(i, j) / denom);
+    }
+    return out;
+}
+
+Tensor
+layerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
+{
+    SPATTEN_ASSERT(x.ndim() == 2 && gamma.dim(0) == x.dim(1) &&
+                       beta.dim(0) == x.dim(1),
+                   "layerNorm %s", x.shapeStr().c_str());
+    const std::size_t rows = x.dim(0), cols = x.dim(1);
+    Tensor out(x.shape());
+    for (std::size_t i = 0; i < rows; ++i) {
+        double mean = 0.0;
+        for (std::size_t j = 0; j < cols; ++j)
+            mean += x.at(i, j);
+        mean /= static_cast<double>(cols);
+        double var = 0.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double d = x.at(i, j) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(cols);
+        const double inv = 1.0 / std::sqrt(var + eps);
+        for (std::size_t j = 0; j < cols; ++j) {
+            out.at(i, j) = static_cast<float>(
+                (x.at(i, j) - mean) * inv * gamma[j] + beta[j]);
+        }
+    }
+    return out;
+}
+
+Tensor
+gelu(const Tensor& x)
+{
+    Tensor out(x.shape());
+    constexpr float kSqrt2OverPi = 0.7978845608f;
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const float v = x[i];
+        out[i] = 0.5f * v *
+                 (1.0f + std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v)));
+    }
+    return out;
+}
+
+Tensor
+relu(const Tensor& x)
+{
+    Tensor out(x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        out[i] = std::max(0.0f, x[i]);
+    return out;
+}
+
+std::size_t
+argmax(const Tensor& x)
+{
+    SPATTEN_ASSERT(x.numel() > 0, "argmax of empty tensor");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < x.numel(); ++i)
+        if (x[i] > x[best])
+            best = i;
+    return best;
+}
+
+float
+maxAbsDiff(const Tensor& a, const Tensor& b)
+{
+    SPATTEN_ASSERT(a.sameShape(b), "maxAbsDiff %s vs %s",
+                   a.shapeStr().c_str(), b.shapeStr().c_str());
+    float m = 0.0f;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+double
+meanAbsDiff(const Tensor& a, const Tensor& b)
+{
+    SPATTEN_ASSERT(a.sameShape(b), "meanAbsDiff %s vs %s",
+                   a.shapeStr().c_str(), b.shapeStr().c_str());
+    if (a.numel() == 0)
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        s += std::fabs(a[i] - b[i]);
+    return s / static_cast<double>(a.numel());
+}
+
+Tensor
+gatherRows(const Tensor& a, const std::vector<std::size_t>& indices)
+{
+    SPATTEN_ASSERT(a.ndim() == 2, "gatherRows of %s", a.shapeStr().c_str());
+    const std::size_t cols = a.dim(1);
+    Tensor out({indices.size(), cols});
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        SPATTEN_ASSERT(indices[i] < a.dim(0), "gather index %zu out of %zu",
+                       indices[i], a.dim(0));
+        for (std::size_t j = 0; j < cols; ++j)
+            out.at(i, j) = a.at(indices[i], j);
+    }
+    return out;
+}
+
+Tensor
+concatRows(const Tensor& a, const Tensor& b)
+{
+    SPATTEN_ASSERT(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1),
+                   "concatRows %s + %s", a.shapeStr().c_str(),
+                   b.shapeStr().c_str());
+    Tensor out({a.dim(0) + b.dim(0), a.dim(1)});
+    std::copy(a.data(), a.data() + a.numel(), out.data());
+    std::copy(b.data(), b.data() + b.numel(), out.data() + a.numel());
+    return out;
+}
+
+Tensor
+sliceCols(const Tensor& a, std::size_t begin, std::size_t end)
+{
+    SPATTEN_ASSERT(a.ndim() == 2 && begin <= end && end <= a.dim(1),
+                   "sliceCols [%zu, %zu) of %s", begin, end,
+                   a.shapeStr().c_str());
+    const std::size_t rows = a.dim(0), cols = end - begin;
+    Tensor out({rows, cols});
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            out.at(i, j) = a.at(i, begin + j);
+    return out;
+}
+
+Tensor
+concatCols(const std::vector<Tensor>& parts)
+{
+    SPATTEN_ASSERT(!parts.empty(), "concatCols of nothing");
+    const std::size_t rows = parts[0].dim(0);
+    std::size_t cols = 0;
+    for (const Tensor& p : parts) {
+        SPATTEN_ASSERT(p.ndim() == 2 && p.dim(0) == rows,
+                       "concatCols row mismatch");
+        cols += p.dim(1);
+    }
+    Tensor out({rows, cols});
+    std::size_t off = 0;
+    for (const Tensor& p : parts) {
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t j = 0; j < p.dim(1); ++j)
+                out.at(i, off + j) = p.at(i, j);
+        off += p.dim(1);
+    }
+    return out;
+}
+
+} // namespace ops
+} // namespace spatten

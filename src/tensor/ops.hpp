@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense tensor operations: matmul, softmax, layer norm, activations and
+ * elementwise arithmetic. These are the numeric primitives used by both
+ * the transformer substrate (src/nn) and the attention reference model
+ * (src/core).
+ */
+#ifndef SPATTEN_TENSOR_OPS_HPP
+#define SPATTEN_TENSOR_OPS_HPP
+
+#include "tensor/tensor.hpp"
+
+namespace spatten {
+namespace ops {
+
+/** C = A(mxk) * B(kxn). */
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/** C = A(mxk) * B(nxk)^T — row-major friendly for attention Q*K^T. */
+Tensor matmulTransposedB(const Tensor& a, const Tensor& b);
+
+/** Transpose of a 2-D tensor. */
+Tensor transpose(const Tensor& a);
+
+/** Elementwise a + b. @pre same shape. */
+Tensor add(const Tensor& a, const Tensor& b);
+
+/** Elementwise a - b. @pre same shape. */
+Tensor sub(const Tensor& a, const Tensor& b);
+
+/** Elementwise a * b (Hadamard). @pre same shape. */
+Tensor mul(const Tensor& a, const Tensor& b);
+
+/** a * scalar. */
+Tensor scale(const Tensor& a, float s);
+
+/** Add a row vector bias to every row of a 2-D tensor. */
+Tensor addRowBias(const Tensor& a, const Tensor& bias);
+
+/** Row-wise softmax over the last dimension of a 2-D tensor. */
+Tensor softmaxRows(const Tensor& scores);
+
+/** Numerically-stable softmax of a 1-D tensor. */
+Tensor softmax(const Tensor& scores);
+
+/**
+ * Row-wise layer normalization of a 2-D tensor with learnable gain/bias.
+ * @param eps variance epsilon.
+ */
+Tensor layerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+/** Elementwise tanh-approximation GELU. */
+Tensor gelu(const Tensor& x);
+
+/** Elementwise ReLU. */
+Tensor relu(const Tensor& x);
+
+/** argmax over a 1-D tensor. */
+std::size_t argmax(const Tensor& x);
+
+/** Max absolute difference between two same-shaped tensors. */
+float maxAbsDiff(const Tensor& a, const Tensor& b);
+
+/** Mean absolute difference between two same-shaped tensors. */
+double meanAbsDiff(const Tensor& a, const Tensor& b);
+
+/**
+ * Gather rows of a 2-D tensor: out[i] = a[indices[i]].
+ * Used to materialize pruned K/V matrices.
+ */
+Tensor gatherRows(const Tensor& a, const std::vector<std::size_t>& indices);
+
+/** Concatenate two 2-D tensors along rows. @pre same column count. */
+Tensor concatRows(const Tensor& a, const Tensor& b);
+
+/** Slice columns [begin, end) of a 2-D tensor. */
+Tensor sliceCols(const Tensor& a, std::size_t begin, std::size_t end);
+
+/** Concatenate 2-D tensors along columns. @pre same row count. */
+Tensor concatCols(const std::vector<Tensor>& parts);
+
+} // namespace ops
+} // namespace spatten
+
+#endif // SPATTEN_TENSOR_OPS_HPP

@@ -1,0 +1,36 @@
+#include "workload/attention_trace.hpp"
+
+#include "common/logging.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+
+Tensor
+syntheticScoreRow(std::size_t len, double dominance, Prng& prng)
+{
+    SPATTEN_ASSERT(len > 0, "empty score row");
+    Tensor row = Tensor::randn({len}, prng, 0.0f, 0.35f);
+    if (dominance > 0.0)
+        row[prng.below(len)] += static_cast<float>(dominance);
+    return row;
+}
+
+std::vector<Tensor>
+syntheticScoreRows(std::size_t rows, std::size_t len, double max_dominance,
+                   Prng& prng)
+{
+    std::vector<Tensor> out;
+    out.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i)
+        out.push_back(
+            syntheticScoreRow(len, prng.uniform(0.0, max_dominance), prng));
+    return out;
+}
+
+double
+maxSoftmaxProb(const Tensor& scores)
+{
+    return ops::softmax(scores).maxElem();
+}
+
+} // namespace spatten

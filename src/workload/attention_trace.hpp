@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Synthetic attention-score generators with controllable probability
+ * dominance. Used by the Fig. 7 reproduction (quantization error vs max
+ * attention probability) and by microbenchmarks that need realistic
+ * score rows without running a full model.
+ */
+#ifndef SPATTEN_WORKLOAD_ATTENTION_TRACE_HPP
+#define SPATTEN_WORKLOAD_ATTENTION_TRACE_HPP
+
+#include "common/prng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace spatten {
+
+/**
+ * One row of attention scores whose softmax has a tunable dominance.
+ *
+ * @param len       number of keys.
+ * @param dominance 0 => near-uniform distribution; larger values create
+ *                  a dominant token (dominance ~8 gives max prob ~0.99).
+ * @param prng      randomness source.
+ */
+Tensor syntheticScoreRow(std::size_t len, double dominance, Prng& prng);
+
+/**
+ * A batch of score rows with dominance drawn uniformly from
+ * [0, max_dominance], covering the Fig. 7 x-axis.
+ */
+std::vector<Tensor> syntheticScoreRows(std::size_t rows, std::size_t len,
+                                       double max_dominance, Prng& prng);
+
+/** Max softmax probability of a score row. */
+double maxSoftmaxProb(const Tensor& scores);
+
+} // namespace spatten
+
+#endif // SPATTEN_WORKLOAD_ATTENTION_TRACE_HPP

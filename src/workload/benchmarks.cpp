@@ -1,0 +1,134 @@
+#include "workload/benchmarks.hpp"
+
+#include "common/logging.hpp"
+#include "core/schedule.hpp"
+
+namespace spatten {
+
+namespace {
+
+/** GLUE/SQuAD average dev-set sequence lengths (tokens). */
+struct BertTask
+{
+    const char* name;
+    std::size_t avg_len;
+};
+
+constexpr BertTask kBertTasks[] = {
+    {"squad-v1", 320}, {"squad-v2", 320}, {"cola", 11}, {"mnli-m", 39},
+    {"mnli-mm", 39},   {"mrpc", 53},      {"qnli", 51}, {"qqp", 30},
+    {"rte", 64},       {"sst-2", 25},     {"sts-b", 31},
+};
+
+constexpr const char* kLmDatasets[] = {"wikitext2", "wikitext103", "ptb",
+                                       "1bw"};
+
+PruningPolicy
+bertPolicy(std::size_t len)
+{
+    PruningPolicy p;
+    // Short sentences tolerate less pruning (§III-A): ratios follow the
+    // sentence length, saturating for SQuAD-length inputs.
+    p.token_avg_ratio = lengthAdaptiveRatio(len, 0.04, 0.16, 512);
+    p.head_avg_ratio = 0.08;
+    p.local_v_ratio = 0.25;
+    // BERT is computation-bounded: static 12-bit quantization only.
+    p.pq.enabled = false;
+    p.pq.setting = {8, 4};
+    p.lsb_fraction = 0.0;
+    return p;
+}
+
+PruningPolicy
+gptPolicy()
+{
+    PruningPolicy p;
+    // ~1000-token contexts are highly redundant: the paper reaches 3.8x
+    // token+local-V reduction on GPT-2.
+    p.token_avg_ratio = 0.22;
+    p.head_avg_ratio = 0.08;
+    p.local_v_ratio = 0.35;
+    p.pq.enabled = true;
+    p.pq.setting = {8, 4}; // common setting (6+4 on easier tasks)
+    p.pq.max_prob_threshold = 0.1;
+    p.lsb_fraction = 0.059; // paper's measured average
+    return p;
+}
+
+BenchmarkSpec
+makeBert(const ModelSpec& model, const BertTask& task)
+{
+    BenchmarkSpec b;
+    b.workload.name = model.name + "-" + task.name;
+    b.workload.model = model;
+    b.workload.summarize_len = task.avg_len;
+    b.workload.generate_len = 0;
+    b.policy = bertPolicy(task.avg_len);
+    b.generative = false;
+    return b;
+}
+
+BenchmarkSpec
+makeGpt(const ModelSpec& model, const char* dataset)
+{
+    BenchmarkSpec b;
+    b.workload.name = model.name + "-" + dataset;
+    b.workload.model = model;
+    // §V-A: initial sentence length 992, measure the latency of
+    // generating 32 tokens (generation stage only).
+    b.workload.summarize_len = 992;
+    b.workload.generate_len = 32;
+    b.workload.skip_summarization = true;
+    b.policy = gptPolicy();
+    b.generative = true;
+    return b;
+}
+
+} // namespace
+
+std::vector<BenchmarkSpec>
+bertBenchmarks()
+{
+    std::vector<BenchmarkSpec> out;
+    for (const ModelSpec& m :
+         {ModelSpec::bertBase(), ModelSpec::bertLarge()}) {
+        for (const BertTask& t : kBertTasks)
+            out.push_back(makeBert(m, t));
+    }
+    return out;
+}
+
+std::vector<BenchmarkSpec>
+gptBenchmarks()
+{
+    std::vector<BenchmarkSpec> out;
+    for (const ModelSpec& m :
+         {ModelSpec::gpt2Small(), ModelSpec::gpt2Medium()}) {
+        for (const char* ds : kLmDatasets)
+            out.push_back(makeGpt(m, ds));
+    }
+    return out;
+}
+
+std::vector<BenchmarkSpec>
+paperBenchmarks()
+{
+    std::vector<BenchmarkSpec> out = bertBenchmarks();
+    std::vector<BenchmarkSpec> gpt = gptBenchmarks();
+    out.insert(out.end(), gpt.begin(), gpt.end());
+    SPATTEN_ASSERT(out.size() == 30, "expected 30 benchmarks, got %zu",
+                   out.size());
+    return out;
+}
+
+const BenchmarkSpec&
+findBenchmark(const std::vector<BenchmarkSpec>& list,
+              const std::string& name)
+{
+    for (const auto& b : list)
+        if (b.workload.name == name)
+            return b;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace spatten

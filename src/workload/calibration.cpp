@@ -1,0 +1,89 @@
+#include "workload/calibration.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/schedule.hpp"
+
+namespace spatten {
+
+namespace {
+
+/** Mean per-layer keep fraction of the standard token schedule. */
+double
+scheduleMeanKeep(double avg_ratio, std::size_t layers)
+{
+    const PruningSchedule s = makeTokenSchedule(layers, avg_ratio);
+    double keep = 1.0, sum = 0.0;
+    for (std::size_t l = 0; l < layers; ++l) {
+        sum += keep; // alive fraction entering layer l
+        keep *= 1.0 - s.ratioAt(l);
+    }
+    return sum / static_cast<double>(layers);
+}
+
+CalibrationResult
+finish(const PruningPolicy& policy, const PrunedRunStats& stats,
+       double accuracy_delta, std::size_t layers)
+{
+    CalibrationResult res;
+    res.measured_keys_frac = stats.avg_keys_frac;
+    res.measured_lsb_fraction = stats.lsb_fraction;
+    res.accuracy_delta = accuracy_delta;
+    res.equivalent_avg_ratio =
+        equivalentAvgRatio(stats.avg_keys_frac, layers);
+    res.calibrated = policy;
+    res.calibrated.lsb_fraction = stats.lsb_fraction;
+    res.calibrated.token_avg_ratio = res.equivalent_avg_ratio;
+    return res;
+}
+
+} // namespace
+
+double
+equivalentAvgRatio(double mean_keep, std::size_t layers)
+{
+    SPATTEN_ASSERT(mean_keep > 0.0 && mean_keep <= 1.0,
+                   "mean keep %f out of (0,1]", mean_keep);
+    if (mean_keep >= 0.9999 || layers == 0)
+        return 0.0;
+    double lo = 0.0, hi = 0.95;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (scheduleMeanKeep(mid, layers) > mean_keep)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+CalibrationResult
+calibrateClassifier(const TransformerModel& model,
+                    const std::vector<ClassifyExample>& examples,
+                    const PruningPolicy& policy)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no calibration examples");
+    const double dense = classifierAccuracy(model, examples);
+    PrunedRunStats stats;
+    const double pruned =
+        classifierAccuracyPruned(model, examples, policy, &stats);
+    return finish(policy, stats, pruned - dense,
+                  model.config().layers);
+}
+
+CalibrationResult
+calibrateLm(const TransformerModel& model,
+            const std::vector<LmExample>& examples,
+            const PruningPolicy& policy)
+{
+    SPATTEN_ASSERT(!examples.empty(), "no calibration examples");
+    const double dense = lmMeanLoss(model, examples);
+    PrunedRunStats stats;
+    const double pruned =
+        lmMeanLossPruned(model, examples, policy, &stats);
+    // Report loss increase as a negative "accuracy" delta.
+    return finish(policy, stats, dense - pruned, model.config().layers);
+}
+
+} // namespace spatten

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bridge between the functional experiments and the timing model: run a
+ * trained model under a pruning policy, measure what the policy actually
+ * did (surviving-key fractions, LSB-refetch rate), and produce a
+ * calibrated PruningPolicy for the accelerator simulator.
+ *
+ * This mirrors the paper's methodology: pruning ratios and the
+ * LSB fraction (5.9% average) are *measured* on real tasks, then the
+ * hardware evaluation uses those measured parameters.
+ */
+#ifndef SPATTEN_WORKLOAD_CALIBRATION_HPP
+#define SPATTEN_WORKLOAD_CALIBRATION_HPP
+
+#include "nn/trainer.hpp"
+
+namespace spatten {
+
+/** What a policy measurably did on a task. */
+struct CalibrationResult
+{
+    PruningPolicy calibrated;     ///< Input policy with measured knobs.
+    double measured_keys_frac = 1.0; ///< Mean per-layer alive-key frac.
+    double measured_lsb_fraction = 0.0;
+    double accuracy_delta = 0.0;  ///< Pruned minus dense (classification)
+                                  ///< or dense-minus-pruned loss (LM).
+    /// Equivalent per-layer average ratio that reproduces the measured
+    /// mean keep fraction under the standard schedule.
+    double equivalent_avg_ratio = 0.0;
+};
+
+/**
+ * Calibrate a policy on a trained classifier: measures accuracy impact,
+ * surviving fractions and the LSB rate, and back-solves the per-layer
+ * ratio the accelerator should simulate.
+ */
+CalibrationResult
+calibrateClassifier(const TransformerModel& model,
+                    const std::vector<ClassifyExample>& examples,
+                    const PruningPolicy& policy);
+
+/** Same for a trained causal LM (teacher-forced evaluation). */
+CalibrationResult
+calibrateLm(const TransformerModel& model,
+            const std::vector<LmExample>& examples,
+            const PruningPolicy& policy);
+
+/**
+ * Back-solve: the uniform-schedule average ratio r such that the mean
+ * per-layer keep fraction over `layers` layers (front 15% unpruned)
+ * equals @p mean_keep. Bisection; exact for the standard schedule.
+ */
+double equivalentAvgRatio(double mean_keep, std::size_t layers);
+
+} // namespace spatten
+
+#endif // SPATTEN_WORKLOAD_CALIBRATION_HPP

@@ -1,0 +1,163 @@
+#include "workload/synthetic_tasks.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+namespace {
+
+// Filler words used only for visualization output.
+const char* kFillerWords[] = {
+    "the", "a",  "of",   "is",    "it",   "and",  "to",  "in",
+    "that", "as", "was",  "with",  "for",  "on",   "are", "this",
+    "be",  "at", "by",   "or",    "an",   "so",   "its", "from",
+};
+
+const char* kPositiveWords[] = {"wonderful", "admire", "perfect",
+                                "delight"};
+const char* kNegativeWords[] = {"terrible", "boring", "awful", "dull"};
+
+} // namespace
+
+KeywordTask::KeywordTask(KeywordTaskConfig cfg)
+    : cfg_(cfg), prng_(cfg.seed)
+{
+    SPATTEN_ASSERT(cfg_.num_classes >= 2, "need >= 2 classes");
+    SPATTEN_ASSERT(cfg_.keywords_per_sentence >= 1 &&
+                       cfg_.keywords_per_sentence + cfg_.minority_keywords <
+                           cfg_.seq_len,
+                   "keyword count out of range");
+    SPATTEN_ASSERT(cfg_.minority_keywords < cfg_.keywords_per_sentence,
+                   "minority must stay a strict minority");
+}
+
+std::size_t
+KeywordTask::vocabSize() const
+{
+    return cfg_.num_fillers + cfg_.num_classes * cfg_.keywords_per_class;
+}
+
+bool
+KeywordTask::isKeyword(std::size_t id) const
+{
+    return id >= cfg_.num_fillers && id < vocabSize();
+}
+
+std::string
+KeywordTask::tokenName(std::size_t id) const
+{
+    if (id < cfg_.num_fillers) {
+        const std::size_t n = sizeof(kFillerWords) / sizeof(char*);
+        return kFillerWords[id % n];
+    }
+    const std::size_t k = id - cfg_.num_fillers;
+    const std::size_t cls = k / cfg_.keywords_per_class;
+    const std::size_t idx = k % cfg_.keywords_per_class;
+    if (cls == 0)
+        return kPositiveWords[idx % 4];
+    if (cls == 1)
+        return kNegativeWords[idx % 4];
+    return strfmt("kw%zu_%zu", cls, idx);
+}
+
+std::vector<ClassifyExample>
+KeywordTask::sample(std::size_t n)
+{
+    std::vector<ClassifyExample> out;
+    out.reserve(n);
+    for (std::size_t e = 0; e < n; ++e) {
+        ClassifyExample ex;
+        ex.label = prng_.below(cfg_.num_classes);
+        ex.ids.resize(cfg_.seq_len);
+        // Fill with random fillers.
+        for (auto& id : ex.ids)
+            id = prng_.below(cfg_.num_fillers);
+        // Place the label's keywords at distinct random positions, then
+        // minority-class distractors at other positions (majority vote
+        // decides the label).
+        std::vector<std::size_t> positions(cfg_.seq_len);
+        for (std::size_t i = 0; i < cfg_.seq_len; ++i)
+            positions[i] = i;
+        for (std::size_t i = cfg_.seq_len; i > 1; --i)
+            std::swap(positions[i - 1], positions[prng_.below(i)]);
+        std::size_t slot = 0;
+        for (std::size_t k = 0; k < cfg_.keywords_per_sentence; ++k) {
+            const std::size_t kw =
+                cfg_.num_fillers + ex.label * cfg_.keywords_per_class +
+                prng_.below(cfg_.keywords_per_class);
+            ex.ids[positions[slot++]] = kw;
+        }
+        if (cfg_.minority_keywords > 0) {
+            std::size_t other = prng_.below(cfg_.num_classes - 1);
+            if (other >= ex.label)
+                ++other;
+            for (std::size_t k = 0; k < cfg_.minority_keywords; ++k) {
+                const std::size_t kw =
+                    cfg_.num_fillers + other * cfg_.keywords_per_class +
+                    prng_.below(cfg_.keywords_per_class);
+                ex.ids[positions[slot++]] = kw;
+            }
+        }
+        out.push_back(std::move(ex));
+    }
+    return out;
+}
+
+CopyLmTask::CopyLmTask(CopyLmTaskConfig cfg) : cfg_(cfg), prng_(cfg.seed)
+{
+    SPATTEN_ASSERT(cfg_.payload_len >= 1, "payload required");
+}
+
+std::size_t
+CopyLmTask::vocabSize() const
+{
+    // symbols + fillers + BOS + SEP.
+    return cfg_.num_symbols + cfg_.num_fillers + 2;
+}
+
+std::size_t
+CopyLmTask::seqLen() const
+{
+    // BOS + payload interleaved with fillers + SEP + copy.
+    return 1 + cfg_.payload_len * (1 + cfg_.filler_gap) + 1 +
+           cfg_.payload_len;
+}
+
+bool
+CopyLmTask::isSymbol(std::size_t id) const
+{
+    return id < cfg_.num_symbols;
+}
+
+std::vector<LmExample>
+CopyLmTask::sample(std::size_t n)
+{
+    const std::size_t bos = cfg_.num_symbols + cfg_.num_fillers;
+    const std::size_t sep = bos + 1;
+    std::vector<LmExample> out;
+    out.reserve(n);
+    for (std::size_t e = 0; e < n; ++e) {
+        LmExample ex;
+        ex.ids.push_back(bos);
+        std::vector<std::size_t> payload(cfg_.payload_len);
+        for (auto& s : payload)
+            s = prng_.below(cfg_.num_symbols);
+        for (std::size_t s : payload) {
+            ex.ids.push_back(s);
+            for (std::size_t f = 0; f < cfg_.filler_gap; ++f)
+                ex.ids.push_back(cfg_.num_symbols +
+                                 prng_.below(cfg_.num_fillers));
+        }
+        ex.ids.push_back(sep);
+        for (std::size_t s : payload)
+            ex.ids.push_back(s);
+        SPATTEN_ASSERT(ex.ids.size() == seqLen(), "copy task length");
+        out.push_back(std::move(ex));
+    }
+    return out;
+}
+
+} // namespace spatten

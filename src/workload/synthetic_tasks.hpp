@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trainable synthetic NLP tasks substituting for GLUE / LM datasets
+ * (which we cannot ship). Both tasks have controllable token redundancy,
+ * the property cascade token pruning exploits:
+ *
+ * - KeywordTask: sentence-classification where the label depends on a
+ *   few keyword tokens buried in filler words (mimics SST-2 sentiment
+ *   cues amid function words, Fig. 1/22).
+ * - CopyLmTask: causal LM where payload symbols must be copied after a
+ *   separator while random filler tokens in between carry no information
+ *   (mimics LM contexts where few tokens matter, Fig. 23).
+ */
+#ifndef SPATTEN_WORKLOAD_SYNTHETIC_TASKS_HPP
+#define SPATTEN_WORKLOAD_SYNTHETIC_TASKS_HPP
+
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hpp"
+
+namespace spatten {
+
+/** Configuration of the keyword-classification task. */
+struct KeywordTaskConfig
+{
+    std::size_t num_fillers = 24;       ///< Redundant vocabulary items.
+    std::size_t keywords_per_class = 4; ///< Discriminative tokens.
+    std::size_t num_classes = 2;
+    std::size_t seq_len = 24;
+    std::size_t keywords_per_sentence = 3;
+    /// Distractor keywords of a *different* class per sentence. With
+    /// distractors the label is the majority keyword class, so pruning
+    /// keywords away can flip the prediction — this is what gives the
+    /// Fig. 21 curves their degradation knee.
+    std::size_t minority_keywords = 0;
+    std::uint64_t seed = 11;
+};
+
+/** Sentence classification driven by sparse keywords. */
+class KeywordTask
+{
+  public:
+    explicit KeywordTask(KeywordTaskConfig cfg = KeywordTaskConfig{});
+
+    std::size_t vocabSize() const;
+    std::size_t numClasses() const { return cfg_.num_classes; }
+    std::size_t seqLen() const { return cfg_.seq_len; }
+
+    /** Generate @p n labeled sentences. */
+    std::vector<ClassifyExample> sample(std::size_t n);
+
+    /** True if @p id is a class keyword (not a filler). */
+    bool isKeyword(std::size_t id) const;
+
+    /** Human-readable token string (for the Fig. 22 visualization). */
+    std::string tokenName(std::size_t id) const;
+
+    const KeywordTaskConfig& config() const { return cfg_; }
+
+  private:
+    KeywordTaskConfig cfg_;
+    Prng prng_;
+};
+
+/** Configuration of the copy language-modeling task. */
+struct CopyLmTaskConfig
+{
+    std::size_t num_symbols = 12;  ///< Copyable payload alphabet.
+    std::size_t num_fillers = 12;  ///< Uninformative noise tokens.
+    std::size_t payload_len = 5;   ///< Symbols to copy.
+    std::size_t filler_gap = 2;    ///< Fillers between payload symbols.
+    std::uint64_t seed = 13;
+};
+
+/**
+ * Causal LM task: [BOS, s1, f.., s2, f.., ..., SEP, s1, s2, ...].
+ * After SEP the payload must be reproduced; fillers are random and
+ * irreducible, so the loss improvement lives entirely on the copy half.
+ */
+class CopyLmTask
+{
+  public:
+    explicit CopyLmTask(CopyLmTaskConfig cfg = CopyLmTaskConfig{});
+
+    std::size_t vocabSize() const;
+    std::size_t seqLen() const;
+
+    std::vector<LmExample> sample(std::size_t n);
+
+    /** True if token @p id is a payload symbol. */
+    bool isSymbol(std::size_t id) const;
+
+    const CopyLmTaskConfig& config() const { return cfg_; }
+
+  private:
+    CopyLmTaskConfig cfg_;
+    Prng prng_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_WORKLOAD_SYNTHETIC_TASKS_HPP

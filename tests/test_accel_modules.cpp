@@ -1,0 +1,242 @@
+/// Tests for the datapath modules: crossbar, fetcher, QxK, Softmax and
+/// ProbxV units, and the energy/area model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/crossbar.hpp"
+#include "accel/fetcher.hpp"
+#include "accel/pv_module.hpp"
+#include "accel/qk_module.hpp"
+#include "accel/softmax_module.hpp"
+#include "energy/energy_model.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Crossbar, NoConflictWhenSpread)
+{
+    Crossbar xb;
+    std::vector<std::size_t> chans;
+    for (std::size_t i = 0; i < 16; ++i)
+        chans.push_back(i);
+    const auto res = xb.route(chans);
+    EXPECT_EQ(res.cycles, 1u);
+    EXPECT_EQ(res.conflicts, 0u);
+}
+
+TEST(Crossbar, ConflictsSerializeOnOneChannel)
+{
+    Crossbar xb;
+    const std::vector<std::size_t> chans(8, 3); // all to channel 3
+    const auto res = xb.route(chans);
+    EXPECT_EQ(res.cycles, 8u);
+    EXPECT_EQ(res.conflicts, 7u);
+}
+
+TEST(Crossbar, MasterWidthLimitsPresentation)
+{
+    Crossbar xb({4, 16});
+    std::vector<std::size_t> chans;
+    for (std::size_t i = 0; i < 16; ++i)
+        chans.push_back(i);
+    // 16 requests through 4 master ports: at least 4 cycles.
+    EXPECT_EQ(xb.route(chans).cycles, 4u);
+}
+
+TEST(Crossbar, EmptyBatch)
+{
+    Crossbar xb;
+    EXPECT_EQ(xb.route({}).cycles, 0u);
+}
+
+TEST(Fetcher, GatherMovesExpectedBytes)
+{
+    HbmModel hbm;
+    Crossbar xb;
+    QkvFetcher f(hbm, xb);
+    GatherRequest req;
+    req.base_addr = 0;
+    req.token_ids = {0, 1, 2, 3, 10, 20};
+    req.bytes_per_token = 96;
+    const auto res = f.gather(req, 0);
+    EXPECT_EQ(res.bytes, 6u * 96u);
+    EXPECT_EQ(res.requests, 6u);
+    EXPECT_EQ(hbm.totalBytes(), 6u * 96u);
+    EXPECT_GT(res.dram_cycles_done, 0u);
+}
+
+TEST(Fetcher, StreamSingleRequest)
+{
+    HbmModel hbm;
+    Crossbar xb;
+    QkvFetcher f(hbm, xb);
+    const auto res = f.stream(4096, 1 << 16, 0);
+    EXPECT_EQ(res.bytes, 1u << 16);
+    EXPECT_EQ(res.requests, 1u);
+}
+
+TEST(Fetcher, EmptyGatherFree)
+{
+    HbmModel hbm;
+    Crossbar xb;
+    QkvFetcher f(hbm, xb);
+    GatherRequest req;
+    const auto res = f.gather(req, 0);
+    EXPECT_EQ(res.bytes, 0u);
+    EXPECT_EQ(res.dram_cycles_done, 0u);
+}
+
+TEST(QkModule, EightScoresPerCycleAtD64)
+{
+    QkModule qk; // 512 multipliers, tree cap 8
+    const auto t = qk.timing(1024, 64);
+    // 512/64 = 8 keys per cycle -> 128 cycles.
+    EXPECT_EQ(t.scores_per_cycle, 8u);
+    EXPECT_EQ(t.cycles, 128u);
+    EXPECT_EQ(t.macs, 1024u * 64u);
+}
+
+TEST(QkModule, WideHeadsSerialize)
+{
+    QkModule qk;
+    const auto t = qk.timing(100, 512);
+    EXPECT_EQ(t.scores_per_cycle, 1u);
+    EXPECT_EQ(t.cycles, 100u);
+}
+
+TEST(QkModule, TreeOutputCapRespected)
+{
+    QkModuleConfig cfg;
+    cfg.num_multipliers = 512;
+    cfg.max_tree_outputs = 4;
+    QkModule qk(cfg);
+    EXPECT_EQ(qk.timing(64, 32).scores_per_cycle, 4u);
+}
+
+TEST(QkModule, FunctionalScores)
+{
+    QkModule qk;
+    const std::vector<float> q{1.0f, 2.0f};
+    const std::vector<std::vector<float>> k{{1.0f, 0.0f}, {0.0f, 1.0f}};
+    const auto s = qk.computeScores(q, k, 0.5f);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_FLOAT_EQ(s[0], 0.5f);
+    EXPECT_FLOAT_EQ(s[1], 1.0f);
+}
+
+TEST(SoftmaxModule, TimingScalesWithRow)
+{
+    SoftmaxModule sm;
+    EXPECT_LT(sm.timingCycles(8), sm.timingCycles(1024));
+    // 2 passes x 1024/8 + depth.
+    EXPECT_EQ(sm.timingCycles(1024),
+              2 * 128 + sm.config().pipeline_depth);
+}
+
+TEST(SoftmaxModule, FunctionalSumsToOne)
+{
+    SoftmaxModule sm;
+    std::vector<float> prob;
+    const auto t = sm.run({1.0f, 2.0f, 3.0f, 0.5f}, prob, 0.1);
+    double s = 0.0;
+    for (float p : prob)
+        s += p;
+    EXPECT_NEAR(s, 1.0, 2e-3); // 12-bit requantization slack
+    EXPECT_EQ(t.elems, 4u);
+}
+
+TEST(SoftmaxModule, LsbDecision)
+{
+    SoftmaxModule sm;
+    std::vector<float> prob;
+    // Flat scores -> flat distribution -> needs LSB at threshold 0.1.
+    const auto flat = sm.run(std::vector<float>(64, 1.0f), prob, 0.1);
+    EXPECT_TRUE(flat.needs_lsb);
+    // One dominant score -> no LSB.
+    std::vector<float> dom(64, 0.0f);
+    dom[7] = 20.0f;
+    const auto peaked = sm.run(dom, prob, 0.1);
+    EXPECT_FALSE(peaked.needs_lsb);
+    EXPECT_GT(peaked.max_prob, 0.9f);
+}
+
+TEST(PvModule, TimingAndMacs)
+{
+    PvModule pv;
+    const auto t = pv.timing(1024, 64);
+    EXPECT_EQ(t.cycles, 128u); // 8 rows per cycle
+    EXPECT_EQ(t.macs, 1024u * 64u);
+}
+
+TEST(PvModule, FunctionalWeightedSum)
+{
+    PvModule pv;
+    const std::vector<float> prob{0.5f, 0.25f, 0.25f};
+    const std::vector<std::vector<float>> v{
+        {2.0f, 0.0f}, {0.0f, 4.0f}, {4.0f, 4.0f}};
+    const auto out = pv.accumulate(prob, v, {0, 1, 2});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_FLOAT_EQ(out[0], 2.0f);
+    EXPECT_FLOAT_EQ(out[1], 2.0f);
+    // Pruned accumulation skips row 1.
+    const auto pruned = pv.accumulate(prob, v, {0, 2});
+    EXPECT_FLOAT_EQ(pruned[1], 1.0f);
+}
+
+TEST(EnergyModel, ComputeBucketsScaleWithActivity)
+{
+    EnergyModel em;
+    ActivityCounts a;
+    a.qk_macs = 1e9;
+    a.cycles = 1e6;
+    a.freq_ghz = 1.0;
+    const auto r1 = em.compute(a);
+    a.qk_macs = 2e9;
+    const auto r2 = em.compute(a);
+    EXPECT_NEAR(r2.qk_j, 2 * r1.qk_j, 1e-12);
+    EXPECT_GT(r1.totalJ(), 0.0);
+}
+
+TEST(EnergyModel, LeakageScalesWithTime)
+{
+    EnergyModel em;
+    ActivityCounts a;
+    a.cycles = 1e9; // 1 second at 1 GHz
+    a.freq_ghz = 1.0;
+    const auto r = em.compute(a);
+    EXPECT_NEAR(r.leakage_j, em.config().leakage_w, 1e-9);
+    EXPECT_NEAR(r.seconds, 1.0, 1e-12);
+}
+
+TEST(AreaModel, FullConfigMatchesPaperTotal)
+{
+    const auto entries = areaBreakdown(1024, 392, 16);
+    // Paper Fig. 13: 18.71 mm^2 total.
+    EXPECT_NEAR(totalAreaMm2(entries), 18.71, 0.1);
+}
+
+TEST(AreaModel, EighthConfigSmaller)
+{
+    const double full = totalAreaMm2(areaBreakdown(1024, 392, 16));
+    const double eighth = totalAreaMm2(areaBreakdown(128, 48, 2));
+    EXPECT_LT(eighth, full / 4.0);
+    // Paper Table III: SpAtten-1/8 is 1.55 mm^2.
+    EXPECT_NEAR(eighth, 1.55, 1.0);
+}
+
+TEST(AreaModel, QkAndPvDominate)
+{
+    const auto entries = areaBreakdown(1024, 392, 16);
+    double qk = 0, pv = 0, total = totalAreaMm2(entries);
+    for (const auto& e : entries) {
+        if (e.module == "QxK")
+            qk = e.mm2;
+        if (e.module == "AttnProb x V")
+            pv = e.mm2;
+    }
+    EXPECT_GT((qk + pv) / total, 0.7);
+}
+
+} // namespace
+} // namespace spatten

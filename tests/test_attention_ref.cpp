@@ -1,0 +1,209 @@
+/// Tests for the reference attention (Algorithm 1) and the SpAtten
+/// algorithmic pipeline (per-head/per-query with local V pruning and
+/// progressive quantization).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/attention_ref.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+namespace {
+
+std::vector<std::size_t>
+iota(std::size_t n)
+{
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = i;
+    return v;
+}
+
+TEST(AttentionForward, SingleHeadMatchesManual)
+{
+    // One head, 1 query, 2 keys, D = 2.
+    Tensor q({1, 2}, {1.0f, 0.0f});
+    Tensor k({2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+    Tensor v({2, 2}, {10.0f, 0.0f, 0.0f, 10.0f});
+    const AttentionOutput out = attentionForward(q, k, v, 1);
+    const float inv = 1.0f / std::sqrt(2.0f);
+    const float e0 = std::exp(1.0f * inv), e1 = std::exp(0.0f);
+    const float p0 = e0 / (e0 + e1), p1 = e1 / (e0 + e1);
+    EXPECT_NEAR(out.out.at(0, 0), 10.0f * p0, 1e-5f);
+    EXPECT_NEAR(out.out.at(0, 1), 10.0f * p1, 1e-5f);
+}
+
+TEST(AttentionForward, ProbsRowStochastic)
+{
+    Prng p(1);
+    const Tensor q = Tensor::randn({6, 24}, p);
+    const Tensor k = Tensor::randn({9, 24}, p);
+    const Tensor v = Tensor::randn({9, 24}, p);
+    const AttentionOutput out = attentionForward(q, k, v, 3);
+    ASSERT_EQ(out.probs.size(), 3u);
+    for (const Tensor& prob : out.probs) {
+        for (std::size_t i = 0; i < prob.dim(0); ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < prob.dim(1); ++j)
+                s += prob.at(i, j);
+            EXPECT_NEAR(s, 1.0, 1e-5);
+        }
+    }
+}
+
+TEST(AttentionForward, StatsCountMacs)
+{
+    Prng p(2);
+    const std::size_t l0 = 4, l1 = 7, din = 24, h = 3;
+    const Tensor q = Tensor::randn({l0, din}, p);
+    const Tensor k = Tensor::randn({l1, din}, p);
+    const Tensor v = Tensor::randn({l1, din}, p);
+    const AttentionOutput out = attentionForward(q, k, v, h);
+    EXPECT_DOUBLE_EQ(out.stats.qk_macs,
+                     static_cast<double>(l0 * l1 * din));
+    EXPECT_DOUBLE_EQ(out.stats.pv_macs,
+                     static_cast<double>(l0 * l1 * din));
+}
+
+TEST(SpAttenAttention, NoPruningMatchesReference)
+{
+    Prng p(3);
+    const std::size_t l = 10, din = 32, h = 4;
+    const Tensor q = Tensor::randn({l, din}, p);
+    const Tensor k = Tensor::randn({l, din}, p);
+    const Tensor v = Tensor::randn({l, din}, p);
+
+    SpAttenAttentionConfig cfg;
+    cfg.num_heads = h;
+    cfg.local_v_ratio = 0.0;
+    cfg.quantize_inputs = false;
+    const AttentionOutput got = SpAttenAttention(cfg).run(q, k, v, iota(h));
+    const AttentionOutput ref = attentionForward(q, k, v, h);
+    EXPECT_LT(ops::maxAbsDiff(got.out, ref.out), 1e-4f);
+}
+
+TEST(SpAttenAttention, PrunedHeadChunksStayZero)
+{
+    Prng p(4);
+    const std::size_t l = 5, din = 24, h = 3;
+    const Tensor q = Tensor::randn({l, din}, p);
+    const Tensor k = Tensor::randn({l, din}, p);
+    const Tensor v = Tensor::randn({l, din}, p);
+    SpAttenAttentionConfig cfg;
+    cfg.num_heads = h;
+    // Only head 1 alive.
+    const AttentionOutput out = SpAttenAttention(cfg).run(q, k, v, {1});
+    const std::size_t d = din / h;
+    for (std::size_t i = 0; i < l; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            EXPECT_EQ(out.out.at(i, j), 0.0f);          // head 0 chunk
+            EXPECT_EQ(out.out.at(i, 2 * d + j), 0.0f);  // head 2 chunk
+        }
+    }
+    EXPECT_EQ(out.probs.size(), 1u);
+}
+
+TEST(SpAttenAttention, LocalVPruningSmallPerturbation)
+{
+    // Dropping the lowest-probability V rows should barely change the
+    // output when the distribution is dominated.
+    Prng p(5);
+    const std::size_t l = 32, din = 16, h = 1;
+    Tensor q = Tensor::randn({1, din}, p, 0.0f, 2.0f);
+    Tensor k = Tensor::randn({l, din}, p, 0.0f, 0.05f);
+    // Key 7 dominates.
+    for (std::size_t j = 0; j < din; ++j)
+        k.at(7, j) = q.at(0, j);
+    const Tensor v = Tensor::randn({l, din}, p);
+
+    SpAttenAttentionConfig base;
+    base.num_heads = h;
+    const AttentionOutput ref = SpAttenAttention(base).run(q, k, v, {0});
+
+    SpAttenAttentionConfig vp = base;
+    vp.local_v_ratio = 0.5;
+    const AttentionOutput pruned = SpAttenAttention(vp).run(q, k, v, {0});
+    EXPECT_LT(ops::maxAbsDiff(ref.out, pruned.out), 0.05f);
+    EXPECT_LT(pruned.stats.v_rows_kept, pruned.stats.v_rows_total);
+    EXPECT_LT(pruned.stats.pv_macs, ref.stats.pv_macs);
+}
+
+TEST(SpAttenAttention, QuantizedPathCloseToFloat)
+{
+    Prng p(6);
+    const std::size_t l = 24, din = 32, h = 2;
+    const Tensor q = Tensor::randn({l, din}, p);
+    const Tensor k = Tensor::randn({l, din}, p);
+    const Tensor v = Tensor::randn({l, din}, p);
+
+    SpAttenAttentionConfig cfg;
+    cfg.num_heads = h;
+    cfg.quantize_inputs = true;
+    cfg.pq.setting = {12, 4};
+    cfg.pq.max_prob_threshold = 0.1;
+    const AttentionOutput got = SpAttenAttention(cfg).run(q, k, v, iota(h));
+    const AttentionOutput ref = attentionForward(q, k, v, h);
+    EXPECT_LT(ops::meanAbsDiff(got.out, ref.out), 0.02);
+}
+
+TEST(SpAttenAttention, ProgressiveReducesFetchedBits)
+{
+    // With a dominated distribution most queries skip the LSB fetch, so
+    // quantized DRAM traffic is far below fp32 traffic.
+    Prng p(7);
+    const std::size_t l = 64, din = 64, h = 1;
+    Tensor q = Tensor::randn({l, din}, p, 0.0f, 1.5f);
+    Tensor k = q; // self-attention-ish: each query dominated by itself
+    const Tensor v = Tensor::randn({l, din}, p);
+
+    SpAttenAttentionConfig qcfg;
+    qcfg.num_heads = h;
+    qcfg.quantize_inputs = true;
+    qcfg.pq.setting = {8, 4};
+    qcfg.pq.max_prob_threshold = 0.1;
+    const AttentionOutput quant_out =
+        SpAttenAttention(qcfg).run(q, k, v, {0});
+
+    SpAttenAttentionConfig fcfg;
+    fcfg.num_heads = h;
+    const AttentionOutput float_out =
+        SpAttenAttention(fcfg).run(q, k, v, {0});
+
+    EXPECT_LT(quant_out.stats.dram_bits_qkv,
+              0.5 * float_out.stats.dram_bits_qkv);
+    // Not every query should have needed LSBs.
+    EXPECT_LT(quant_out.stats.lsb_refetches, quant_out.stats.queries);
+}
+
+TEST(SpAttenAttention, StatsAccumulateAcrossHeads)
+{
+    Prng p(8);
+    const std::size_t l = 6, din = 24, h = 3;
+    const Tensor q = Tensor::randn({l, din}, p);
+    const Tensor k = Tensor::randn({l, din}, p);
+    const Tensor v = Tensor::randn({l, din}, p);
+    SpAttenAttentionConfig cfg;
+    cfg.num_heads = h;
+    const AttentionOutput out = SpAttenAttention(cfg).run(q, k, v, iota(h));
+    EXPECT_DOUBLE_EQ(out.stats.queries, static_cast<double>(l * h));
+    EXPECT_DOUBLE_EQ(out.stats.qk_macs,
+                     static_cast<double>(l * l * din));
+}
+
+TEST(AttentionStats, AddCombines)
+{
+    AttentionStats a, b;
+    a.qk_macs = 10;
+    a.pv_macs = 5;
+    b.qk_macs = 1;
+    b.lsb_refetches = 2;
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.qk_macs, 11);
+    EXPECT_DOUBLE_EQ(a.pv_macs, 5);
+    EXPECT_DOUBLE_EQ(a.lsb_refetches, 2);
+    EXPECT_DOUBLE_EQ(a.flops(), 2 * (11 + 5));
+}
+
+} // namespace
+} // namespace spatten

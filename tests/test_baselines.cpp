@@ -1,0 +1,175 @@
+/// Tests for the baseline platform models (GPU/CPU/Nano/Pi) and the
+/// A3 / MNNFast prior-art models.
+#include <gtest/gtest.h>
+
+#include "accel/spatten_accelerator.hpp"
+#include "baselines/a3_model.hpp"
+#include "baselines/mnnfast_model.hpp"
+#include "baselines/platform_model.hpp"
+
+namespace spatten {
+namespace {
+
+WorkloadSpec
+bertW(std::size_t len = 128)
+{
+    WorkloadSpec w;
+    w.name = "bert";
+    w.model = ModelSpec::bertBase();
+    w.summarize_len = len;
+    return w;
+}
+
+WorkloadSpec
+gptW()
+{
+    WorkloadSpec w;
+    w.name = "gpt2";
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 512;
+    w.generate_len = 32;
+    return w;
+}
+
+TEST(PlatformModel, OrderingGpuFastestPiSlowest)
+{
+    const auto w = gptW();
+    const double gpu =
+        PlatformModel(PlatformSpec::titanXp()).attention(w).seconds;
+    const double cpu =
+        PlatformModel(PlatformSpec::xeon()).attention(w).seconds;
+    const double nano =
+        PlatformModel(PlatformSpec::jetsonNano()).attention(w).seconds;
+    const double pi =
+        PlatformModel(PlatformSpec::raspberryPi()).attention(w).seconds;
+    EXPECT_LT(gpu, cpu);
+    EXPECT_LT(cpu, nano);
+    EXPECT_LT(nano, pi);
+}
+
+TEST(PlatformModel, GpuEffectiveRateMatchesFig18Scale)
+{
+    // Fig. 18: TITAN Xp achieves ~0.02 TFLOPS on BERT attention and
+    // ~0.01 TFLOPS on GPT-2. Check order of magnitude.
+    const auto bert = PlatformModel(PlatformSpec::titanXp())
+                          .attention(bertW(384));
+    EXPECT_GT(bert.effectiveTflops(), 0.004);
+    EXPECT_LT(bert.effectiveTflops(), 0.12);
+    const auto gpt =
+        PlatformModel(PlatformSpec::titanXp()).attention(gptW());
+    EXPECT_LT(gpt.effectiveTflops(), bert.effectiveTflops());
+}
+
+TEST(PlatformModel, TokenPruningHelpsGpuToo)
+{
+    // §V-B: topk+gather token pruning on GPU gives up to ~2.3x with 3x
+    // pruning; our model should show a benefit but below linear.
+    const PlatformModel gpu(PlatformSpec::titanXp());
+    const auto dense = gpu.attention(bertW(384), 1.0);
+    const auto pruned = gpu.attention(bertW(384), 1.0 / 3.0);
+    const double speedup = dense.seconds / pruned.seconds;
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 9.0);
+}
+
+TEST(PlatformModel, EnergyIsPowerTimesLatency)
+{
+    const PlatformModel gpu(PlatformSpec::titanXp());
+    const auto r = gpu.attention(bertW());
+    EXPECT_NEAR(r.energy_j, r.seconds * 61.0, 1e-9);
+}
+
+TEST(PlatformModel, FcFasterPerFlopThanAttention)
+{
+    // FCs run at better utilization: more FLOPs per second than the
+    // attention path on the same platform.
+    const PlatformModel gpu(PlatformSpec::titanXp());
+    const auto attn = gpu.attention(bertW(384));
+    const auto fc = gpu.fc(bertW(384));
+    EXPECT_GT(fc.effectiveTflops(), attn.effectiveTflops());
+}
+
+TEST(A3, EffectiveThroughputNearPaper)
+{
+    // Table III: A3 effective throughput 221 GOP/s (1.73x over its
+    // 128 GOP/s dense datapath... 2 ops x 128 mults = 256 GOP/s peak).
+    A3Model a3;
+    const auto r = a3.run(bertW(384));
+    EXPECT_GT(r.effectiveGops(), 120.0);
+    EXPECT_LT(r.effectiveGops(), 450.0);
+}
+
+TEST(A3, PreprocessingOverheadNonzero)
+{
+    A3Model a3;
+    const auto r = a3.run(bertW(128));
+    EXPECT_GT(r.preprocess_seconds, 0.0);
+    EXPECT_LT(r.preprocess_seconds, r.seconds);
+}
+
+TEST(A3, NoDramReduction)
+{
+    // A3 fetches everything: DRAM bytes equal dense 12-bit traffic.
+    A3Model a3;
+    const auto r = a3.run(bertW(256));
+    const double dense_bytes =
+        3.0 * 256 * 64 * 12 * 1.5 * 12; // 3 tensors x L x d x h x 1.5B x layers
+    EXPECT_NEAR(r.dram_bytes, dense_bytes, dense_bytes * 0.01);
+}
+
+TEST(A3, RejectsGenerativeWorkloads)
+{
+    A3Model a3;
+    EXPECT_DEATH(a3.run(gptW()), "discriminative");
+}
+
+TEST(MnnFast, SlowerThanA3)
+{
+    // Table III: A3 1.8x over MNNFast; MNNFast only prunes V locally.
+    const auto w = bertW(384);
+    const auto a3 = A3Model().run(w);
+    const auto mnn = MnnFastModel().run(w);
+    EXPECT_GT(mnn.seconds, a3.seconds);
+}
+
+TEST(MnnFast, RejectsGenerativeWorkloads)
+{
+    EXPECT_DEATH(MnnFastModel().run(gptW()), "discriminative");
+}
+
+TEST(PriorArt, SpAttenEighthBeatsBoth)
+{
+    // Table III headline: SpAtten-1/8 is 1.6x faster than A3 and 3.0x
+    // faster than MNNFast under the same mults/bandwidth budget.
+    const auto w = bertW(384);
+    SpAttenAccelerator eighth(SpAttenConfig::eighth());
+    PruningPolicy pol;
+    pol.token_avg_ratio = 0.15;
+    pol.head_avg_ratio = 0.05;
+    pol.local_v_ratio = 0.3;
+    pol.pq.enabled = false; // BERT uses static quantization
+    const auto sp = eighth.run(w, pol);
+    const auto a3 = A3Model().run(w);
+    const auto mnn = MnnFastModel().run(w);
+    const double sp_gops = sp.attention_flops_dense / sp.seconds * 1e-9;
+    EXPECT_GT(sp_gops / a3.effectiveGops(), 1.2);
+    EXPECT_GT(sp_gops / mnn.effectiveGops(), 2.0);
+}
+
+TEST(PriorArt, SpAttenVsGpuSpeedupScale)
+{
+    // Fig. 14 scale check: SpAtten vs TITAN Xp speedup on a BERT task
+    // should be in the tens-to-hundreds range.
+    SpAttenAccelerator accel;
+    PruningPolicy pol;
+    pol.pq.enabled = false;
+    const auto sp = accel.run(bertW(384), pol);
+    const auto gpu =
+        PlatformModel(PlatformSpec::titanXp()).attention(bertW(384));
+    const double speedup = gpu.seconds / sp.seconds;
+    EXPECT_GT(speedup, 30.0);
+    EXPECT_LT(speedup, 2000.0);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,121 @@
+/// Tests for the measured-policy calibration bridge.
+#include <gtest/gtest.h>
+
+#include "accel/spatten_accelerator.hpp"
+#include "core/schedule.hpp"
+#include "workload/calibration.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(EquivalentAvgRatio, ZeroForFullKeep)
+{
+    EXPECT_DOUBLE_EQ(equivalentAvgRatio(1.0, 12), 0.0);
+}
+
+TEST(EquivalentAvgRatio, RoundTripsScheduleMeanKeep)
+{
+    // For a known ratio, compute the schedule's mean keep and back-solve.
+    for (double ratio : {0.05, 0.15, 0.3}) {
+        const std::size_t layers = 12;
+        const PruningSchedule s = makeTokenSchedule(layers, ratio);
+        double keep = 1.0, sum = 0.0;
+        for (std::size_t l = 0; l < layers; ++l) {
+            sum += keep;
+            keep *= 1.0 - s.ratioAt(l);
+        }
+        const double mean_keep = sum / layers;
+        EXPECT_NEAR(equivalentAvgRatio(mean_keep, layers), ratio, 1e-6);
+    }
+}
+
+TEST(EquivalentAvgRatio, MonotoneInKeep)
+{
+    EXPECT_GT(equivalentAvgRatio(0.3, 12), equivalentAvgRatio(0.7, 12));
+}
+
+TEST(Calibration, MeasuresAndBacksolves)
+{
+    KeywordTask task;
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 16;
+    mc.heads = 2;
+    mc.layers = 3;
+    mc.ffn_dim = 24;
+    mc.max_len = task.seqLen();
+    mc.num_classes = task.numClasses();
+    TransformerModel model(mc);
+    const auto ex = task.sample(10);
+
+    PruningPolicy pol = PruningPolicy::disabled();
+    pol.token_pruning = true;
+    pol.token_avg_ratio = 0.3;
+    pol.pq.max_prob_threshold = 0.1;
+    const CalibrationResult cal = calibrateClassifier(model, ex, pol);
+    EXPECT_LT(cal.measured_keys_frac, 1.0);
+    EXPECT_GT(cal.equivalent_avg_ratio, 0.0);
+    EXPECT_GE(cal.measured_lsb_fraction, 0.0);
+    EXPECT_LE(cal.measured_lsb_fraction, 1.0);
+    // The calibrated policy carries the measured knobs.
+    EXPECT_DOUBLE_EQ(cal.calibrated.lsb_fraction,
+                     cal.measured_lsb_fraction);
+    EXPECT_DOUBLE_EQ(cal.calibrated.token_avg_ratio,
+                     cal.equivalent_avg_ratio);
+}
+
+TEST(Calibration, ZeroPolicyMeasuresNothing)
+{
+    KeywordTask task;
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 16;
+    mc.heads = 2;
+    mc.layers = 2;
+    mc.ffn_dim = 24;
+    mc.max_len = task.seqLen();
+    mc.num_classes = task.numClasses();
+    TransformerModel model(mc);
+    const auto ex = task.sample(5);
+    const CalibrationResult cal =
+        calibrateClassifier(model, ex, PruningPolicy::disabled());
+    EXPECT_DOUBLE_EQ(cal.measured_keys_frac, 1.0);
+    EXPECT_DOUBLE_EQ(cal.equivalent_avg_ratio, 0.0);
+    EXPECT_DOUBLE_EQ(cal.accuracy_delta, 0.0);
+}
+
+TEST(Calibration, LmPathAndAcceleratorHandoff)
+{
+    CopyLmTask task;
+    TinyModelConfig mc;
+    mc.vocab = task.vocabSize();
+    mc.d_model = 16;
+    mc.heads = 2;
+    mc.layers = 3;
+    mc.ffn_dim = 24;
+    mc.max_len = task.seqLen();
+    TransformerModel model(mc);
+    const auto ex = task.sample(5);
+
+    PruningPolicy pol = PruningPolicy::disabled();
+    pol.token_pruning = true;
+    pol.token_avg_ratio = 0.4;
+    const CalibrationResult cal = calibrateLm(model, ex, pol);
+    EXPECT_LT(cal.measured_keys_frac, 1.0);
+
+    // The calibrated policy must drive the accelerator without issues
+    // and produce less traffic than the dense run.
+    WorkloadSpec w;
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 256;
+    w.generate_len = 4;
+    w.skip_summarization = true;
+    SpAttenAccelerator accel;
+    const RunResult pruned = accel.run(w, cal.calibrated);
+    const RunResult dense = accel.run(w, PruningPolicy::disabled());
+    EXPECT_LT(pruned.dram_bytes, dense.dram_bytes);
+}
+
+} // namespace
+} // namespace spatten

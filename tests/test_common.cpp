@@ -1,0 +1,158 @@
+/// Unit tests for the common substrate: PRNG determinism/statistics,
+/// string formatting, and math helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+#include "common/prng.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances)
+{
+    Prng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Prng, ReseedRestoresStream)
+{
+    Prng a(7);
+    const auto x0 = a();
+    const auto x1 = a();
+    a.reseed(7);
+    EXPECT_EQ(a(), x0);
+    EXPECT_EQ(a(), x1);
+}
+
+TEST(Prng, UniformRange)
+{
+    Prng p(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = p.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Prng, UniformMeanNearHalf)
+{
+    Prng p(11);
+    double s = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        s += p.uniform();
+    EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Prng, BelowIsInRangeAndHitsAll)
+{
+    Prng p(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const auto x = p.below(7);
+        EXPECT_LT(x, 7u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Prng, RangeInclusive)
+{
+    Prng p(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto x = p.range(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        saw_lo |= (x == -3);
+        saw_hi |= (x == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, GaussianMoments)
+{
+    Prng p(13);
+    double s = 0.0, s2 = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = p.gaussian();
+        s += g;
+        s2 += g * g;
+    }
+    EXPECT_NEAR(s / n, 0.0, 0.02);
+    EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Prng, GaussianShifted)
+{
+    Prng p(17);
+    double s = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        s += p.gaussian(5.0, 0.5);
+    EXPECT_NEAR(s / n, 5.0, 0.02);
+}
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+    EXPECT_EQ(strfmt("%.2f", 1.5), "1.50");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 512), 1);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+}
+
+TEST(MathUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(1024), 10);
+    EXPECT_EQ(ceilLog2(1025), 11);
+}
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(512));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+}
+
+TEST(MathUtil, ClampTo)
+{
+    EXPECT_EQ(clampTo(5, 0, 10), 5);
+    EXPECT_EQ(clampTo(-1, 0, 10), 0);
+    EXPECT_EQ(clampTo(11, 0, 10), 10);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,97 @@
+/// Consolidated failure-injection suite: every module's precondition
+/// violations must fail loudly (panic/fatal), never silently corrupt.
+#include <gtest/gtest.h>
+
+#include "accel/pipeline.hpp"
+#include "accel/qk_module.hpp"
+#include "accel/topk_engine.hpp"
+#include "core/attention_ref.hpp"
+#include "core/schedule.hpp"
+#include "hbm/hbm.hpp"
+#include "nn/layers.hpp"
+#include "quant/linear_quant.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(FailureInjection, TensorShapeMismatches)
+{
+    Tensor a({2, 3}), b({3, 3});
+    EXPECT_DEATH(ops::add(a, b), "elementwise");
+    EXPECT_DEATH(ops::matmul(a, a), "matmul");
+    EXPECT_DEATH(a.row(5), "row");
+    EXPECT_DEATH(a.reshape({7}), "reshape");
+    Tensor empty;
+    EXPECT_DEATH(empty.maxElem(), "empty");
+}
+
+TEST(FailureInjection, QuantBadBitwidths)
+{
+    Tensor x({4}, 1.0f);
+    EXPECT_DEATH(quant::quantize(x, 1), "bitwidth");
+    EXPECT_DEATH(quant::quantize(x, 17), "bitwidth");
+    EXPECT_DEATH(quant::quantizeWithScale(x, 8, -1.0f), "scale");
+}
+
+TEST(FailureInjection, TopkOutOfRange)
+{
+    TopkEngine engine;
+    EXPECT_DEATH(engine.run({1.0f, 2.0f}, 0), "top-k");
+    EXPECT_DEATH(engine.run({1.0f, 2.0f}, 3), "top-k");
+}
+
+TEST(FailureInjection, QkModuleBadHeadDim)
+{
+    QkModule qk;
+    EXPECT_DEATH(qk.timing(10, 0), "head dim");
+    EXPECT_DEATH(qk.timing(10, 1024), "head dim");
+}
+
+TEST(FailureInjection, HbmZeroByteRequest)
+{
+    HbmModel hbm;
+    EXPECT_DEATH(hbm.access({0, 0, false}, 0), "zero-byte");
+}
+
+TEST(FailureInjection, ScheduleBadRatio)
+{
+    ScheduleConfig cfg;
+    cfg.avg_ratio = 1.5;
+    EXPECT_DEATH(PruningSchedule(4, cfg), "avg_ratio");
+    const PruningSchedule s = makeTokenSchedule(4, 0.2);
+    EXPECT_DEATH(s.ratioAt(9), "layer");
+}
+
+TEST(FailureInjection, PipelineEmptyWorkload)
+{
+    SpAttenPipeline pipe;
+    WorkloadSpec w;
+    w.summarize_len = 0;
+    EXPECT_DEATH(pipe.run(w, PruningPolicy::disabled()), "empty input");
+}
+
+TEST(FailureInjection, AttentionBadHeadSplit)
+{
+    Prng p(1);
+    const Tensor q = Tensor::randn({2, 10}, p);
+    EXPECT_DEATH(attentionForward(q, q, q, 3), "divisible");
+}
+
+TEST(FailureInjection, EmbeddingOutOfVocab)
+{
+    Prng p(2);
+    Embedding emb("e", 4, 8, 16, p);
+    EXPECT_DEATH(emb.forward({7}), "vocab");
+    EXPECT_DEATH(emb.forwardOne(1, 99), "out of range");
+}
+
+TEST(FailureInjection, LossBadLabel)
+{
+    Tensor logits({1, 3}, 0.0f);
+    Tensor d;
+    EXPECT_DEATH(softmaxCrossEntropy(logits, {5}, d), "label");
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,275 @@
+/// Tests for autoregressive generation with KV caches, on-the-fly
+/// cascade pruning, and beam search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/generation.hpp"
+#include "nn/trainer.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+namespace spatten {
+namespace {
+
+TinyModelConfig
+lmConfig(std::size_t vocab, std::size_t max_len)
+{
+    TinyModelConfig mc;
+    mc.vocab = vocab;
+    mc.d_model = 32;
+    mc.heads = 4;
+    mc.layers = 3;
+    mc.ffn_dim = 48;
+    mc.max_len = max_len;
+    mc.seed = 77;
+    return mc;
+}
+
+// The KV-cache stepping path must agree with the full causal forward:
+// greedy generation re-derived from repeated full forwards must match.
+TEST(Generation, KvCacheMatchesFullForward)
+{
+    TransformerModel model(lmConfig(20, 24));
+    GenerativeRunner runner(model);
+    const std::vector<std::size_t> prompt{3, 1, 4, 1, 5};
+
+    GenerateOptions opts;
+    opts.max_new_tokens = 6;
+    opts.beam_width = 1;
+    opts.policy = PruningPolicy::disabled();
+    const GenerateResult got = runner.generate(prompt, opts);
+    ASSERT_EQ(got.tokens.size(), 6u);
+
+    // Reference: repeatedly run the full model (no cache) and take the
+    // argmax of the last position's next-token distribution. The full
+    // path goes through lmLoss-style forward; we reuse predict-by-loss:
+    std::vector<std::size_t> ctx = prompt;
+    for (std::size_t step = 0; step < 6; ++step) {
+        // Probe every vocabulary token: the model's next-token argmax is
+        // the one minimizing the loss of (ctx + tok) at the last slot.
+        // Cheaper: run lmLoss over ctx + candidate and compare the
+        // last-position probability. Instead, derive logits via the
+        // pruned-loss API with zero pruning on (ctx + dummy) — the
+        // cleanest check is distributional: the generated token must be
+        // the argmax, so appending it must give a lower (better) loss on
+        // that position than appending any of a few other tokens.
+        const std::size_t chosen = got.tokens[step];
+        std::vector<std::size_t> with_chosen = ctx;
+        with_chosen.push_back(chosen);
+        const double chosen_loss =
+            model.lmLoss(with_chosen) *
+            static_cast<double>(with_chosen.size() - 1);
+        for (std::size_t alt = 0; alt < 20; alt += 7) {
+            if (alt == chosen)
+                continue;
+            std::vector<std::size_t> with_alt = ctx;
+            with_alt.push_back(alt);
+            const double alt_loss =
+                model.lmLoss(with_alt) *
+                static_cast<double>(with_alt.size() - 1);
+            // Only the last position differs between the two sums.
+            EXPECT_LE(chosen_loss, alt_loss + 1e-4)
+                << "step " << step << " alt " << alt;
+        }
+        ctx.push_back(chosen);
+    }
+}
+
+TEST(Generation, DeterministicAcrossRuns)
+{
+    TransformerModel model(lmConfig(16, 20));
+    GenerativeRunner r1(model), r2(model);
+    GenerateOptions opts;
+    opts.max_new_tokens = 5;
+    opts.policy = PruningPolicy::disabled();
+    const auto a = r1.generate({1, 2, 3}, opts);
+    const auto b = r2.generate({1, 2, 3}, opts);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_DOUBLE_EQ(a.logprob, b.logprob);
+}
+
+TEST(Generation, BeamSearchScoreAtLeastGreedy)
+{
+    TransformerModel model(lmConfig(24, 24));
+    GenerativeRunner greedy_runner(model), beam_runner(model);
+    GenerateOptions greedy;
+    greedy.max_new_tokens = 6;
+    greedy.beam_width = 1;
+    greedy.policy = PruningPolicy::disabled();
+    GenerateOptions beam = greedy;
+    beam.beam_width = 4;
+    const auto g = greedy_runner.generate({2, 4, 6}, greedy);
+    const auto b = beam_runner.generate({2, 4, 6}, beam);
+    EXPECT_GE(b.logprob, g.logprob - 1e-9);
+}
+
+TEST(Generation, PruningShrinksCaches)
+{
+    TransformerModel model(lmConfig(24, 40));
+    GenerativeRunner runner(model);
+    std::vector<std::size_t> prompt(24);
+    for (std::size_t i = 0; i < prompt.size(); ++i)
+        prompt[i] = i % 24;
+    GenerateOptions opts;
+    opts.max_new_tokens = 8;
+    opts.policy = PruningPolicy::disabled();
+    opts.policy.token_pruning = true;
+    opts.policy.token_avg_ratio = 0.35;
+    const auto res = runner.generate(prompt, opts);
+    EXPECT_LT(res.final_keys_frac, 1.0);
+    EXPECT_GT(res.final_keys_frac, 0.05);
+}
+
+TEST(Generation, HeadPruningShrinksAliveHeads)
+{
+    TransformerModel model(lmConfig(24, 30));
+    GenerativeRunner runner(model);
+    GenerateOptions opts;
+    opts.max_new_tokens = 6;
+    opts.policy = PruningPolicy::disabled();
+    opts.policy.head_pruning = true;
+    opts.policy.head_avg_ratio = 0.3;
+    const auto res = runner.generate({1, 2, 3, 4, 5, 6, 7, 8}, opts);
+    EXPECT_LT(res.heads_alive, 4u);
+    EXPECT_GE(res.heads_alive, 1u);
+}
+
+// End-to-end: a trained copy-LM generates the payload correctly, and
+// moderate KV pruning does not break the copy.
+TEST(Generation, TrainedCopyTaskGeneratesPayload)
+{
+    CopyLmTaskConfig tc;
+    tc.payload_len = 3;
+    tc.filler_gap = 1;
+    CopyLmTask task(tc);
+    TinyModelConfig mc = lmConfig(task.vocabSize(), task.seqLen() + 2);
+    mc.d_model = 32;
+    mc.heads = 4;
+    mc.layers = 2;
+    mc.ffn_dim = 64;
+    TransformerModel model(mc);
+    trainLm(model, task.sample(250), 8);
+
+    // Prompt = everything up to and including SEP; the model must then
+    // emit the payload.
+    const auto ex = task.sample(1).front();
+    const std::size_t sep =
+        task.config().num_symbols + task.config().num_fillers + 1;
+    std::vector<std::size_t> prompt;
+    std::vector<std::size_t> payload;
+    bool after_sep = false;
+    for (std::size_t id : ex.ids) {
+        if (after_sep) {
+            payload.push_back(id);
+        } else {
+            prompt.push_back(id);
+            if (id == sep)
+                after_sep = true;
+        }
+    }
+    ASSERT_EQ(payload.size(), 3u);
+
+    GenerativeRunner dense_runner(model);
+    GenerateOptions dense;
+    dense.max_new_tokens = payload.size();
+    dense.policy = PruningPolicy::disabled();
+    const auto dres = dense_runner.generate(prompt, dense);
+    std::size_t dense_correct = 0;
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        dense_correct += dres.tokens[i] == payload[i];
+    EXPECT_GE(dense_correct, 2u) << "model failed to learn the copy task";
+
+    // With moderate KV pruning the copy must be preserved (the payload
+    // keys carry the importance mass).
+    GenerativeRunner pruned_runner(model);
+    GenerateOptions pruned = dense;
+    pruned.policy.token_pruning = true;
+    pruned.policy.token_avg_ratio = 0.25;
+    const auto pres = pruned_runner.generate(prompt, pruned);
+    std::size_t pruned_correct = 0;
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        pruned_correct += pres.tokens[i] == payload[i];
+    EXPECT_GE(pruned_correct, dense_correct - 1);
+    EXPECT_LT(pres.final_keys_frac, 1.0);
+}
+
+TEST(Generation, QuantizedKvHighBitsMatchesDense)
+{
+    // With a wide 12+4 setting the quantized-KV generation must emit the
+    // same tokens as the fp32 path.
+    TransformerModel model(lmConfig(20, 24));
+    GenerativeRunner dense(model), quant(model);
+    GenerateOptions d;
+    d.max_new_tokens = 6;
+    d.policy = PruningPolicy::disabled();
+    GenerateOptions q = d;
+    q.policy.pq.enabled = true;
+    q.policy.pq.setting = {12, 4};
+    q.policy.pq.max_prob_threshold = 0.1;
+    const auto rd = dense.generate({3, 1, 4, 1, 5}, d);
+    const auto rq = quant.generate({3, 1, 4, 1, 5}, q);
+    EXPECT_EQ(rd.tokens, rq.tokens);
+}
+
+TEST(Generation, QuantizedKvCountsRefetches)
+{
+    TransformerModel model(lmConfig(20, 30));
+    GenerativeRunner runner(model);
+    GenerateOptions opts;
+    opts.max_new_tokens = 8;
+    opts.policy = PruningPolicy::disabled();
+    opts.policy.pq.enabled = true;
+    opts.policy.pq.setting = {4, 4};
+    // Force the recompute path: an untrained model has flat attention.
+    opts.policy.pq.max_prob_threshold = 0.9;
+    const auto r =
+        runner.generate({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opts);
+    EXPECT_GT(r.lsb_refetches, 0.0);
+    EXPECT_GT(r.lsb_fraction, 0.5);
+    // Dominant threshold 0 -> no refetches ever.
+    GenerativeRunner r2(model);
+    opts.policy.pq.max_prob_threshold = 0.0;
+    const auto none =
+        r2.generate({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, opts);
+    EXPECT_EQ(none.lsb_refetches, 0.0);
+}
+
+TEST(Generation, QuantizedKvSurvivesPruning)
+{
+    // kq planes must stay in sync with k/v rows through cache pruning.
+    TransformerModel model(lmConfig(24, 40));
+    GenerativeRunner runner(model);
+    std::vector<std::size_t> prompt(20);
+    for (std::size_t i = 0; i < prompt.size(); ++i)
+        prompt[i] = i % 24;
+    GenerateOptions opts;
+    opts.max_new_tokens = 8;
+    opts.policy = PruningPolicy::disabled();
+    opts.policy.token_pruning = true;
+    opts.policy.token_avg_ratio = 0.3;
+    opts.policy.pq.enabled = true;
+    opts.policy.pq.setting = {8, 4};
+    const auto r = runner.generate(prompt, opts);
+    EXPECT_EQ(r.tokens.size(), 8u);
+    EXPECT_LT(r.final_keys_frac, 1.0);
+}
+
+TEST(Generation, RejectsEmptyPrompt)
+{
+    TransformerModel model(lmConfig(8, 10));
+    GenerativeRunner runner(model);
+    GenerateOptions opts;
+    EXPECT_DEATH(runner.generate({}, opts), "empty prompt");
+}
+
+TEST(Generation, RejectsOverlongGeneration)
+{
+    TransformerModel model(lmConfig(8, 10));
+    GenerativeRunner runner(model);
+    GenerateOptions opts;
+    opts.max_new_tokens = 20;
+    EXPECT_DEATH(runner.generate({1, 2}, opts), "max_len");
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,84 @@
+/// Tests for the HAT co-design search (Fig. 16/17 mechanism).
+#include <gtest/gtest.h>
+
+#include "hat/hat_search.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Hat, ProxyBleuMonotoneInCapacity)
+{
+    const HatCandidate small{512, 512, 1};
+    const HatCandidate base{512, 2048, 6};
+    const HatCandidate big{768, 3072, 6};
+    EXPECT_LT(proxyBleu(small), proxyBleu(base));
+    EXPECT_LT(proxyBleu(base), proxyBleu(big));
+}
+
+TEST(Hat, ProxyBleuCalibration)
+{
+    // Transformer-Base-like: ~27.3 BLEU on WMT'14 En-De.
+    EXPECT_NEAR(proxyBleu({512, 2048, 6}), 27.3, 0.8);
+    // Everything saturates below 29.2.
+    EXPECT_LT(proxyBleu({768, 3072, 6}), 29.2);
+}
+
+TEST(Hat, ModelSpecMapsDimensions)
+{
+    const ModelSpec m = hatModelSpec({640, 1024, 3});
+    EXPECT_EQ(m.dModel(), 640u);
+    EXPECT_EQ(m.num_heads, 10u);
+    EXPECT_EQ(m.ffnHidden(), 1024u);
+    EXPECT_EQ(m.num_layers, 3u);
+}
+
+TEST(Hat, BiggerModelsSlower)
+{
+    SpAttenConfig hw;
+    E2eConfig e2e{8, 0.85};
+    const auto small = evaluateCandidate({512, 512, 2}, hw, e2e);
+    const auto big = evaluateCandidate({768, 3072, 6}, hw, e2e);
+    EXPECT_LT(small.latency_ms, big.latency_ms);
+    EXPECT_GT(big.fc_flops, small.fc_flops);
+}
+
+TEST(Hat, FrontierMonotone)
+{
+    SpAttenConfig hw;
+    E2eConfig e2e{8, 0.85};
+    HatSearchConfig cfg;
+    cfg.population = 10;
+    cfg.generations = 4;
+    const auto frontier =
+        searchFrontier({0.8, 1.6, 4.0}, hw, e2e, cfg);
+    ASSERT_EQ(frontier.size(), 3u);
+    // Looser budgets can only improve BLEU.
+    EXPECT_LE(frontier[0].bleu, frontier[1].bleu + 1e-9);
+    EXPECT_LE(frontier[1].bleu, frontier[2].bleu + 1e-9);
+    // Budgets respected.
+    EXPECT_LE(frontier[0].latency_ms, 0.8);
+    EXPECT_LE(frontier[1].latency_ms, 1.6);
+}
+
+TEST(Hat, CodesignShiftsFlopsTowardAttention)
+{
+    // Fig. 17: under a tight budget the search shrinks FC (SpAtten
+    // executes attention efficiently), so the chosen model's FC:attn
+    // FLOP ratio drops vs the vanilla Transformer-Base config.
+    SpAttenConfig hw;
+    E2eConfig e2e{8, 0.85};
+    HatSearchConfig cfg;
+    cfg.population = 12;
+    cfg.generations = 5;
+    const auto vanilla = evaluateCandidate({512, 2048, 6}, hw, e2e);
+    const auto frontier = searchFrontier(
+        {vanilla.latency_ms * 0.55}, hw, e2e, cfg);
+    ASSERT_EQ(frontier.size(), 1u);
+    const auto& chosen = frontier[0];
+    const double vanilla_ratio = vanilla.fc_flops / vanilla.attn_flops;
+    const double chosen_ratio = chosen.fc_flops / chosen.attn_flops;
+    EXPECT_LT(chosen_ratio, vanilla_ratio);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,132 @@
+/// Tests for the HBM2 channel/bank model: bandwidth, row-buffer behavior,
+/// channel parallelism and energy accounting.
+#include <gtest/gtest.h>
+
+#include "hbm/hbm.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Hbm, PeakBandwidthMatchesPaper)
+{
+    HbmConfig cfg;
+    // 16 channels x 16 B x 2 GHz = 512 GB/s (Table I).
+    EXPECT_DOUBLE_EQ(cfg.peakBandwidthGBs(), 512.0);
+}
+
+TEST(Hbm, LargeStreamApproachesPeakBandwidth)
+{
+    HbmModel hbm;
+    const std::uint64_t bytes = 16ULL << 20; // 16 MB
+    const Cycles done = hbm.access({0, bytes, false}, 0);
+    // Effective bandwidth approaches bus_efficiency x peak for long
+    // streams (sustained-rate model).
+    const double secs = static_cast<double>(done) / (2e9);
+    const double gbs = static_cast<double>(bytes) / secs / 1e9;
+    const double sustained = 512.0 * hbm.config().bus_efficiency;
+    EXPECT_GT(gbs, sustained * 0.9);
+    EXPECT_LE(gbs, sustained * 1.02);
+}
+
+TEST(Hbm, RowHitsCheaperThanMisses)
+{
+    HbmModel hbm;
+    // Two sequential reads in the same row: second should not activate.
+    hbm.access({0, 64, false}, 0);
+    const auto acts_after_first = hbm.rowActivations();
+    hbm.access({64, 64, false}, 1000);
+    EXPECT_EQ(hbm.rowActivations(), acts_after_first);
+    // A far-away address on the same channel activates a new row.
+    HbmConfig cfg;
+    const std::uint64_t far =
+        cfg.interleave_bytes * static_cast<std::uint64_t>(cfg.channels) *
+        1024;
+    hbm.access({far, 64, false}, 2000);
+    EXPECT_GT(hbm.rowActivations(), acts_after_first);
+}
+
+TEST(Hbm, ChannelParallelismHelps)
+{
+    // The same bytes spread across channels finish sooner than forced
+    // onto one channel (consecutive interleave blocks of one channel).
+    HbmModel spread;
+    std::vector<HbmRequest> reqs_spread;
+    HbmConfig cfg;
+    for (int i = 0; i < 16; ++i)
+        reqs_spread.push_back(
+            {static_cast<std::uint64_t>(i) * cfg.interleave_bytes, 256,
+             false});
+    const Cycles t_spread = spread.accessBatch(reqs_spread, 0);
+
+    HbmModel single;
+    std::vector<HbmRequest> reqs_single;
+    for (int i = 0; i < 16; ++i) {
+        // Stride channels x interleave keeps every block on channel 0.
+        reqs_single.push_back(
+            {static_cast<std::uint64_t>(i) * cfg.interleave_bytes *
+                 static_cast<std::uint64_t>(cfg.channels),
+             256, false});
+    }
+    const Cycles t_single = single.accessBatch(reqs_single, 0);
+    EXPECT_LT(t_spread, t_single);
+}
+
+TEST(Hbm, EnergyGrowsWithTraffic)
+{
+    HbmModel hbm;
+    hbm.access({0, 1024, false}, 0);
+    const double e1 = hbm.energyPj();
+    hbm.access({1 << 20, 1024, false}, 0);
+    EXPECT_GT(hbm.energyPj(), e1);
+    EXPECT_GT(e1, 0.0);
+}
+
+TEST(Hbm, WriteCountsSeparately)
+{
+    HbmModel hbm;
+    hbm.access({0, 512, true}, 0);
+    hbm.access({4096, 256, false}, 0);
+    EXPECT_EQ(hbm.bytesWritten(), 512u);
+    EXPECT_EQ(hbm.bytesRead(), 256u);
+    EXPECT_EQ(hbm.totalBytes(), 768u);
+}
+
+TEST(Hbm, StreamCyclesMatchesPeak)
+{
+    HbmModel hbm;
+    // 512 bytes / (16 ch x 16 B) = 2 cycles.
+    EXPECT_EQ(hbm.streamCycles(512), 2u);
+    EXPECT_EQ(hbm.streamCycles(1), 1u);
+}
+
+TEST(Hbm, ResetClearsState)
+{
+    HbmModel hbm;
+    hbm.access({0, 4096, false}, 0);
+    hbm.reset();
+    EXPECT_EQ(hbm.totalBytes(), 0u);
+    EXPECT_EQ(hbm.rowActivations(), 0u);
+    EXPECT_EQ(hbm.drainCycle(), 0u);
+}
+
+TEST(Hbm, ExportStats)
+{
+    HbmModel hbm;
+    hbm.access({0, 128, false}, 0);
+    StatSet s;
+    hbm.exportStats(s);
+    EXPECT_DOUBLE_EQ(s.get("hbm.bytes_read"), 128.0);
+    EXPECT_GT(s.get("hbm.energy_pj"), 0.0);
+}
+
+TEST(Hbm, LaterReadyDelaysCompletion)
+{
+    HbmModel hbm;
+    const Cycles t0 = hbm.access({0, 256, false}, 0);
+    HbmModel hbm2;
+    const Cycles t1 = hbm2.access({0, 256, false}, 5000);
+    EXPECT_EQ(t1, t0 + 5000);
+}
+
+} // namespace
+} // namespace spatten

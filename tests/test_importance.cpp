@@ -1,0 +1,116 @@
+/// Unit tests for cumulative token and head importance scores
+/// (Algorithm 2 semantics).
+#include <gtest/gtest.h>
+
+#include "core/importance.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+namespace {
+
+std::vector<std::size_t>
+iota(std::size_t n)
+{
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = i;
+    return v;
+}
+
+TEST(TokenImportance, ColumnSumsAccumulate)
+{
+    TokenImportanceAccumulator acc(3);
+    // Two queries, three keys.
+    Tensor prob({2, 3}, {0.5f, 0.3f, 0.2f, 0.1f, 0.1f, 0.8f});
+    acc.accumulate(prob, iota(3));
+    EXPECT_FLOAT_EQ(acc.score(0), 0.6f);
+    EXPECT_FLOAT_EQ(acc.score(1), 0.4f);
+    EXPECT_FLOAT_EQ(acc.score(2), 1.0f);
+}
+
+TEST(TokenImportance, AccumulatesAcrossCalls)
+{
+    TokenImportanceAccumulator acc(2);
+    Tensor prob({1, 2}, {0.75f, 0.25f});
+    acc.accumulate(prob, iota(2));
+    acc.accumulate(prob, iota(2));
+    EXPECT_FLOAT_EQ(acc.score(0), 1.5f);
+    EXPECT_FLOAT_EQ(acc.score(1), 0.5f);
+}
+
+TEST(TokenImportance, GlobalIdsRespectedAfterPruning)
+{
+    TokenImportanceAccumulator acc(4);
+    // Suppose tokens 1 and 3 were pruned; columns map to global ids 0, 2.
+    Tensor prob({1, 2}, {0.9f, 0.1f});
+    acc.accumulate(prob, {0, 2});
+    EXPECT_FLOAT_EQ(acc.score(0), 0.9f);
+    EXPECT_FLOAT_EQ(acc.score(1), 0.0f);
+    EXPECT_FLOAT_EQ(acc.score(2), 0.1f);
+    EXPECT_FLOAT_EQ(acc.score(3), 0.0f);
+}
+
+TEST(TokenImportance, RowAccumulationForGeneration)
+{
+    TokenImportanceAccumulator acc(3);
+    acc.accumulateRow({0.2f, 0.3f, 0.5f}, iota(3));
+    acc.accumulateRow({0.1f, 0.1f, 0.8f}, iota(3));
+    EXPECT_FLOAT_EQ(acc.score(2), 1.3f);
+}
+
+TEST(TokenImportance, AddTokenGrowsTable)
+{
+    TokenImportanceAccumulator acc(2);
+    acc.addToken();
+    EXPECT_EQ(acc.numTokens(), 3u);
+    EXPECT_FLOAT_EQ(acc.score(2), 0.0f);
+    acc.accumulateRow({0.0f, 0.0f, 1.0f}, iota(3));
+    EXPECT_FLOAT_EQ(acc.score(2), 1.0f);
+}
+
+TEST(TokenImportance, TotalMassEqualsQueriesTimesHeads)
+{
+    // Each softmax row sums to 1, so total accumulated mass equals the
+    // number of (query, head) rows accumulated.
+    Prng p(1);
+    TokenImportanceAccumulator acc(8);
+    for (int h = 0; h < 3; ++h) {
+        const Tensor scores = Tensor::randn({5, 8}, p);
+        acc.accumulate(ops::softmaxRows(scores), iota(8));
+    }
+    double total = 0.0;
+    for (float s : acc.scores())
+        total += s;
+    EXPECT_NEAR(total, 15.0, 1e-4);
+}
+
+TEST(HeadImportance, AbsMagnitudeAccumulates)
+{
+    HeadImportanceAccumulator acc(2);
+    Tensor e0({2, 2}, {1.0f, -1.0f, 2.0f, -2.0f});
+    Tensor e1({2, 2}, {0.1f, 0.1f, -0.1f, -0.1f});
+    acc.accumulate(e0, 0);
+    acc.accumulate(e1, 1);
+    EXPECT_FLOAT_EQ(acc.score(0), 6.0f);
+    EXPECT_FLOAT_EQ(acc.score(1), 0.4f);
+}
+
+TEST(HeadImportance, AccumulateAcrossLayers)
+{
+    HeadImportanceAccumulator acc(1);
+    acc.accumulateAbsSum(2.0, 0);
+    acc.accumulateAbsSum(3.0, 0);
+    EXPECT_FLOAT_EQ(acc.score(0), 5.0f);
+}
+
+TEST(HeadImportance, ResetClears)
+{
+    HeadImportanceAccumulator acc(2);
+    acc.accumulateAbsSum(1.0, 0);
+    acc.reset(3);
+    EXPECT_EQ(acc.numHeads(), 3u);
+    EXPECT_FLOAT_EQ(acc.score(0), 0.0f);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,191 @@
+/// Cross-subsystem integration tests: the hardware models must agree
+/// with their functional/algorithmic counterparts, and the pipeline's
+/// timing must respect analytic bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/pv_module.hpp"
+#include "accel/qk_module.hpp"
+#include "accel/softmax_module.hpp"
+#include "accel/spatten_accelerator.hpp"
+#include "accel/topk_engine.hpp"
+#include "core/attention_ref.hpp"
+#include "core/pruning.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/ops.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace spatten {
+namespace {
+
+// The hardware top-k engine and the functional reference used by the
+// cascade pruners must select identical index sets (same tie policy).
+TEST(Integration, HardwareTopkMatchesFunctionalReference)
+{
+    Prng p(21);
+    TopkEngine engine;
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t n = 2 + p.below(400);
+        const std::size_t k = 1 + p.below(n);
+        std::vector<float> scores(n);
+        for (auto& s : scores)
+            s = static_cast<float>(p.below(32)) * 0.125f; // many ties
+        EXPECT_EQ(engine.run(scores, k).indices, topkKeepOrder(scores, k))
+            << "n=" << n << " k=" << k;
+    }
+}
+
+// Cascade token pruning driven through the hardware engine must keep
+// the same survivors as the software pruner.
+TEST(Integration, CascadePrunerAgreesWithHardwareEngine)
+{
+    Prng p(22);
+    TokenImportanceAccumulator acc(50);
+    std::vector<std::size_t> ids(50);
+    for (std::size_t i = 0; i < 50; ++i)
+        ids[i] = i;
+    std::vector<float> row(50);
+    for (auto& r : row)
+        r = static_cast<float>(p.uniform());
+    acc.accumulateRow(row, ids);
+
+    CascadeTokenPruner pruner(50);
+    const auto sw = pruner.pruneToCount(acc, 20);
+
+    TopkEngine engine;
+    const auto hw = engine.run(acc.scores(), 20);
+    EXPECT_EQ(sw, hw.indices);
+}
+
+// The QxK + Softmax + PV hardware datapath composed functionally must
+// reproduce the reference attention output for one query.
+TEST(Integration, DatapathModulesComposeToAttention)
+{
+    Prng p(23);
+    const std::size_t l = 24, d = 16;
+    const Tensor q = Tensor::randn({1, d}, p);
+    const Tensor k = Tensor::randn({l, d}, p);
+    const Tensor v = Tensor::randn({l, d}, p);
+
+    // Hardware-shaped path.
+    QkModule qk_mod;
+    SoftmaxModule sm_mod;
+    PvModule pv_mod;
+    std::vector<float> qv(q.data(), q.data() + d);
+    std::vector<std::vector<float>> krows(l), vrows(l);
+    for (std::size_t i = 0; i < l; ++i) {
+        krows[i].assign(k.data() + i * d, k.data() + (i + 1) * d);
+        vrows[i].assign(v.data() + i * d, v.data() + (i + 1) * d);
+    }
+    const float inv = 1.0f / std::sqrt(static_cast<float>(d));
+    const auto scores = qk_mod.computeScores(qv, krows, inv);
+    std::vector<float> prob;
+    sm_mod.run(scores, prob, 0.0);
+    std::vector<std::size_t> all(l);
+    for (std::size_t i = 0; i < l; ++i)
+        all[i] = i;
+    const auto out = pv_mod.accumulate(prob, vrows, all);
+
+    // Reference path.
+    const AttentionOutput ref = attentionForward(q, k, v, 1);
+    for (std::size_t j = 0; j < d; ++j)
+        EXPECT_NEAR(out[j], ref.out.at(0, j), 2e-3f) << "dim " << j;
+}
+
+// The nn transformer's dense attention must agree with the core
+// reference given identical projected inputs.
+TEST(Integration, NnAttentionAgreesWithCoreReference)
+{
+    Prng p(24);
+    TinyModelConfig mc;
+    mc.vocab = 12;
+    mc.d_model = 24;
+    mc.heads = 3;
+    mc.layers = 1;
+    mc.ffn_dim = 32;
+    mc.max_len = 10;
+    TransformerModel model(mc);
+    // Core reference: same Q=K=V matrix with h heads.
+    const Tensor x = Tensor::randn({6, 24}, p);
+    MultiHeadSelfAttention attn("t", 24, 3, p);
+    MultiHeadSelfAttention::Cache cache;
+    const Tensor nn_out = attn.forward(x, false, cache);
+    const AttentionOutput core =
+        attentionForward(cache.q, cache.k, cache.v, 3);
+    // nn applies Wo afterwards; compare pre-Wo concat to core output.
+    EXPECT_LT(ops::maxAbsDiff(cache.concat, core.out), 1e-4f);
+}
+
+// Pipeline latency must respect both roofline bounds: it can be no
+// faster than pure compute at the multiplier roof nor faster than
+// moving its own DRAM bytes at sustained bandwidth.
+TEST(Integration, PipelineRespectsRooflineBounds)
+{
+    SpAttenAccelerator accel;
+    for (const auto& b : paperBenchmarks()) {
+        const RunResult r = accel.run(b.workload, b.policy);
+        const double compute_bound_s =
+            (r.attention_flops / 2.0) /
+            (accel.config().totalMultipliers() *
+             accel.config().core_freq_ghz * 1e9);
+        const double mem_bound_s =
+            r.dram_bytes / (accel.bandwidthRoofGBs() * 1e9);
+        EXPECT_GE(r.seconds * 1.0001, compute_bound_s)
+            << b.workload.name;
+        EXPECT_GE(r.seconds * 1.0001,
+                  mem_bound_s * accel.config().hbm.bus_efficiency * 0.99)
+            << b.workload.name;
+    }
+}
+
+// Quantized-attention accuracy: for every paper MSB+LSB setting the
+// SpAtten quantized datapath stays within the analytic error budget.
+TEST(Integration, QuantizedAttentionErrorBudget)
+{
+    Prng p(25);
+    const std::size_t l = 32, din = 32;
+    const Tensor q = Tensor::randn({l, din}, p);
+    const Tensor k = Tensor::randn({l, din}, p);
+    const Tensor v = Tensor::randn({l, din}, p);
+    const AttentionOutput ref = attentionForward(q, k, v, 2);
+    double prev_err = 1e9;
+    for (const auto& setting :
+         {BitplaneSetting{4, 4}, BitplaneSetting{8, 4},
+          BitplaneSetting{12, 4}}) {
+        SpAttenAttentionConfig cfg;
+        cfg.num_heads = 2;
+        cfg.quantize_inputs = true;
+        cfg.pq.setting = setting;
+        cfg.pq.max_prob_threshold = 0.1;
+        const AttentionOutput got =
+            SpAttenAttention(cfg).run(q, k, v, {0, 1});
+        const double err = ops::meanAbsDiff(got.out, ref.out);
+        EXPECT_LT(err, prev_err * 1.1)
+            << "error did not shrink at " << setting.totalBits()
+            << " bits";
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 0.01); // 16-bit total is near-exact
+}
+
+// Full benchmark suite sanity: every workload simulates without error
+// and produces self-consistent results.
+TEST(Integration, AllThirtyBenchmarksSimulate)
+{
+    SpAttenAccelerator accel;
+    for (const auto& b : paperBenchmarks()) {
+        const RunResult r = accel.run(b.workload, b.policy);
+        EXPECT_GT(r.seconds, 0.0) << b.workload.name;
+        EXPECT_GT(r.attention_flops, 0.0) << b.workload.name;
+        EXPECT_GE(r.dramReduction(), 1.0) << b.workload.name;
+        EXPECT_GE(r.computeReduction(), 1.0) << b.workload.name;
+        EXPECT_GT(r.energy.totalJ(), 0.0) << b.workload.name;
+        EXPECT_NEAR(r.summarize_seconds + r.generate_seconds, r.seconds,
+                    r.seconds * 1e-6 + 1e-12)
+            << b.workload.name;
+    }
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,124 @@
+/// Tests for the memory-augmented network generalization (§VI):
+/// training, dense QA accuracy, and cascade memory-slot pruning.
+#include <gtest/gtest.h>
+
+#include "nn/memnet.hpp"
+
+namespace spatten {
+namespace {
+
+MemNetConfig
+smallConfig(const MemoryQaTask& task)
+{
+    MemNetConfig cfg;
+    cfg.vocab = task.vocabSize();
+    cfg.dim = 32;
+    cfg.hops = 2;
+    return cfg;
+}
+
+TEST(MemoryQaTask, ExamplesWellFormed)
+{
+    MemoryQaTask task;
+    for (const auto& ex : task.sample(30)) {
+        EXPECT_FALSE(ex.facts.empty());
+        // The query key exists in exactly one slot, whose value is the
+        // answer.
+        std::size_t hits = 0;
+        for (const auto& f : ex.facts) {
+            EXPECT_LT(f.key, task.config().num_keys);
+            EXPECT_GE(f.value, task.config().num_keys);
+            if (f.key == ex.query) {
+                ++hits;
+                EXPECT_EQ(f.value, ex.answer);
+            }
+        }
+        EXPECT_EQ(hits, 1u);
+    }
+}
+
+TEST(MemNet, TrainingReducesLoss)
+{
+    MemoryQaTask task;
+    MemoryNetwork net(smallConfig(task));
+    const auto train = task.sample(400);
+    double first = 0.0, last = 0.0;
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        double sum = 0.0;
+        for (const auto& ex : train)
+            sum += net.trainStep(ex);
+        if (epoch == 0)
+            first = sum;
+        last = sum;
+    }
+    EXPECT_LT(last, first * 0.5);
+}
+
+TEST(MemNet, LearnsLookup)
+{
+    MemoryQaTask task;
+    MemoryNetwork net(smallConfig(task));
+    const auto train = task.sample(400);
+    for (int epoch = 0; epoch < 12; ++epoch)
+        for (const auto& ex : train)
+            net.trainStep(ex);
+    const double acc = net.accuracy(task.sample(60));
+    EXPECT_GT(acc, 0.8);
+}
+
+TEST(MemNet, SlotPruningPreservesAccuracy)
+{
+    // §VI generalization: the relevant slot dominates the attention
+    // distribution, so pruning half the memory between hops is free.
+    MemoryQaTask task;
+    MemoryNetwork net(smallConfig(task));
+    const auto train = task.sample(400);
+    for (int epoch = 0; epoch < 12; ++epoch)
+        for (const auto& ex : train)
+            net.trainStep(ex);
+    const auto test = task.sample(60);
+    const double dense = net.accuracy(test);
+    double kept = 1.0;
+    const double pruned = net.accuracyPruned(test, 0.5, &kept);
+    EXPECT_LT(kept, 1.0);
+    EXPECT_GE(pruned, dense - 0.1);
+}
+
+TEST(MemNet, ZeroRatioMatchesDense)
+{
+    MemoryQaTask task;
+    MemoryNetwork net(smallConfig(task));
+    for (const auto& ex : task.sample(10)) {
+        MemPruneStats st;
+        EXPECT_EQ(net.predictPruned(ex, 0.0, &st), net.predict(ex));
+        EXPECT_DOUBLE_EQ(st.slots_kept_frac, 1.0);
+    }
+}
+
+TEST(MemNet, PruningIsCascade)
+{
+    // Survivor sets shrink monotonically across hops (ratio applies
+    // between hops; final survivors <= initial slots).
+    MemoryQaTask task;
+    MemNetConfig cfg = smallConfig(task);
+    cfg.hops = 3;
+    MemoryNetwork net(cfg);
+    const auto ex = task.sample(1).front();
+    MemPruneStats st;
+    net.predictPruned(ex, 0.4, &st);
+    EXPECT_LT(st.surviving_slots.size(), ex.facts.size());
+    // Ascending slot ids (order preserved).
+    EXPECT_TRUE(std::is_sorted(st.surviving_slots.begin(),
+                               st.surviving_slots.end()));
+}
+
+TEST(MemNet, RejectsInvalidRatio)
+{
+    MemoryQaTask task;
+    MemoryNetwork net(smallConfig(task));
+    const auto ex = task.sample(1).front();
+    EXPECT_DEATH(net.predictPruned(ex, 1.0), "ratio");
+}
+
+} // namespace
+} // namespace spatten

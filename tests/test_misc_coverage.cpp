@@ -1,0 +1,146 @@
+/// Coverage for reporting/accessor surfaces not exercised elsewhere:
+/// string dumps, stat keys, config tables, benchmark lookups.
+#include <gtest/gtest.h>
+
+#include "accel/e2e.hpp"
+#include "accel/spatten_accelerator.hpp"
+#include "baselines/platform_model.hpp"
+#include "energy/energy_model.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(MiscCoverage, EnergyReportToStringHasAllBuckets)
+{
+    EnergyModel em;
+    ActivityCounts a;
+    a.qk_macs = 1e6;
+    a.pv_macs = 1e6;
+    a.softmax_elems = 1e4;
+    a.topk_comparisons = 1e4;
+    a.fetch_requests = 1e3;
+    a.sram_read_bytes = 1e5;
+    a.dram_energy_pj = 1e6;
+    a.cycles = 1e6;
+    a.freq_ghz = 1.0;
+    const std::string s = em.compute(a).toString();
+    for (const char* key : {"QxK", "AttnProb x V", "Softmax", "Top-k",
+                            "QKV Fetcher", "SRAM", "DRAM", "Total"}) {
+        EXPECT_NE(s.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(MiscCoverage, ActivityCountsAdd)
+{
+    ActivityCounts a, b;
+    a.qk_macs = 1;
+    a.cycles = 10;
+    b.qk_macs = 2;
+    b.cycles = 5;
+    b.dram_energy_pj = 7;
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.qk_macs, 3);
+    EXPECT_DOUBLE_EQ(a.cycles, 15);
+    EXPECT_DOUBLE_EQ(a.dram_energy_pj, 7);
+}
+
+TEST(MiscCoverage, RunResultStatsKeysPresent)
+{
+    SpAttenAccelerator accel;
+    WorkloadSpec w;
+    w.model = ModelSpec::bertBase();
+    w.summarize_len = 64;
+    const RunResult r = accel.run(w, PruningPolicy::disabled());
+    for (const char* key :
+         {"hbm.bytes_read", "hbm.energy_pj", "pipeline.compute_bound_ns",
+          "pipeline.effective_tflops", "pipeline.dram_reduction",
+          "activity.qk_macs", "sram.key_bytes_read",
+          "crossbar.conflicts"}) {
+        EXPECT_TRUE(r.stats.has(key)) << key;
+    }
+    EXPECT_NE(r.stats.toString().find("hbm.bytes_read"),
+              std::string::npos);
+}
+
+TEST(MiscCoverage, AllBenchmarkNamesFindable)
+{
+    const auto all = paperBenchmarks();
+    for (const auto& b : all) {
+        const auto& found = findBenchmark(all, b.workload.name);
+        EXPECT_EQ(found.workload.summarize_len, b.workload.summarize_len);
+    }
+}
+
+TEST(MiscCoverage, PlatformSpecsDistinct)
+{
+    const auto specs = {PlatformSpec::titanXp(), PlatformSpec::xeon(),
+                        PlatformSpec::jetsonNano(),
+                        PlatformSpec::raspberryPi()};
+    std::vector<std::string> names;
+    for (const auto& s : specs) {
+        EXPECT_GT(s.peak_tflops, 0.0);
+        EXPECT_GT(s.mem_bw_gbs, 0.0);
+        EXPECT_GT(s.dynamic_power_w, 0.0);
+        names.push_back(s.name);
+    }
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(MiscCoverage, E2eSharesAndTotals)
+{
+    SpAttenE2e e2e;
+    WorkloadSpec w;
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 128;
+    w.generate_len = 4;
+    PruningPolicy pol = PruningPolicy::disabled();
+    const E2eResult r = e2e.run(w, pol);
+    EXPECT_NEAR(r.totalSeconds(), r.attention.seconds + r.fc_seconds,
+                1e-12);
+    EXPECT_NEAR(r.fc_seconds, r.fc_sum_seconds + r.fc_gen_seconds, 1e-12);
+    EXPECT_GT(r.attnLatencyShare(), 0.0);
+    EXPECT_LT(r.attnLatencyShare(), 1.0);
+    EXPECT_GT(r.genAttnShare(), 0.0);
+    EXPECT_GT(r.fc_dram_bytes, 0.0);
+    EXPECT_GT(r.totalFlops(), r.fc_flops);
+}
+
+TEST(MiscCoverage, E2eRejectsBadBits)
+{
+    EXPECT_DEATH(SpAttenE2e(SpAttenConfig{}, E2eConfig{7, 0.8}),
+                 "8 or 12");
+}
+
+TEST(MiscCoverage, ConfigTableScalesWithConfig)
+{
+    SpAttenConfig cfg;
+    cfg.qk.num_multipliers = 256;
+    SpAttenAccelerator accel(cfg);
+    EXPECT_NE(accel.configTable().find("256"), std::string::npos);
+    EXPECT_LT(accel.computeRoofTflops(), 2.0);
+}
+
+TEST(MiscCoverage, ModelSpecFactories)
+{
+    EXPECT_EQ(ModelSpec::bertBase().dModel(), 768u);
+    EXPECT_EQ(ModelSpec::bertLarge().dModel(), 1024u);
+    EXPECT_EQ(ModelSpec::gpt2Small().ffnHidden(), 3072u);
+    ModelSpec m = ModelSpec::gpt2Medium();
+    m.ffn_hidden_override = 512;
+    EXPECT_EQ(m.ffnHidden(), 512u);
+}
+
+TEST(MiscCoverage, DisabledPolicyIsInert)
+{
+    const PruningPolicy p = PruningPolicy::disabled();
+    EXPECT_FALSE(p.token_pruning);
+    EXPECT_FALSE(p.head_pruning);
+    EXPECT_FALSE(p.local_value_pruning);
+    EXPECT_FALSE(p.pq.enabled);
+    EXPECT_DOUBLE_EQ(p.lsb_fraction, 0.0);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,224 @@
+/// Unit tests for the trainable layers: Linear, LayerNorm, Embedding,
+/// ReLU, loss — each backward checked against numerical gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Linear, ForwardMatchesManual)
+{
+    Prng p(1);
+    Linear lin("l", 3, 2, p);
+    lin.weight().value = Tensor({3, 2}, {1, 0, 0, 1, 1, 1});
+    lin.bias().value = Tensor::fromList({0.5f, -0.5f});
+    Tensor x({1, 3}, {1, 2, 3});
+    const Tensor y = lin.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 3 + 0.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 2 + 3 - 0.5f);
+}
+
+TEST(Linear, BackwardNumericalCheck)
+{
+    Prng p(2);
+    Linear lin("l", 4, 3, p);
+    const Tensor x = Tensor::randn({2, 4}, p);
+    // Loss = sum(y^2)/2; dy = y.
+    const Tensor y = lin.forward(x);
+    const Tensor dx = lin.backward(x, y);
+    // Numerical dW for a few entries.
+    const float eps = 1e-3f;
+    for (std::size_t idx : {0u, 5u, 11u}) {
+        Param& w = lin.weight();
+        const float orig = w.value[idx];
+        w.value[idx] = orig + eps;
+        const Tensor yp = lin.forward(x);
+        w.value[idx] = orig - eps;
+        const Tensor ym = lin.forward(x);
+        w.value[idx] = orig;
+        double lp = 0, lm = 0;
+        for (std::size_t i = 0; i < yp.numel(); ++i) {
+            lp += 0.5 * yp[i] * yp[i];
+            lm += 0.5 * ym[i] * ym[i];
+        }
+        const double num = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(w.grad[idx], num, 2e-2 * std::max(1.0, std::fabs(num)));
+    }
+    // dx check for one entry.
+    const float eps2 = 1e-3f;
+    Tensor x2 = x;
+    x2[3] += eps2;
+    const Tensor yp = lin.forward(x2);
+    x2[3] -= 2 * eps2;
+    const Tensor ym = lin.forward(x2);
+    double lp = 0, lm = 0;
+    for (std::size_t i = 0; i < yp.numel(); ++i) {
+        lp += 0.5 * yp[i] * yp[i];
+        lm += 0.5 * ym[i] * ym[i];
+    }
+    EXPECT_NEAR(dx[3], (lp - lm) / (2 * eps2), 5e-2);
+}
+
+TEST(LayerNorm, ForwardNormalizes)
+{
+    LayerNorm ln("ln", 8);
+    Prng p(3);
+    const Tensor x = Tensor::randn({4, 8}, p, 3.0f, 2.0f);
+    LayerNorm::Cache c;
+    const Tensor y = ln.forward(x, c);
+    for (std::size_t i = 0; i < 4; ++i) {
+        double mean = 0;
+        for (std::size_t j = 0; j < 8; ++j)
+            mean += y.at(i, j);
+        EXPECT_NEAR(mean / 8.0, 0.0, 1e-4);
+    }
+}
+
+TEST(LayerNorm, BackwardNumericalCheck)
+{
+    LayerNorm ln("ln", 6);
+    Prng p(4);
+    Tensor x = Tensor::randn({2, 6}, p);
+    LayerNorm::Cache c;
+    const Tensor y = ln.forward(x, c);
+    const Tensor dx = ln.backward(c, y); // loss = sum(y^2)/2
+    const float eps = 1e-3f;
+    for (std::size_t idx : {0u, 7u, 11u}) {
+        const float orig = x[idx];
+        x[idx] = orig + eps;
+        LayerNorm::Cache c2;
+        const Tensor yp = ln.forward(x, c2);
+        x[idx] = orig - eps;
+        const Tensor ym = ln.forward(x, c2);
+        x[idx] = orig;
+        double lp = 0, lm = 0;
+        for (std::size_t i = 0; i < yp.numel(); ++i) {
+            lp += 0.5 * yp[i] * yp[i];
+            lm += 0.5 * ym[i] * ym[i];
+        }
+        const double num = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(dx[idx], num, 5e-2 * std::max(1.0, std::fabs(num)));
+    }
+}
+
+TEST(Embedding, ForwardAddsPositional)
+{
+    Prng p(5);
+    Embedding emb("e", 10, 4, 8, p);
+    const Tensor out = emb.forward({3, 3});
+    // Same token at different positions differs by position embedding.
+    bool differs = false;
+    for (std::size_t j = 0; j < 4; ++j)
+        differs |= out.at(0, j) != out.at(1, j);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Embedding, BackwardAccumulatesUsedRows)
+{
+    Prng p(6);
+    Embedding emb("e", 10, 4, 8, p);
+    std::vector<Param*> ps;
+    emb.collectParams(ps);
+    Tensor dy({2, 4}, 1.0f);
+    emb.backward({3, 3}, dy);
+    // Token 3 used twice: grad = 2 in each dim; token 0 untouched.
+    Param* tok = ps[0];
+    EXPECT_FLOAT_EQ(tok->grad.at(3, 0), 2.0f);
+    EXPECT_FLOAT_EQ(tok->grad.at(0, 0), 0.0f);
+}
+
+TEST(Relu, BackwardMasks)
+{
+    const Tensor x = Tensor::fromList({-1.0f, 2.0f});
+    const Tensor dy = Tensor::fromList({5.0f, 5.0f});
+    const Tensor dx = reluBackward(x, dy);
+    EXPECT_EQ(dx[0], 0.0f);
+    EXPECT_EQ(dx[1], 5.0f);
+}
+
+TEST(Loss, CrossEntropyKnownValue)
+{
+    // Uniform logits over 4 classes: loss = log(4).
+    Tensor logits({1, 4}, 0.0f);
+    Tensor d;
+    const double loss = softmaxCrossEntropy(logits, {2}, d);
+    EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+    // Gradient: p - onehot.
+    EXPECT_NEAR(d.at(0, 2), 0.25f - 1.0f, 1e-6);
+    EXPECT_NEAR(d.at(0, 0), 0.25f, 1e-6);
+}
+
+TEST(Loss, PerfectPredictionNearZero)
+{
+    Tensor logits({1, 3}, {20.0f, 0.0f, 0.0f});
+    Tensor d;
+    EXPECT_LT(softmaxCrossEntropy(logits, {0}, d), 1e-6);
+}
+
+TEST(SoftmaxBackward, MatchesNumerical)
+{
+    Prng p(7);
+    Tensor s = Tensor::randn({1, 5}, p);
+    const Tensor prob = ops::softmaxRows(s);
+    // Upstream dprob = prob (loss = sum(p^2)/2).
+    const Tensor ds = softmaxBackwardRows(prob, prob);
+    const float eps = 1e-3f;
+    for (std::size_t idx = 0; idx < 5; ++idx) {
+        s[idx] += eps;
+        const Tensor pp = ops::softmaxRows(s);
+        s[idx] -= 2 * eps;
+        const Tensor pm = ops::softmaxRows(s);
+        s[idx] += eps;
+        double lp = 0, lm = 0;
+        for (std::size_t i = 0; i < 5; ++i) {
+            lp += 0.5 * pp[i] * pp[i];
+            lm += 0.5 * pm[i] * pm[i];
+        }
+        EXPECT_NEAR(ds[idx], (lp - lm) / (2 * eps), 2e-3);
+    }
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    // Minimize (w - 3)^2 with Adam.
+    Param w("w", Tensor::fromList({0.0f}));
+    std::vector<Param*> ps{&w};
+    AdamOptimizer::Config cfg;
+    cfg.lr = 0.1;
+    AdamOptimizer opt(cfg);
+    for (int i = 0; i < 300; ++i) {
+        w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+        opt.step(ps);
+    }
+    EXPECT_NEAR(w.value[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, GradClipLimitsStep)
+{
+    Param w("w", Tensor::fromList({0.0f}));
+    std::vector<Param*> ps{&w};
+    AdamOptimizer::Config cfg;
+    cfg.lr = 1.0;
+    cfg.grad_clip = 1e-3;
+    AdamOptimizer opt(cfg);
+    w.grad[0] = 1e6f;
+    opt.step(ps);
+    // Clipped: the update magnitude stays ~lr regardless of huge grad.
+    EXPECT_LT(std::fabs(w.value[0]), 1.5f);
+}
+
+TEST(Param, ZeroGradClears)
+{
+    Param w("w", Tensor::fromList({1.0f, 2.0f}));
+    w.grad[0] = 5.0f;
+    w.zeroGrad();
+    EXPECT_EQ(w.grad[0], 0.0f);
+    EXPECT_EQ(totalParams({&w}), 2u);
+}
+
+} // namespace
+} // namespace spatten

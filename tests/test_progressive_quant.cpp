@@ -1,0 +1,155 @@
+/// Tests for progressive quantization: the LSB decision, the two-pass
+/// score computation, and the Fig. 7 error-vs-dominance relationship.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/progressive_quant.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(NeedsLsb, FlatDistributionNeedsLsb)
+{
+    // 20-way uniform: max prob 0.05 < 0.1.
+    std::vector<float> flat(20, 0.05f);
+    EXPECT_TRUE(needsLsb(flat, 0.1));
+}
+
+TEST(NeedsLsb, DominantDistributionSkipsLsb)
+{
+    std::vector<float> dom{0.9f, 0.05f, 0.05f};
+    EXPECT_FALSE(needsLsb(dom, 0.1));
+}
+
+TEST(NeedsLsb, ThresholdBoundary)
+{
+    std::vector<float> row{0.1f, 0.9f};
+    EXPECT_FALSE(needsLsb(row, 0.5));  // max = 0.9 >= 0.5
+    EXPECT_TRUE(needsLsb(row, 0.95));  // max = 0.9 < 0.95
+}
+
+TEST(ProgressiveScores, LsbPassMatchesFullPrecisionQuant)
+{
+    Prng p(1);
+    const std::size_t d = 64, l = 32;
+    const Tensor q = Tensor::randn({d}, p);
+    const Tensor k = Tensor::randn({l, d}, p);
+    const BitplaneTensor planes = quant::splitPlanes(k, {8, 4});
+
+    ProgressiveQuantConfig cfg;
+    cfg.setting = {8, 4};
+    cfg.max_prob_threshold = 1.1; // force the LSB pass
+    const ProgressiveResult res =
+        progressiveScores(q, planes, 1.0f / std::sqrt(64.0f), cfg);
+    EXPECT_TRUE(res.fetched_lsb);
+
+    // The recomputed probabilities must equal probabilities from the
+    // fully reconstructed 12-bit keys.
+    const Tensor k12 = quant::reconstructFull(planes);
+    std::vector<float> scores(l);
+    for (std::size_t i = 0; i < l; ++i) {
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < d; ++j)
+            acc += q[j] * k12.at(i, j);
+        scores[i] = acc / std::sqrt(64.0f);
+    }
+    Tensor st({l}, scores);
+    const Tensor ref = ops::softmax(st);
+    for (std::size_t i = 0; i < l; ++i)
+        EXPECT_NEAR(res.prob[i], ref[i], 1e-5f);
+}
+
+TEST(ProgressiveScores, MsbOnlyWhenConfident)
+{
+    Prng p(2);
+    const std::size_t d = 32, l = 16;
+    const Tensor q = Tensor::randn({d}, p, 0.0f, 2.0f);
+    // Make one key nearly parallel to q so its score dominates.
+    Tensor k = Tensor::randn({l, d}, p, 0.0f, 0.1f);
+    for (std::size_t j = 0; j < d; ++j)
+        k.at(3, j) = q[j] * 3.0f;
+    const BitplaneTensor planes = quant::splitPlanes(k, {8, 4});
+
+    ProgressiveQuantConfig cfg;
+    cfg.setting = {8, 4};
+    cfg.max_prob_threshold = 0.1;
+    const ProgressiveResult res =
+        progressiveScores(q, planes, 1.0f / std::sqrt(32.0f), cfg);
+    EXPECT_FALSE(res.fetched_lsb);
+    EXPECT_GT(res.msb_bits_fetched, 0.0);
+    EXPECT_EQ(res.lsb_bits_fetched, 0.0);
+}
+
+TEST(ProgressiveScores, DisabledNeverFetchesLsb)
+{
+    Prng p(3);
+    const Tensor q = Tensor::randn({16}, p);
+    const Tensor k = Tensor::randn({64, 16}, p, 0.0f, 0.01f); // flat scores
+    const BitplaneTensor planes = quant::splitPlanes(k, {4, 4});
+    ProgressiveQuantConfig cfg;
+    cfg.enabled = false;
+    cfg.setting = {4, 4};
+    const ProgressiveResult res =
+        progressiveScores(q, planes, 0.25f, cfg);
+    EXPECT_FALSE(res.fetched_lsb);
+}
+
+TEST(ProgressiveScores, ProbsSumToOne)
+{
+    Prng p(4);
+    const Tensor q = Tensor::randn({24}, p);
+    const Tensor k = Tensor::randn({40, 24}, p);
+    const BitplaneTensor planes = quant::splitPlanes(k, {6, 4});
+    ProgressiveQuantConfig cfg;
+    cfg.setting = {6, 4};
+    const ProgressiveResult res = progressiveScores(
+        q, planes, 1.0f / std::sqrt(24.0f), cfg);
+    double s = 0.0;
+    for (float x : res.prob)
+        s += x;
+    EXPECT_NEAR(s, 1.0, 1e-5);
+}
+
+// Fig. 7 mechanism: softmax quantization error falls as the max attention
+// probability rises. We generate dominated and flat score rows and verify
+// the error ordering with 4-bit quantization.
+TEST(QuantizedSoftmaxError, DominatedRowsHaveSmallerError)
+{
+    Prng p(5);
+    const std::size_t l = 64;
+    double err_flat = 0.0, err_dom = 0.0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        Tensor flat = Tensor::randn({l}, p, 0.0f, 0.3f);
+        err_flat += quantizedSoftmaxError(flat, 4);
+
+        Tensor dom = Tensor::randn({l}, p, 0.0f, 0.3f);
+        dom[p.below(l)] += 8.0f; // a dominant score
+        err_dom += quantizedSoftmaxError(dom, 4);
+    }
+    EXPECT_LT(err_dom, err_flat);
+}
+
+// Eq. 2: total softmax output error for a score perturbation ∆s is
+// ∆s * 2p(1-p) <= ∆s / 2.
+TEST(SoftmaxErrorBound, PerturbationContracts)
+{
+    Prng p(6);
+    for (int t = 0; t < 20; ++t) {
+        Tensor s = Tensor::randn({32}, p);
+        Tensor s2 = s;
+        const double ds = 0.01;
+        s2[0] += static_cast<float>(ds);
+        const Tensor p1 = ops::softmax(s);
+        const Tensor p2 = ops::softmax(s2);
+        double err = 0.0;
+        for (std::size_t i = 0; i < 32; ++i)
+            err += std::fabs(p2[i] - p1[i]);
+        EXPECT_LT(err, ds * 0.5 * 1.05); // 2p(1-p) <= 1/2 plus slack
+    }
+}
+
+} // namespace
+} // namespace spatten

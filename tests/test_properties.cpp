@@ -1,0 +1,236 @@
+/// Property-based parameterized sweeps (TEST_P) over the core invariants:
+/// top-k correctness across sizes/parallelism, pipeline monotonicity in
+/// sequence length and pruning ratio, quantization error ordering, and
+/// schedule arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "accel/spatten_accelerator.hpp"
+#include "accel/topk_engine.hpp"
+#include "core/pruning.hpp"
+#include "quant/linear_quant.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+namespace {
+
+// ---------------------------------------------------------------------
+// Top-k engine: functional equivalence across (n, parallelism).
+// ---------------------------------------------------------------------
+class TopkSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(TopkSweep, MatchesReferenceAndOrderInvariant)
+{
+    const auto [n, parallelism] = GetParam();
+    Prng p(static_cast<std::uint64_t>(n * 131 + parallelism));
+    std::vector<float> v(n);
+    for (auto& x : v)
+        x = static_cast<float>(p.below(64)) * 0.25f;
+    TopkEngineConfig cfg;
+    cfg.parallelism = parallelism;
+    TopkEngine engine(cfg);
+    for (std::size_t k : {std::size_t{1}, n / 3 + 1, n}) {
+        const auto res = engine.run(v, k);
+        EXPECT_EQ(res.indices, topkKeepOrder(v, k))
+            << "n=" << n << " k=" << k << " P=" << parallelism;
+        EXPECT_TRUE(std::is_sorted(res.indices.begin(),
+                                   res.indices.end()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopkSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(3, 17, 64, 257,
+                                                      1024),
+                       ::testing::Values<std::size_t>(1, 4, 16, 64)));
+
+// ---------------------------------------------------------------------
+// Pipeline: latency is monotone in sequence length.
+// ---------------------------------------------------------------------
+class PipelineLengthSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PipelineLengthSweep, LongerInputNeverFaster)
+{
+    const std::size_t len = GetParam();
+    SpAttenAccelerator accel;
+    WorkloadSpec w;
+    w.model = ModelSpec::bertBase();
+    w.summarize_len = len;
+    const auto r1 = accel.run(w, PruningPolicy::disabled());
+    w.summarize_len = len * 2;
+    const auto r2 = accel.run(w, PruningPolicy::disabled());
+    EXPECT_GT(r2.seconds, r1.seconds);
+    EXPECT_GT(r2.dram_bytes, r1.dram_bytes);
+    EXPECT_GT(r2.attention_flops, r1.attention_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PipelineLengthSweep,
+                         ::testing::Values<std::size_t>(16, 64, 128, 256,
+                                                        400));
+
+// ---------------------------------------------------------------------
+// Pipeline: more aggressive token pruning never increases latency,
+// traffic or compute.
+// ---------------------------------------------------------------------
+class PipelineRatioSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PipelineRatioSweep, MorePruningNeverCostsMore)
+{
+    const double ratio = GetParam();
+    SpAttenAccelerator accel;
+    WorkloadSpec w;
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 512;
+    w.generate_len = 8;
+    w.skip_summarization = true;
+    PruningPolicy lo = PruningPolicy::disabled();
+    lo.token_pruning = true;
+    lo.token_avg_ratio = ratio;
+    PruningPolicy hi = lo;
+    hi.token_avg_ratio = std::min(0.9, ratio + 0.15);
+    const auto rl = accel.run(w, lo);
+    const auto rh = accel.run(w, hi);
+    EXPECT_LE(rh.attention_flops, rl.attention_flops * 1.0001);
+    EXPECT_LE(rh.dram_bytes, rl.dram_bytes * 1.0001);
+    EXPECT_LE(rh.seconds, rl.seconds * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, PipelineRatioSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.6));
+
+// ---------------------------------------------------------------------
+// Quantization: wider MSB planes never increase reconstruction error.
+// ---------------------------------------------------------------------
+class BitwidthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitwidthSweep, MsbOnlyErrorShrinksWithWidth)
+{
+    const int msb = GetParam();
+    Prng p(static_cast<std::uint64_t>(msb));
+    const Tensor x = Tensor::randn({2000}, p);
+    const BitplaneTensor narrow = quant::splitPlanes(x, {msb, 4});
+    const BitplaneTensor wide = quant::splitPlanes(x, {msb + 2, 4});
+    EXPECT_GE(ops::meanAbsDiff(x, quant::reconstructMsbOnly(narrow)),
+              ops::meanAbsDiff(x, quant::reconstructMsbOnly(wide)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitwidthSweep,
+                         ::testing::Values(4, 6, 8, 10));
+
+// ---------------------------------------------------------------------
+// Schedules: for every (layers, ratio) combination the average over the
+// pruned layers equals the requested ratio and front layers stay clean.
+// ---------------------------------------------------------------------
+class ScheduleSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>>
+{
+};
+
+TEST_P(ScheduleSweep, AverageAndFrontInvariants)
+{
+    const auto [layers, ratio] = GetParam();
+    const PruningSchedule s = makeTokenSchedule(layers, ratio);
+    const auto front = static_cast<std::size_t>(
+        std::ceil(0.15 * static_cast<double>(layers)));
+    double sum = 0.0;
+    std::size_t pruned = 0;
+    for (std::size_t l = 0; l < layers; ++l) {
+        if (l < front) {
+            EXPECT_EQ(s.ratioAt(l), 0.0);
+        }
+        if (s.ratioAt(l) > 0.0) {
+            sum += s.ratioAt(l);
+            ++pruned;
+        }
+        EXPECT_GE(s.ratioAt(l), 0.0);
+        EXPECT_LT(s.ratioAt(l), 1.0);
+    }
+    if (ratio > 0.0 && layers > front) {
+        ASSERT_GT(pruned, 0u);
+        EXPECT_NEAR(sum / static_cast<double>(pruned), ratio, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ScheduleSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 6, 12, 24, 48),
+                       ::testing::Values(0.0, 0.05, 0.2, 0.4)));
+
+// ---------------------------------------------------------------------
+// Local value pruning: kept set size follows ceil((1-r) * n) exactly.
+// ---------------------------------------------------------------------
+class LocalVSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>>
+{
+};
+
+TEST_P(LocalVSweep, KeptCountMatchesFormula)
+{
+    const auto [n, ratio] = GetParam();
+    Prng p(99);
+    std::vector<float> prob(n);
+    for (auto& x : prob)
+        x = static_cast<float>(p.uniform());
+    const auto kept = localValuePrune(prob, ratio);
+    const auto want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(n * (1.0 - ratio))));
+    EXPECT_EQ(kept.size(), ratio <= 0.0 ? n : want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, LocalVSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 7, 64, 500),
+                       ::testing::Values(0.0, 0.3, 0.5, 0.9)));
+
+// ---------------------------------------------------------------------
+// Policy fuzz: random-but-valid policies never violate the pipeline's
+// result invariants.
+// ---------------------------------------------------------------------
+TEST(PolicyFuzz, RandomPoliciesKeepInvariants)
+{
+    Prng p(4242);
+    SpAttenAccelerator accel;
+    for (int trial = 0; trial < 25; ++trial) {
+        WorkloadSpec w;
+        w.model = p.chance(0.5) ? ModelSpec::bertBase()
+                                : ModelSpec::gpt2Small();
+        w.summarize_len = 8 + p.below(400);
+        w.generate_len = p.chance(0.5) ? p.below(16) : 0;
+        w.skip_summarization = w.generate_len > 0 && p.chance(0.5);
+
+        PruningPolicy pol;
+        pol.token_pruning = p.chance(0.7);
+        pol.token_avg_ratio = p.uniform(0.0, 0.6);
+        pol.head_pruning = p.chance(0.5);
+        pol.head_avg_ratio = p.uniform(0.0, 0.4);
+        pol.local_value_pruning = p.chance(0.7);
+        pol.local_v_ratio = p.uniform(0.0, 0.7);
+        pol.pq.enabled = p.chance(0.5);
+        pol.pq.setting = kPaperBitplaneSettings[p.below(5)];
+        pol.lsb_fraction = p.uniform(0.0, 0.3);
+
+        const RunResult r = accel.run(w, pol);
+        EXPECT_GT(r.seconds, 0.0) << "trial " << trial;
+        EXPECT_GE(r.dramReduction(), 0.99) << "trial " << trial;
+        EXPECT_GE(r.computeReduction(), 0.99) << "trial " << trial;
+        EXPECT_LE(r.effectiveTflops(),
+                  accel.computeRoofTflops() * 1.001)
+            << "trial " << trial;
+        EXPECT_GE(r.energy.totalJ(), 0.0) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace spatten

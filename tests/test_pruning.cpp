@@ -1,0 +1,210 @@
+/// Unit and property tests for top-k selection, cascade token/head pruning
+/// and local value pruning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/prng.hpp"
+#include "core/pruning.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(TopkKeepOrder, BasicSelection)
+{
+    const std::vector<float> s{0.6f, 0.1f, 0.5f, 1.2f, 0.6f};
+    const auto idx = topkKeepOrder(s, 3);
+    // Largest three are 1.2, 0.6, 0.6 -> indices {0, 3, 4} in order.
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 3u);
+    EXPECT_EQ(idx[2], 4u);
+}
+
+TEST(TopkKeepOrder, KZero)
+{
+    EXPECT_TRUE(topkKeepOrder({1.0f, 2.0f}, 0).empty());
+}
+
+TEST(TopkKeepOrder, KGreaterThanN)
+{
+    const auto idx = topkKeepOrder({3.0f, 1.0f}, 10);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(TopkKeepOrder, TiesFavorEarlierIndices)
+{
+    const std::vector<float> s{1.0f, 1.0f, 1.0f, 1.0f};
+    const auto idx = topkKeepOrder(s, 2);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(TopkKeepOrder, OutputAscending)
+{
+    Prng p(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<float> s(57);
+        for (auto& x : s)
+            x = static_cast<float>(p.uniform());
+        const auto idx = topkKeepOrder(s, 13);
+        EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+    }
+}
+
+// Property: the selected set's minimum score >= every unselected score.
+TEST(TopkKeepOrder, SelectionIsOptimal)
+{
+    Prng p(2);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + p.below(100);
+        const std::size_t k = p.below(n + 1);
+        std::vector<float> s(n);
+        for (auto& x : s)
+            x = static_cast<float>(p.uniform());
+        const auto idx = topkKeepOrder(s, k);
+        ASSERT_EQ(idx.size(), k);
+        std::vector<bool> chosen(n, false);
+        float min_chosen = 1e9f;
+        for (auto i : idx) {
+            chosen[i] = true;
+            min_chosen = std::min(min_chosen, s[i]);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!chosen[i]) {
+                EXPECT_LE(s[i], min_chosen);
+            }
+        }
+    }
+}
+
+TEST(CascadeTokenPruner, PruneToCountKeepsHighest)
+{
+    TokenImportanceAccumulator acc(5);
+    acc.accumulateRow({0.1f, 0.5f, 0.05f, 0.3f, 0.05f}, {0, 1, 2, 3, 4});
+    CascadeTokenPruner pruner(5);
+    const auto& alive = pruner.pruneToCount(acc, 2);
+    ASSERT_EQ(alive.size(), 2u);
+    EXPECT_EQ(alive[0], 1u);
+    EXPECT_EQ(alive[1], 3u);
+}
+
+TEST(CascadeTokenPruner, CascadeIsMonotone)
+{
+    // A token pruned in round 1 must never reappear in round 2, even if
+    // its score later grows.
+    TokenImportanceAccumulator acc(4);
+    acc.accumulateRow({0.4f, 0.3f, 0.2f, 0.1f}, {0, 1, 2, 3});
+    CascadeTokenPruner pruner(4);
+    pruner.pruneToCount(acc, 3); // prunes token 3
+    // Token 3's score shoots up afterwards, but it's dead.
+    acc.accumulateRow({0.0f, 0.0f, 0.0f, 100.0f}, {0, 1, 2, 3});
+    const auto& alive = pruner.pruneToCount(acc, 2);
+    for (auto id : alive)
+        EXPECT_NE(id, 3u);
+}
+
+TEST(CascadeTokenPruner, RatioNeverKillsEverything)
+{
+    TokenImportanceAccumulator acc(3);
+    acc.accumulateRow({0.3f, 0.3f, 0.4f}, {0, 1, 2});
+    CascadeTokenPruner pruner(3);
+    const auto& alive = pruner.pruneToRatio(acc, 1.0);
+    EXPECT_GE(alive.size(), 1u);
+}
+
+TEST(CascadeTokenPruner, ZeroRatioIsNoop)
+{
+    TokenImportanceAccumulator acc(4);
+    CascadeTokenPruner pruner(4);
+    const auto& alive = pruner.pruneToRatio(acc, 0.0);
+    EXPECT_EQ(alive.size(), 4u);
+}
+
+TEST(CascadeTokenPruner, GenerationAddsToken)
+{
+    TokenImportanceAccumulator acc(2);
+    CascadeTokenPruner pruner(2);
+    acc.addToken();
+    pruner.addToken(2);
+    EXPECT_EQ(pruner.aliveCount(), 3u);
+    EXPECT_EQ(pruner.alive().back(), 2u);
+}
+
+TEST(CascadeHeadPruner, PrunesLowMagnitudeHeads)
+{
+    HeadImportanceAccumulator acc(4);
+    acc.accumulateAbsSum(10.0, 0);
+    acc.accumulateAbsSum(1.0, 1);
+    acc.accumulateAbsSum(8.0, 2);
+    acc.accumulateAbsSum(0.5, 3);
+    CascadeHeadPruner pruner(4);
+    const auto& alive = pruner.pruneToRatio(acc, 0.5);
+    ASSERT_EQ(alive.size(), 2u);
+    EXPECT_EQ(alive[0], 0u);
+    EXPECT_EQ(alive[1], 2u);
+}
+
+TEST(CascadeHeadPruner, CascadeAcrossLayers)
+{
+    HeadImportanceAccumulator acc(3);
+    acc.accumulateAbsSum(3.0, 0);
+    acc.accumulateAbsSum(2.0, 1);
+    acc.accumulateAbsSum(1.0, 2);
+    CascadeHeadPruner pruner(3);
+    pruner.pruneToRatio(acc, 0.34); // drops head 2
+    EXPECT_EQ(pruner.aliveCount(), 2u);
+    acc.accumulateAbsSum(100.0, 2); // too late for head 2
+    pruner.pruneToRatio(acc, 0.5);
+    ASSERT_EQ(pruner.aliveCount(), 1u);
+    EXPECT_EQ(pruner.alive()[0], 0u);
+}
+
+TEST(LocalValuePrune, KeepsLargestProbs)
+{
+    const std::vector<float> prob{0.5f, 0.05f, 0.3f, 0.15f};
+    const auto kept = localValuePrune(prob, 0.5);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0], 0u);
+    EXPECT_EQ(kept[1], 2u);
+}
+
+TEST(LocalValuePrune, ZeroRatioKeepsAll)
+{
+    const auto kept = localValuePrune({0.25f, 0.25f, 0.5f}, 0.0);
+    EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(LocalValuePrune, EmptyRow)
+{
+    EXPECT_TRUE(localValuePrune({}, 0.5).empty());
+}
+
+// Property: pruned mass is always <= kept mass for ratio 0.5 on a
+// probability row (we drop the smallest entries).
+TEST(LocalValuePrune, DroppedMassIsMinority)
+{
+    Prng p(3);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + p.below(64);
+        std::vector<float> prob(n);
+        double sum = 0.0;
+        for (auto& x : prob) {
+            x = static_cast<float>(p.uniform());
+            sum += x;
+        }
+        for (auto& x : prob)
+            x = static_cast<float>(x / sum);
+        const auto kept = localValuePrune(prob, 0.5);
+        double kept_mass = 0.0;
+        for (auto i : kept)
+            kept_mass += prob[i];
+        EXPECT_GE(kept_mass, 1.0 - kept_mass - 1e-6);
+    }
+}
+
+} // namespace
+} // namespace spatten

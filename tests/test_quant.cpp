@@ -1,0 +1,155 @@
+/// Unit and property tests for linear symmetric quantization and MSB/LSB
+/// bit-plane splitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/bitplane.hpp"
+#include "quant/linear_quant.hpp"
+#include "tensor/ops.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(LinearQuant, RoundTripBoundsError)
+{
+    Prng p(1);
+    const Tensor x = Tensor::randn({1000}, p, 0.0f, 1.0f);
+    for (int bits : {4, 6, 8, 12}) {
+        const Tensor y = quant::fakeQuantize(x, bits);
+        // Error bounded by half a quantization step.
+        const float step = quant::chooseScale(x, bits);
+        EXPECT_LE(ops::maxAbsDiff(x, y), 0.5f * step * 1.001f)
+            << "bits=" << bits;
+    }
+}
+
+TEST(LinearQuant, MoreBitsLessError)
+{
+    Prng p(2);
+    const Tensor x = Tensor::randn({4000}, p);
+    double prev = 1e9;
+    for (int bits : {4, 6, 8, 10, 12}) {
+        const double err = ops::meanAbsDiff(x, quant::fakeQuantize(x, bits));
+        EXPECT_LT(err, prev) << "bits=" << bits;
+        prev = err;
+    }
+}
+
+TEST(LinearQuant, ZeroTensorIsExact)
+{
+    const Tensor x({16}, 0.0f);
+    const Tensor y = quant::fakeQuantize(x, 8);
+    EXPECT_EQ(ops::maxAbsDiff(x, y), 0.0f);
+}
+
+TEST(LinearQuant, CodesWithinRange)
+{
+    Prng p(3);
+    const Tensor x = Tensor::randn({512}, p, 0.0f, 10.0f);
+    const QuantizedTensor qt = quant::quantize(x, 6);
+    for (auto c : qt.q) {
+        EXPECT_GE(c, qt.qmin());
+        EXPECT_LE(c, qt.qmax());
+    }
+}
+
+TEST(LinearQuant, MaxAbsMapsToTopCode)
+{
+    const Tensor x = Tensor::fromList({-4.0f, 1.0f, 4.0f});
+    const QuantizedTensor qt = quant::quantize(x, 4);
+    EXPECT_EQ(qt.q[2], qt.qmax());
+}
+
+TEST(LinearQuant, SymmetricAroundZero)
+{
+    const Tensor x = Tensor::fromList({-2.0f, 2.0f});
+    const QuantizedTensor qt = quant::quantize(x, 8);
+    EXPECT_EQ(qt.q[0], -qt.q[1]);
+}
+
+TEST(Bitplane, SplitReconstructExact)
+{
+    Prng p(4);
+    const Tensor x = Tensor::randn({777}, p, 0.0f, 2.0f);
+    for (const auto& setting : kPaperBitplaneSettings) {
+        const BitplaneTensor bp = quant::splitPlanes(x, setting);
+        const Tensor full = quant::reconstructFull(bp);
+        const Tensor direct = quant::fakeQuantize(x, setting.totalBits());
+        EXPECT_LT(ops::maxAbsDiff(full, direct), 1e-6f)
+            << "msb=" << setting.msb_bits;
+    }
+}
+
+TEST(Bitplane, MsbOnlyIsCoarser)
+{
+    Prng p(5);
+    const Tensor x = Tensor::randn({2048}, p);
+    const BitplaneTensor bp = quant::splitPlanes(x, {8, 4});
+    const double err_msb = ops::meanAbsDiff(x, quant::reconstructMsbOnly(bp));
+    const double err_full = ops::meanAbsDiff(x, quant::reconstructFull(bp));
+    EXPECT_GT(err_msb, err_full);
+    // MSB-only error is still bounded by one MSB step.
+    const float msb_step = bp.scale * 16.0f; // 2^lsb_bits
+    EXPECT_LE(ops::maxAbsDiff(x, quant::reconstructMsbOnly(bp)),
+              msb_step * 1.001f);
+}
+
+TEST(Bitplane, LsbPlaneUnsignedRange)
+{
+    Prng p(6);
+    const Tensor x = Tensor::randn({512}, p);
+    const BitplaneTensor bp = quant::splitPlanes(x, {6, 4});
+    for (auto l : bp.lsb) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 16);
+    }
+}
+
+TEST(Bitplane, NegativeValuesSurviveSplit)
+{
+    const Tensor x = Tensor::fromList({-1.0f, -0.5f, 0.5f, 1.0f});
+    const BitplaneTensor bp = quant::splitPlanes(x, {4, 4});
+    const Tensor full = quant::reconstructFull(bp);
+    EXPECT_LT(full[0], 0.0f);
+    EXPECT_LT(full[1], 0.0f);
+    EXPECT_GT(full[3], 0.0f);
+}
+
+TEST(Bitplane, PlaneByteSizes)
+{
+    Prng p(7);
+    const Tensor x = Tensor::randn({100}, p);
+    const BitplaneTensor bp = quant::splitPlanes(x, {8, 4});
+    EXPECT_EQ(bp.msbPlaneBytes(), 100u);     // 100 * 8 / 8
+    EXPECT_EQ(bp.lsbPlaneBytes(), 50u);      // 100 * 4 / 8
+}
+
+TEST(Bitplane, ConvertBitwidthPreservesCode)
+{
+    EXPECT_EQ(quant::convertBitwidth(-8, 4, 12), -8);
+    EXPECT_EQ(quant::convertBitwidth(7, 4, 12), 7);
+    EXPECT_EQ(quant::convertBitwidth(2047, 12, 12), 2047);
+}
+
+// Property sweep: split/reconstruct is exact for every paper setting and
+// multiple distributions.
+class BitplaneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitplaneSweep, ExactReconstruction)
+{
+    const BitplaneSetting setting = kPaperBitplaneSettings[GetParam()];
+    Prng p(100 + GetParam());
+    for (float stddev : {0.1f, 1.0f, 10.0f}) {
+        const Tensor x = Tensor::randn({333}, p, 0.0f, stddev);
+        const BitplaneTensor bp = quant::splitPlanes(x, setting);
+        const Tensor direct = quant::fakeQuantize(x, setting.totalBits());
+        EXPECT_LT(ops::maxAbsDiff(quant::reconstructFull(bp), direct), 1e-6f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSettings, BitplaneSweep,
+                         ::testing::Range(0, 5));
+
+} // namespace
+} // namespace spatten

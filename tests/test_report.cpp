@@ -1,0 +1,99 @@
+/// Tests for the CSV/markdown reporting helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/report.hpp"
+
+namespace spatten {
+namespace {
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_ = "/tmp/spatten_test_report.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    CsvWriter w(path_);
+    w.header({"name", "value"});
+    w.row({"alpha", "1"});
+    EXPECT_EQ(w.rowsWritten(), 1u);
+    // Arity mismatches are hard failures.
+    EXPECT_DEATH(w.rowNumeric({2.5}), "cells");
+    EXPECT_DEATH(w.row({"a", "b", "c"}), "cells");
+}
+
+TEST_F(CsvTest, RowBeforeHeaderDies)
+{
+    CsvWriter w(path_);
+    EXPECT_DEATH(w.row({"x"}), "header missing");
+}
+
+TEST_F(CsvTest, RoundTripContent)
+{
+    {
+        CsvWriter w(path_);
+        w.header({"benchmark", "speedup"});
+        w.row({"bert-base-cola", "186.0"});
+        w.rowNumeric({1234.5, 2.0});
+    }
+    const std::string got = slurp(path_);
+    EXPECT_NE(got.find("benchmark,speedup"), std::string::npos);
+    EXPECT_NE(got.find("bert-base-cola,186.0"), std::string::npos);
+    EXPECT_NE(got.find("1234.5,2"), std::string::npos);
+}
+
+TEST_F(CsvTest, EscapesSpecialCells)
+{
+    {
+        CsvWriter w(path_);
+        w.header({"a"});
+        w.row({"has,comma"});
+        w.row({"has\"quote"});
+    }
+    const std::string got = slurp(path_);
+    EXPECT_NE(got.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(got.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvEscape, PlainCellUntouched)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(Markdown, AlignedTable)
+{
+    const std::string t = markdownTable(
+        {"metric", "paper", "measured"},
+        {{"speedup", "162x", "150x"}, {"energy", "1193x", "1679x"}});
+    EXPECT_NE(t.find("| metric "), std::string::npos);
+    EXPECT_NE(t.find("|---"), std::string::npos);
+    EXPECT_NE(t.find("| speedup"), std::string::npos);
+    // Three lines of content + header + separator.
+    EXPECT_EQ(std::count(t.begin(), t.end(), '\n'), 4);
+}
+
+TEST(FmtNum, Compact)
+{
+    EXPECT_EQ(fmtNum(2.0), "2");
+    EXPECT_EQ(fmtNum(2.5), "2.5");
+    EXPECT_EQ(fmtNum(1e9), "1e+09");
+}
+
+} // namespace
+} // namespace spatten

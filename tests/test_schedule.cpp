@@ -1,0 +1,112 @@
+/// Tests for per-layer pruning-ratio schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Schedule, FrontLayersUnpruned)
+{
+    const PruningSchedule s = makeTokenSchedule(12, 0.2);
+    // ceil(0.15 * 12) = 2 front layers.
+    EXPECT_EQ(s.ratioAt(0), 0.0);
+    EXPECT_EQ(s.ratioAt(1), 0.0);
+    EXPECT_GT(s.ratioAt(2), 0.0);
+}
+
+TEST(Schedule, HeadScheduleHasLargerFront)
+{
+    const PruningSchedule s = makeHeadSchedule(12, 0.2);
+    // ceil(0.3 * 12) = 4 front layers.
+    for (std::size_t l = 0; l < 4; ++l)
+        EXPECT_EQ(s.ratioAt(l), 0.0);
+    EXPECT_GT(s.ratioAt(4), 0.0);
+}
+
+TEST(Schedule, AverageOfPrunedLayersMatches)
+{
+    const double avg = 0.25;
+    const PruningSchedule s = makeTokenSchedule(20, avg);
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t l = 0; l < 20; ++l) {
+        if (s.ratioAt(l) > 0.0) {
+            sum += s.ratioAt(l);
+            ++count;
+        }
+    }
+    ASSERT_GT(count, 0u);
+    EXPECT_NEAR(sum / static_cast<double>(count), avg, 1e-9);
+}
+
+TEST(Schedule, RatiosIncreaseWithDepth)
+{
+    const PruningSchedule s = makeTokenSchedule(12, 0.3);
+    double prev = -1.0;
+    for (std::size_t l = 2; l < 12; ++l) {
+        EXPECT_GE(s.ratioAt(l), prev);
+        prev = s.ratioAt(l);
+    }
+}
+
+TEST(Schedule, StartEndSymmetricAroundAvg)
+{
+    ScheduleConfig cfg;
+    cfg.avg_ratio = 0.2;
+    cfg.front_frac = 0.0;
+    cfg.spread = 0.5;
+    const PruningSchedule s(11, cfg);
+    EXPECT_NEAR(s.ratioAt(0), 0.1, 1e-9);
+    EXPECT_NEAR(s.ratioAt(10), 0.3, 1e-9);
+    EXPECT_NEAR(s.ratioAt(5), 0.2, 1e-9);
+}
+
+TEST(Schedule, DisabledIsAllZero)
+{
+    const PruningSchedule s = PruningSchedule::disabled(8);
+    for (std::size_t l = 0; l < 8; ++l)
+        EXPECT_EQ(s.ratioAt(l), 0.0);
+    EXPECT_DOUBLE_EQ(s.keepFraction(), 1.0);
+}
+
+TEST(Schedule, KeepFractionMatchesProduct)
+{
+    const PruningSchedule s = PruningSchedule::uniform(3, 0.5);
+    EXPECT_NEAR(s.keepFraction(), 0.125, 1e-12);
+}
+
+TEST(Schedule, SingleLayerSchedule)
+{
+    ScheduleConfig cfg;
+    cfg.avg_ratio = 0.4;
+    cfg.front_frac = 0.0;
+    const PruningSchedule s(1, cfg);
+    EXPECT_NEAR(s.ratioAt(0), 0.4, 1e-9);
+}
+
+TEST(Schedule, ZeroLayers)
+{
+    const PruningSchedule s = makeTokenSchedule(0, 0.3);
+    EXPECT_EQ(s.numLayers(), 0u);
+    EXPECT_DOUBLE_EQ(s.keepFraction(), 1.0);
+}
+
+TEST(LengthAdaptiveRatio, LongerPrunesMore)
+{
+    const double short_r = lengthAdaptiveRatio(32, 0.05, 0.4);
+    const double long_r = lengthAdaptiveRatio(992, 0.05, 0.4);
+    EXPECT_LT(short_r, long_r);
+    EXPECT_GE(short_r, 0.05);
+    EXPECT_LE(long_r, 0.4);
+}
+
+TEST(LengthAdaptiveRatio, SaturatesAtMax)
+{
+    EXPECT_DOUBLE_EQ(lengthAdaptiveRatio(2048, 0.1, 0.35, 1024), 0.35);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,142 @@
+/// Tests for the simulation substrate: clock domains, resources, FIFOs
+/// and the stats registry.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/fifo.hpp"
+#include "sim/stats.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(ClockDomain, Conversions)
+{
+    ClockDomain clk(1.0);
+    EXPECT_DOUBLE_EQ(clk.toNs(1000), 1000.0);
+    EXPECT_DOUBLE_EQ(clk.toSeconds(1000000000ULL), 1.0);
+    EXPECT_EQ(clk.fromNs(10.0), 10u);
+
+    ClockDomain hbm(2.0, "hbm");
+    EXPECT_DOUBLE_EQ(hbm.toNs(1000), 500.0);
+    EXPECT_EQ(hbm.fromNs(10.0), 20u);
+}
+
+TEST(ClockDomain, FromNsRoundsUp)
+{
+    ClockDomain clk(1.0);
+    EXPECT_EQ(clk.fromNs(0.1), 1u);
+    EXPECT_EQ(clk.fromNs(0.0), 0u);
+}
+
+TEST(Resource, SerializesWork)
+{
+    Resource r("mult");
+    EXPECT_EQ(r.acquire(0, 10), 10u);
+    // Second item ready at 5 must wait until 10.
+    EXPECT_EQ(r.acquire(5, 10), 20u);
+    // Item arriving after the unit is free starts immediately.
+    EXPECT_EQ(r.acquire(100, 5), 105u);
+    EXPECT_EQ(r.busyCycles(), 25u);
+}
+
+TEST(Resource, Utilization)
+{
+    Resource r;
+    r.acquire(0, 50);
+    EXPECT_DOUBLE_EQ(r.utilization(100), 0.5);
+    EXPECT_DOUBLE_EQ(r.utilization(0), 0.0);
+}
+
+TEST(Resource, ResetClears)
+{
+    Resource r;
+    r.acquire(0, 10);
+    r.reset();
+    EXPECT_EQ(r.freeAt(), 0u);
+    EXPECT_EQ(r.busyCycles(), 0u);
+}
+
+TEST(Fifo, FifoOrder)
+{
+    Fifo<int> f(4, "t");
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, BackpressureWhenFull)
+{
+    Fifo<int> f(2);
+    EXPECT_TRUE(f.tryPush(1));
+    EXPECT_TRUE(f.tryPush(2));
+    EXPECT_TRUE(f.full());
+    EXPECT_FALSE(f.tryPush(3));
+    EXPECT_EQ(f.rejectedPushes(), 1u);
+    f.pop();
+    EXPECT_TRUE(f.tryPush(3));
+}
+
+TEST(Fifo, PeakOccupancyTracked)
+{
+    Fifo<int> f(8);
+    for (int i = 0; i < 5; ++i)
+        f.push(i);
+    for (int i = 0; i < 5; ++i)
+        f.pop();
+    f.push(42);
+    EXPECT_EQ(f.peakOccupancy(), 5u);
+    EXPECT_EQ(f.totalPushes(), 6u);
+}
+
+TEST(Fifo, FrontDoesNotPop)
+{
+    Fifo<int> f(2);
+    f.push(7);
+    EXPECT_EQ(f.front(), 7);
+    EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    s.add("x", 1.0);
+    s.add("x", 2.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_FALSE(s.has("missing"));
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.add("x", 5.0);
+    s.set("x", 1.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 1.0);
+}
+
+TEST(StatSet, MergeSums)
+{
+    StatSet a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(StatSet, ToStringContainsNames)
+{
+    StatSet s;
+    s.add("alpha", 1.0);
+    const std::string out = s.toString();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+}
+
+} // namespace
+} // namespace spatten

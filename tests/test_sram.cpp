@@ -1,0 +1,64 @@
+/// Tests for the Key/Value SRAM model: capacity math, double buffering,
+/// overflow detection and traffic accounting.
+#include <gtest/gtest.h>
+
+#include "accel/sram.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Sram, PaperCapacitySupports1024Tokens)
+{
+    // Table I / §V-B: 196 KB double-buffered holds a 1024-token, 64-dim,
+    // 12-bit context (2 x 1024 x 64 x 12b = 196 KB).
+    SramModel sram({196, 768, true, 12.0}, "key");
+    EXPECT_GE(sram.maxTokens(64), 1024u);
+    EXPECT_LT(sram.maxTokens(64), 1100u);
+    EXPECT_TRUE(sram.fits(1024, 64));
+    EXPECT_FALSE(sram.fits(2048, 64));
+}
+
+TEST(Sram, DoubleBufferingHalvesCapacity)
+{
+    SramModel db({196, 768, true, 12.0});
+    SramModel sb({196, 768, false, 12.0});
+    EXPECT_EQ(sb.maxTokens(64), 2 * db.maxTokens(64));
+    EXPECT_EQ(db.usableBytes(), 196u * 1024 / 2);
+}
+
+TEST(Sram, WiderTokensFewerFit)
+{
+    SramModel sram;
+    EXPECT_GT(sram.maxTokens(64), sram.maxTokens(128));
+    // Doubling the token width halves the capacity (up to flooring).
+    EXPECT_GE(sram.maxTokens(64), 2 * sram.maxTokens(128));
+    EXPECT_LE(sram.maxTokens(64), 2 * sram.maxTokens(128) + 1);
+}
+
+TEST(Sram, FillAndReadAccounting)
+{
+    SramModel sram;
+    sram.recordFill(100, 64); // 100 x 64 x 1.5 B = 9600 B
+    EXPECT_DOUBLE_EQ(sram.bytesWritten(), 9600.0);
+    sram.recordReads(64.0); // 64 elements = 96 B
+    EXPECT_DOUBLE_EQ(sram.bytesRead(), 96.0);
+    sram.reset();
+    EXPECT_DOUBLE_EQ(sram.bytesWritten(), 0.0);
+    EXPECT_DOUBLE_EQ(sram.bytesRead(), 0.0);
+}
+
+TEST(Sram, OverflowDies)
+{
+    SramModel sram({16, 768, true, 12.0}, "tiny");
+    EXPECT_DEATH(sram.recordFill(100000, 64), "overflow");
+}
+
+TEST(Sram, EighthConfigCapacity)
+{
+    // SpAtten-1/8 uses 24 KB SRAMs: 128-token buffers at 64 dims.
+    SramModel sram({24, 768, true, 12.0});
+    EXPECT_EQ(sram.maxTokens(64), 128u);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,73 @@
+/// Tests for the hardware 5th-order Taylor exponential (§V-A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/softmax_module.hpp"
+#include "accel/taylor_exp.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(TaylorExp, ExactAtZero)
+{
+    EXPECT_FLOAT_EQ(taylorExp5(0.0f), 1.0f);
+}
+
+TEST(TaylorExp, MatchesStdExpOnSoftmaxRange)
+{
+    // Softmax-normalized scores live in (-inf, 0]; most mass is within
+    // a few units of zero. The Taylor-5 + range-reduction unit must be
+    // accurate to a fraction of a percent there.
+    for (float x = 0.0f; x >= -20.0f; x -= 0.037f) {
+        const double ref = std::exp(static_cast<double>(x));
+        EXPECT_NEAR(taylorExp5(x), ref, ref * 5e-4 + 1e-12) << "x=" << x;
+    }
+}
+
+TEST(TaylorExp, MaxRelErrorBounded)
+{
+    EXPECT_LT(taylorExp5MaxRelError(-30.0f), 1e-3);
+}
+
+TEST(TaylorExp, MonotoneDecreasing)
+{
+    float prev = taylorExp5(0.0f);
+    for (float x = -0.1f; x >= -15.0f; x -= 0.1f) {
+        const float cur = taylorExp5(x);
+        EXPECT_LE(cur, prev * 1.0000001f) << "x=" << x;
+        prev = cur;
+    }
+}
+
+TEST(TaylorExp, UnderflowsToZero)
+{
+    EXPECT_EQ(taylorExp5(-100.0f), 0.0f);
+}
+
+TEST(TaylorExp, RejectsPositiveInput)
+{
+    EXPECT_DEATH(taylorExp5(0.5f), "x <= 0");
+}
+
+// The softmax hardware module (which now uses the Taylor unit) must
+// still produce near-exact probabilities.
+TEST(TaylorExp, SoftmaxModuleStaysAccurate)
+{
+    SoftmaxModule sm;
+    std::vector<float> prob;
+    const std::vector<float> scores{2.0f, -1.0f, 0.5f, 3.0f, -4.0f};
+    sm.run(scores, prob, 0.1);
+    // Reference with std::exp.
+    double denom = 0.0;
+    std::vector<double> ref(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        ref[i] = std::exp(scores[i] - 3.0);
+        denom += ref[i];
+    }
+    for (std::size_t i = 0; i < scores.size(); ++i)
+        EXPECT_NEAR(prob[i], ref[i] / denom, 2e-3) << "i=" << i;
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,236 @@
+/// Unit tests for the tensor library and its operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6u);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t({4}, 2.5f);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, At2D)
+{
+    Tensor t({2, 3});
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+    EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(Tensor, At3D)
+{
+    Tensor t({2, 3, 4});
+    t.at(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(Tensor, NegativeDim)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.dim(-1), 4u);
+    EXPECT_EQ(t.dim(-3), 2u);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t = Tensor::fromList({1, 2, 3, 4, 5, 6});
+    t.reshape({2, 3});
+    EXPECT_EQ(t.at(1, 0), 4.0f);
+}
+
+TEST(Tensor, RowExtraction)
+{
+    Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor r = t.row(1);
+    EXPECT_EQ(r.numel(), 3u);
+    EXPECT_EQ(r[0], 4.0f);
+    EXPECT_EQ(r[2], 6.0f);
+}
+
+TEST(Tensor, SumAndMeanAbs)
+{
+    Tensor t = Tensor::fromList({-1, 2, -3});
+    EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+    EXPECT_DOUBLE_EQ(t.meanAbs(), 2.0);
+}
+
+TEST(Tensor, RandnMoments)
+{
+    Prng p(1);
+    const Tensor t = Tensor::randn({10000}, p, 1.0f, 2.0f);
+    double s = 0.0, s2 = 0.0;
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+        s += t[i];
+        s2 += (t[i] - 1.0) * (t[i] - 1.0);
+    }
+    EXPECT_NEAR(s / 10000.0, 1.0, 0.1);
+    EXPECT_NEAR(s2 / 10000.0, 4.0, 0.2);
+}
+
+TEST(Ops, MatmulSmall)
+{
+    Tensor a({2, 2}, {1, 2, 3, 4});
+    Tensor b({2, 2}, {5, 6, 7, 8});
+    const Tensor c = ops::matmul(a, b);
+    EXPECT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Ops, MatmulTransposedBMatchesMatmul)
+{
+    Prng p(2);
+    const Tensor a = Tensor::randn({5, 7}, p);
+    const Tensor b = Tensor::randn({6, 7}, p);
+    const Tensor c1 = ops::matmulTransposedB(a, b);
+    const Tensor c2 = ops::matmul(a, ops::transpose(b));
+    EXPECT_LT(ops::maxAbsDiff(c1, c2), 1e-5f);
+}
+
+TEST(Ops, TransposeRoundTrip)
+{
+    Prng p(3);
+    const Tensor a = Tensor::randn({4, 9}, p);
+    EXPECT_LT(ops::maxAbsDiff(ops::transpose(ops::transpose(a)), a), 0.0f + 1e-9f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Prng p(4);
+    const Tensor s = Tensor::randn({8, 16}, p, 0.0f, 3.0f);
+    const Tensor prob = ops::softmaxRows(s);
+    for (std::size_t i = 0; i < 8; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < 16; ++j) {
+            EXPECT_GE(prob.at(i, j), 0.0f);
+            row += prob.at(i, j);
+        }
+        EXPECT_NEAR(row, 1.0, 1e-5);
+    }
+}
+
+TEST(Ops, SoftmaxStableForLargeScores)
+{
+    const Tensor s = Tensor::fromList({1000.0f, 1000.0f});
+    const Tensor p = ops::softmax(s);
+    EXPECT_NEAR(p[0], 0.5f, 1e-6f);
+    EXPECT_NEAR(p[1], 0.5f, 1e-6f);
+}
+
+TEST(Ops, SoftmaxMonotone)
+{
+    const Tensor s = Tensor::fromList({0.0f, 1.0f, 2.0f});
+    const Tensor p = ops::softmax(s);
+    EXPECT_LT(p[0], p[1]);
+    EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Ops, LayerNormZeroMeanUnitVar)
+{
+    Prng prng(5);
+    const Tensor x = Tensor::randn({3, 64}, prng, 5.0f, 3.0f);
+    const Tensor gamma({64}, 1.0f);
+    const Tensor beta({64}, 0.0f);
+    const Tensor y = ops::layerNorm(x, gamma, beta);
+    for (std::size_t i = 0; i < 3; ++i) {
+        double mean = 0.0, var = 0.0;
+        for (std::size_t j = 0; j < 64; ++j)
+            mean += y.at(i, j);
+        mean /= 64.0;
+        for (std::size_t j = 0; j < 64; ++j)
+            var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+        var /= 64.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(Ops, GeluKnownValues)
+{
+    const Tensor x = Tensor::fromList({0.0f, 100.0f, -100.0f});
+    const Tensor y = ops::gelu(x);
+    EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+    EXPECT_NEAR(y[1], 100.0f, 1e-3f);
+    EXPECT_NEAR(y[2], 0.0f, 1e-3f);
+}
+
+TEST(Ops, ReluClamps)
+{
+    const Tensor x = Tensor::fromList({-2.0f, 0.0f, 3.0f});
+    const Tensor y = ops::relu(x);
+    EXPECT_EQ(y[0], 0.0f);
+    EXPECT_EQ(y[1], 0.0f);
+    EXPECT_EQ(y[2], 3.0f);
+}
+
+TEST(Ops, Argmax)
+{
+    EXPECT_EQ(ops::argmax(Tensor::fromList({1, 5, 3})), 1u);
+    EXPECT_EQ(ops::argmax(Tensor::fromList({7})), 0u);
+}
+
+TEST(Ops, GatherRows)
+{
+    Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+    const Tensor g = ops::gatherRows(a, {2, 0});
+    EXPECT_EQ(g.dim(0), 2u);
+    EXPECT_EQ(g.at(0, 0), 5.0f);
+    EXPECT_EQ(g.at(1, 1), 2.0f);
+}
+
+TEST(Ops, ConcatRows)
+{
+    Tensor a({1, 2}, {1, 2});
+    Tensor b({2, 2}, {3, 4, 5, 6});
+    const Tensor c = ops::concatRows(a, b);
+    EXPECT_EQ(c.dim(0), 3u);
+    EXPECT_EQ(c.at(2, 1), 6.0f);
+}
+
+TEST(Ops, SliceAndConcatColsRoundTrip)
+{
+    Prng p(6);
+    const Tensor a = Tensor::randn({4, 12}, p);
+    const Tensor left = ops::sliceCols(a, 0, 5);
+    const Tensor right = ops::sliceCols(a, 5, 12);
+    const Tensor back = ops::concatCols({left, right});
+    EXPECT_LT(ops::maxAbsDiff(a, back), 1e-9f);
+}
+
+TEST(Ops, AddRowBias)
+{
+    Tensor a({2, 2}, {1, 2, 3, 4});
+    const Tensor bias = Tensor::fromList({10, 20});
+    const Tensor c = ops::addRowBias(a, bias);
+    EXPECT_EQ(c.at(0, 0), 11.0f);
+    EXPECT_EQ(c.at(1, 1), 24.0f);
+}
+
+TEST(Ops, ElementwiseArithmetic)
+{
+    const Tensor a = Tensor::fromList({1, 2, 3});
+    const Tensor b = Tensor::fromList({4, 5, 6});
+    EXPECT_EQ(ops::add(a, b)[2], 9.0f);
+    EXPECT_EQ(ops::sub(b, a)[0], 3.0f);
+    EXPECT_EQ(ops::mul(a, b)[1], 10.0f);
+    EXPECT_EQ(ops::scale(a, 2.0f)[2], 6.0f);
+}
+
+} // namespace
+} // namespace spatten

@@ -1,0 +1,167 @@
+/// Tests for the benchmark suite definitions, synthetic attention traces
+/// and the synthetic task generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/attention_trace.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/synthetic_tasks.hpp"
+
+namespace spatten {
+namespace {
+
+TEST(Benchmarks, ThirtyTotal)
+{
+    const auto all = paperBenchmarks();
+    EXPECT_EQ(all.size(), 30u);
+    EXPECT_EQ(bertBenchmarks().size(), 22u);
+    EXPECT_EQ(gptBenchmarks().size(), 8u);
+}
+
+TEST(Benchmarks, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto& b : paperBenchmarks())
+        names.insert(b.workload.name);
+    EXPECT_EQ(names.size(), 30u);
+}
+
+TEST(Benchmarks, BertConfigsCorrect)
+{
+    const auto& b = findBenchmark(paperBenchmarks(), "bert-large-sst-2");
+    EXPECT_EQ(b.workload.model.num_layers, 24u);
+    EXPECT_EQ(b.workload.model.num_heads, 16u);
+    EXPECT_EQ(b.workload.generate_len, 0u);
+    EXPECT_FALSE(b.generative);
+    EXPECT_FALSE(b.policy.pq.enabled); // BERT: static quantization
+}
+
+TEST(Benchmarks, GptConfigsCorrect)
+{
+    const auto& g = findBenchmark(paperBenchmarks(), "gpt2-small-ptb");
+    EXPECT_EQ(g.workload.summarize_len, 992u);
+    EXPECT_EQ(g.workload.generate_len, 32u);
+    EXPECT_TRUE(g.generative);
+    EXPECT_TRUE(g.policy.pq.enabled);
+    EXPECT_NEAR(g.policy.lsb_fraction, 0.059, 1e-9);
+}
+
+TEST(Benchmarks, LongerTasksPruneMore)
+{
+    const auto all = paperBenchmarks();
+    const auto& cola = findBenchmark(all, "bert-base-cola");   // len 11
+    const auto& squad = findBenchmark(all, "bert-base-squad-v1"); // len 320
+    EXPECT_LT(cola.policy.token_avg_ratio, squad.policy.token_avg_ratio);
+}
+
+TEST(Benchmarks, FindUnknownDies)
+{
+    const auto all = paperBenchmarks();
+    EXPECT_DEATH(findBenchmark(all, "nope"), "unknown benchmark");
+}
+
+TEST(AttentionTrace, DominanceRaisesMaxProb)
+{
+    Prng p(1);
+    double flat_sum = 0, dom_sum = 0;
+    for (int i = 0; i < 20; ++i) {
+        flat_sum += maxSoftmaxProb(syntheticScoreRow(64, 0.0, p));
+        dom_sum += maxSoftmaxProb(syntheticScoreRow(64, 8.0, p));
+    }
+    EXPECT_LT(flat_sum / 20, 0.35);
+    EXPECT_GT(dom_sum / 20, 0.9);
+}
+
+TEST(AttentionTrace, BatchCoversDominanceRange)
+{
+    Prng p(2);
+    const auto rows = syntheticScoreRows(200, 48, 8.0, p);
+    ASSERT_EQ(rows.size(), 200u);
+    double min_p = 1.0, max_p = 0.0;
+    for (const auto& r : rows) {
+        const double mp = maxSoftmaxProb(r);
+        min_p = std::min(min_p, mp);
+        max_p = std::max(max_p, mp);
+    }
+    EXPECT_LT(min_p, 0.2);
+    EXPECT_GT(max_p, 0.9);
+}
+
+TEST(KeywordTask, ExamplesWellFormed)
+{
+    KeywordTask task;
+    const auto ex = task.sample(50);
+    for (const auto& e : ex) {
+        EXPECT_EQ(e.ids.size(), task.seqLen());
+        EXPECT_LT(e.label, task.numClasses());
+        std::size_t keywords = 0;
+        for (auto id : e.ids) {
+            EXPECT_LT(id, task.vocabSize());
+            keywords += task.isKeyword(id);
+        }
+        EXPECT_GE(keywords, 1u);
+    }
+}
+
+TEST(KeywordTask, KeywordsMatchLabelClass)
+{
+    KeywordTask task;
+    const auto ex = task.sample(50);
+    const auto& cfg = task.config();
+    for (const auto& e : ex) {
+        for (auto id : e.ids) {
+            if (!task.isKeyword(id))
+                continue;
+            const std::size_t cls =
+                (id - cfg.num_fillers) / cfg.keywords_per_class;
+            EXPECT_EQ(cls, e.label);
+        }
+    }
+}
+
+TEST(KeywordTask, TokenNamesNonEmpty)
+{
+    KeywordTask task;
+    for (std::size_t id = 0; id < task.vocabSize(); ++id)
+        EXPECT_FALSE(task.tokenName(id).empty());
+}
+
+TEST(CopyLmTask, StructureCorrect)
+{
+    CopyLmTask task;
+    const auto& cfg = task.config();
+    const auto ex = task.sample(20);
+    const std::size_t bos = cfg.num_symbols + cfg.num_fillers;
+    const std::size_t sep = bos + 1;
+    for (const auto& e : ex) {
+        EXPECT_EQ(e.ids.size(), task.seqLen());
+        EXPECT_EQ(e.ids.front(), bos);
+        // SEP present and payload copied after it.
+        const auto sep_it =
+            std::find(e.ids.begin(), e.ids.end(), sep);
+        ASSERT_NE(sep_it, e.ids.end());
+        const std::size_t sep_pos =
+            static_cast<std::size_t>(sep_it - e.ids.begin());
+        // Payload symbols (stride filler_gap+1 after BOS) match the copy.
+        for (std::size_t i = 0; i < cfg.payload_len; ++i) {
+            const std::size_t orig = e.ids[1 + i * (1 + cfg.filler_gap)];
+            const std::size_t copy = e.ids[sep_pos + 1 + i];
+            EXPECT_EQ(orig, copy);
+            EXPECT_TRUE(task.isSymbol(orig));
+        }
+    }
+}
+
+TEST(CopyLmTask, DeterministicWithSeed)
+{
+    CopyLmTaskConfig cfg;
+    CopyLmTask a(cfg), b(cfg);
+    const auto ea = a.sample(5);
+    const auto eb = b.sample(5);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(ea[i].ids, eb[i].ids);
+}
+
+} // namespace
+} // namespace spatten
