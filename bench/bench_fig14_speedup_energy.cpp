@@ -36,8 +36,12 @@ main()
     rule();
 
     std::vector<std::vector<double>> speedups(4), effs(4);
+    std::vector<BenchRecord> records;
     for (const auto& b : paperBenchmarks()) {
         const RunResult sp = accel.run(b.workload, b.policy);
+        records.push_back({b.workload.name,
+                           static_cast<double>(sp.cycles), sp.seconds,
+                           sp.effectiveTflops(), sp.dramReduction()});
         std::printf("%-24s |", b.workload.name.c_str());
         double row_speed[4], row_eff[4];
         for (std::size_t p = 0; p < platforms.size(); ++p) {
@@ -73,5 +77,6 @@ main()
     std::printf("\nPaper geomeans: speedup 162x / 347x / 1095x / 5071x; "
                 "energy 1193x / 4059x / 406x / 1910x.\n");
     std::printf("Per-benchmark rows written to %s\n", csv.path().c_str());
+    writeBenchJson("fig14_speedup_energy", records);
     return 0;
 }

@@ -77,5 +77,22 @@ main()
     std::printf("Paper waterfall: 22.1x datapath -> x1.1 token -> x1.1 "
                 "head -> x3 top-k engine -> x1.6 static quant -> x1.7 "
                 "progressive = 209x total.\n");
+
+    // Per-stage occupancy/energy breakdown, landed in the stats by the
+    // stage graph automatically (no hand re-derivation of internals).
+    SpAttenAccelerator accel;
+    const BenchmarkSpec b = gptBenchmarks().front();
+    const RunResult r = accel.run(b.workload, progressive);
+    std::printf("\nStage breakdown (%s, full policy):\n",
+                b.workload.name.c_str());
+    std::printf("%-18s %16s %16s\n", "stage", "busy cycles", "energy (uJ)");
+    rule();
+    for (const char* stage :
+         {"fetcher", "qk", "softmax", "topk", "zero_eliminator", "pv"}) {
+        const std::string p = std::string("stage.") + stage;
+        std::printf("%-18s %16.0f %16.2f\n", stage,
+                    r.stats.get(p + ".busy_cycles"),
+                    r.stats.get(p + ".energy_pj") * 1e-6);
+    }
     return 0;
 }

@@ -18,6 +18,7 @@ main()
 
     SpAttenAccelerator accel;
     std::vector<double> dram_all, comp_all, dram_gpt, eff_bert, eff_gpt;
+    std::vector<BenchRecord> records;
     for (const auto& b : paperBenchmarks()) {
         const RunResult r = accel.run(b.workload, b.policy);
         dram_all.push_back(r.dramReduction());
@@ -28,7 +29,11 @@ main()
         } else {
             eff_bert.push_back(r.effectiveTflops());
         }
+        records.push_back({b.workload.name, static_cast<double>(r.cycles),
+                           r.seconds, r.effectiveTflops(),
+                           r.dramReduction()});
     }
+    writeBenchJson("headline_reductions", records);
 
     std::printf("%-44s %10s %10s\n", "metric", "measured", "paper");
     rule();

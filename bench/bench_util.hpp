@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared helpers for the benchmark harness binaries: geometric means,
- * table printing, and the standard banner that cites which paper
- * table/figure a binary regenerates.
+ * table printing, the standard banner that cites which paper
+ * table/figure a binary regenerates, and machine-readable BENCH_*.json
+ * emission so successive PRs accumulate a perf trajectory.
  */
 #ifndef SPATTEN_BENCH_BENCH_UTIL_HPP
 #define SPATTEN_BENCH_BENCH_UTIL_HPP
@@ -54,6 +55,62 @@ inline void
 rule()
 {
     std::printf("--------------------------------------------------------------\n");
+}
+
+/** One perf data point of a bench run. */
+struct BenchRecord
+{
+    std::string workload;
+    double cycles = 0;
+    double seconds = 0;
+    double tflops = 0;         ///< Effective attention TFLOPS.
+    double dram_reduction = 1; ///< Dense fp32 bytes / fetched bytes.
+};
+
+/** Escape backslashes and double quotes for a JSON string literal. */
+inline std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Emit `BENCH_<name>.json` in the working directory: one record per
+ * workload plus the record count, so CI and later PRs can diff perf
+ * without scraping stdout tables.
+ */
+inline void
+writeBenchJson(const std::string& name,
+               const std::vector<BenchRecord>& records)
+{
+    const std::string path = "BENCH_" + name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+                 name.c_str());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord& r = records[i];
+        std::fprintf(f,
+                     "    {\"workload\": \"%s\", \"cycles\": %.0f, "
+                     "\"seconds\": %.9g, \"tflops\": %.6g, "
+                     "\"dram_reduction\": %.6g}%s\n",
+                     jsonEscape(r.workload).c_str(), r.cycles, r.seconds,
+                     r.tflops,
+                     r.dram_reduction, i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
 }
 
 } // namespace bench

@@ -4,11 +4,13 @@
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
-///   ./build/examples/quickstart
+///   ./build/example_quickstart
 #include <cstdio>
+#include <string>
 
 #include "accel/spatten_accelerator.hpp"
 #include "baselines/platform_model.hpp"
+#include "serve/batch_runner.hpp"
 
 int
 main()
@@ -62,5 +64,27 @@ main()
                 "energy saving %.0fx\n", gr.seconds * 1e3,
                 gr.seconds / pruned.seconds,
                 gr.energy_j / pruned.energy.totalJ());
+
+    // 5. Per-stage breakdown, landed in the stats by the stage graph.
+    std::printf("\nPer-stage occupancy (stage graph stats):\n");
+    for (const char* stage :
+         {"fetcher", "qk", "softmax", "topk", "zero_eliminator", "pv"}) {
+        const std::string key =
+            std::string("stage.") + stage + ".busy_cycles";
+        std::printf("  %-18s %12.0f cycles\n", stage,
+                    pruned.stats.get(key));
+    }
+
+    // 6. Serve a small batch concurrently: results are bit-identical to
+    //    a single-threaded run, only the wall clock changes.
+    const BatchResult batch = accel.runBatch(
+        {{workload, policy, 1}, {workload, policy, 2},
+         {workload, PruningPolicy::disabled(), 3}},
+        /*num_threads=*/2);
+    std::printf("\nBatch of %zu: p50 %.3f ms, p99 %.3f ms, "
+                "%.2f aggregate TFLOPS, %.1fx DRAM reduction\n",
+                batch.results.size(), batch.p50_seconds * 1e3,
+                batch.p99_seconds * 1e3, batch.aggregate_tflops,
+                batch.dram_reduction);
     return 0;
 }

@@ -1,0 +1,142 @@
+#include "accel/attention_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/pipeline.hpp"
+#include "common/logging.hpp"
+#include "core/graph_transforms.hpp"
+
+namespace spatten {
+
+AttentionGraph::AttentionGraph(const SpAttenConfig& cfg,
+                               const WorkloadSpec& workload,
+                               const PruningPolicy& policy,
+                               std::uint64_t request_seed)
+    : workload_(workload),
+      key_sram_({cfg.key_sram_kb, 768, true, 12.0}, "key_sram"),
+      value_sram_({cfg.value_sram_kb, 768, true, 12.0}, "value_sram"),
+      hbm_(cfg.hbm),
+      xbar_({32, static_cast<std::size_t>(cfg.hbm.channels)}),
+      fetcher_(hbm_, xbar_),
+      qk_(cfg.qk),
+      softmax_(cfg.softmax),
+      topk_({cfg.topk_parallelism, 1024, 0x70ccULL ^ request_seed}),
+      pv_(cfg.pv),
+      graph_(cfg.core_freq_ghz, cfg.hbm.freq_ghz, cfg.energy),
+      ctx_(makeExecutionContext(workload, policy, request_seed)),
+      core_freq_ghz_(cfg.core_freq_ghz),
+      energy_cfg_(cfg.energy)
+{
+    ctx_.max_context = cfg.max_context;
+    // Contexts larger than one SRAM buffer are processed in K tiles:
+    // each tile is loaded once and all queries stream against it, so K/V
+    // are fetched once but Q is re-streamed per tile. The tile size
+    // honors the smaller of the two SRAMs so an asymmetric config can
+    // never be filled past a buffer's capacity.
+    ctx_.sram_tokens = std::min(key_sram_.maxTokens(ctx_.d_head),
+                                value_sram_.maxTokens(ctx_.d_head));
+    SPATTEN_ASSERT(ctx_.sram_tokens >= 1,
+                   "SRAMs cannot hold a single %zu-dim token",
+                   ctx_.d_head);
+
+    graph_.addMemoryStage(&fetcher_, [this](const StageTraffic& t) {
+        if (t.sram_write_elems > 0) {
+            key_sram_.recordWrites(t.sram_write_elems);
+            value_sram_.recordWrites(t.sram_write_elems);
+        }
+    });
+    graph_.addStage(&qk_, [this](const StageTraffic& t) {
+        key_sram_.recordReads(t.sram_read_elems);
+    });
+    graph_.addStage(&softmax_);
+    graph_.addStage(&topk_);
+    graph_.addStage(&zero_eliminator_);
+    graph_.addStage(&pv_, [this](const StageTraffic& t) {
+        value_sram_.recordReads(t.sram_read_elems);
+    });
+    for (auto& t : makePolicyTransforms(workload.model, policy))
+        graph_.addTransform(std::move(t));
+}
+
+void
+AttentionGraph::runPass(std::size_t queries, std::size_t context_len,
+                        bool generation)
+{
+    ctx_.pass_queries = queries;
+    ctx_.alive_tokens = context_len;
+    ctx_.alive_heads = ctx_.num_heads_total;
+    ctx_.generation = generation;
+    ctx_.layer = 0;
+    for (std::size_t l = 0; l < ctx_.num_layers; ++l) {
+        const LayerCost cost = graph_.runLayer(ctx_);
+        attention_flops_ += 2.0 * (cost.qk_macs + cost.pv_macs);
+    }
+}
+
+double
+AttentionGraph::elapsedSeconds() const
+{
+    return graph_.elapsedNs() * 1e-9;
+}
+
+void
+AttentionGraph::finalize(RunResult& res) const
+{
+    res.attention_flops = attention_flops_;
+
+    // ---- Dense (unpruned fp32) reference for reduction factors ----
+    const double d = static_cast<double>(workload_.model.d_head);
+    const double h_total = static_cast<double>(workload_.model.num_heads);
+    const double layers = static_cast<double>(workload_.model.num_layers);
+    const double fp32_row = d * 4.0;
+    const auto densePass = [&](double queries, double ctx) {
+        res.attention_flops_dense +=
+            2.0 * (queries * ctx * d + queries * ctx * d) * h_total *
+            layers;
+        res.dram_bytes_dense +=
+            (ctx * fp32_row * 2.0 + queries * fp32_row) * h_total * layers;
+    };
+    if (!workload_.skip_summarization)
+        densePass(static_cast<double>(workload_.summarize_len),
+                  static_cast<double>(workload_.summarize_len));
+    for (std::size_t t = 0; t < workload_.generate_len; ++t)
+        densePass(1.0,
+                  static_cast<double>(workload_.summarize_len + t + 1));
+
+    // ---- Totals and energy ----
+    const double core_ns = graph_.elapsedNs();
+    res.cycles = static_cast<Cycles>(std::ceil(core_ns * core_freq_ghz_));
+    res.seconds = core_ns * 1e-9;
+    res.dram_bytes = static_cast<double>(hbm_.totalBytes());
+
+    ActivityCounts act = graph_.activity();
+    act.freq_ghz = core_freq_ghz_;
+    act.cycles = static_cast<double>(res.cycles);
+    act.sram_read_bytes = key_sram_.bytesRead() + value_sram_.bytesRead();
+    act.sram_write_bytes =
+        key_sram_.bytesWritten() + value_sram_.bytesWritten();
+    act.dram_energy_pj = hbm_.energyPj();
+    res.energy = EnergyModel(energy_cfg_).compute(act);
+
+    // ---- Stat registry: aggregates + automatic per-stage breakdown ----
+    hbm_.exportStats(res.stats);
+    res.stats.set("pipeline.compute_bound_ns", graph_.computeBoundNs());
+    res.stats.set("pipeline.memory_bound_ns", graph_.memoryBoundNs());
+    res.stats.set("pipeline.summarize_seconds", res.summarize_seconds);
+    res.stats.set("pipeline.generate_seconds", res.generate_seconds);
+    res.stats.set("pipeline.effective_tflops", res.effectiveTflops());
+    res.stats.set("pipeline.dram_reduction", res.dramReduction());
+    res.stats.set("pipeline.compute_reduction", res.computeReduction());
+    res.stats.set("activity.qk_macs", act.qk_macs);
+    res.stats.set("activity.pv_macs", act.pv_macs);
+    res.stats.set("activity.softmax_elems", act.softmax_elems);
+    res.stats.set("activity.topk_comparisons", act.topk_comparisons);
+    res.stats.set("crossbar.conflicts",
+                  static_cast<double>(xbar_.totalConflicts()));
+    res.stats.set("sram.key_bytes_read", key_sram_.bytesRead());
+    res.stats.set("sram.value_bytes_read", value_sram_.bytesRead());
+    res.stats.merge(graph_.stats());
+}
+
+} // namespace spatten

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The SpAtten attention dataflow assembled as a stage graph.
+ *
+ * AttentionGraph instantiates the hardware units (fetcher, Q x K,
+ * softmax, top-k, zero eliminator, prob x V), the SRAM/HBM/crossbar
+ * substrate, and the policy transforms (cascade pruning, progressive
+ * quantization), wires them into a StageGraph, and exposes the per-pass
+ * driver the pipeline facade iterates: one runPass() per summarization
+ * or generation step, then finalize() to land results and stats.
+ */
+#ifndef SPATTEN_ACCEL_ATTENTION_GRAPH_HPP
+#define SPATTEN_ACCEL_ATTENTION_GRAPH_HPP
+
+#include "accel/crossbar.hpp"
+#include "accel/fetcher.hpp"
+#include "accel/pv_module.hpp"
+#include "accel/qk_module.hpp"
+#include "accel/softmax_module.hpp"
+#include "accel/sram.hpp"
+#include "accel/topk_engine.hpp"
+#include "accel/zero_eliminator.hpp"
+#include "core/model_spec.hpp"
+#include "hbm/hbm.hpp"
+#include "sim/stage_graph.hpp"
+
+namespace spatten {
+
+struct SpAttenConfig;
+struct RunResult;
+
+/** One workload execution assembled as hardware stages + transforms. */
+class AttentionGraph
+{
+  public:
+    AttentionGraph(const SpAttenConfig& cfg, const WorkloadSpec& workload,
+                   const PruningPolicy& policy, std::uint64_t request_seed);
+
+    /**
+     * Run one attention pass over the whole model: @p queries query rows
+     * per (layer, head) against an entering context of @p context_len
+     * tokens. Generation passes fetch the MSB plane eagerly and keep a
+     * single query row.
+     */
+    void runPass(std::size_t queries, std::size_t context_len,
+                 bool generation);
+
+    /** Elapsed simulated seconds across all passes so far. */
+    double elapsedSeconds() const;
+
+    /**
+     * Land cycles/seconds/energy/traffic, the dense fp32 reference for
+     * reduction factors, and the stat registry (pipeline aggregates plus
+     * the per-stage breakdown) into @p res.
+     */
+    void finalize(RunResult& res) const;
+
+    /** The stage graph (per-stage stats, activity). */
+    const StageGraph& graph() const { return graph_; }
+
+  private:
+    WorkloadSpec workload_; ///< By value: the graph may outlive the caller's spec.
+    SramModel key_sram_;
+    SramModel value_sram_;
+    HbmModel hbm_;
+    Crossbar xbar_;
+    QkvFetcher fetcher_;
+    QkModule qk_;
+    SoftmaxModule softmax_;
+    TopkEngine topk_;
+    ZeroEliminator zero_eliminator_;
+    PvModule pv_;
+    StageGraph graph_;
+    ExecutionContext ctx_;
+    double core_freq_ghz_;
+    EnergyConfig energy_cfg_;
+    double attention_flops_ = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_ATTENTION_GRAPH_HPP

@@ -27,10 +27,11 @@ SpAttenE2e::SpAttenE2e(SpAttenConfig cfg, E2eConfig e2e)
 }
 
 E2eResult
-SpAttenE2e::run(const WorkloadSpec& workload, const PruningPolicy& policy)
+SpAttenE2e::run(const WorkloadSpec& workload, const PruningPolicy& policy,
+                std::uint64_t request_seed)
 {
     E2eResult res;
-    res.attention = pipeline_.run(workload, policy);
+    res.attention = pipeline_.run(workload, policy, request_seed);
 
     const ModelSpec& model = workload.model;
     const double params = fcParamsPerLayer(model);

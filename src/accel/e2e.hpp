@@ -65,7 +65,8 @@ class SpAttenE2e
                E2eConfig e2e = E2eConfig{});
 
     /** Run the full model: attention (SpAtten pipeline) + FC layers. */
-    E2eResult run(const WorkloadSpec& workload, const PruningPolicy& policy);
+    E2eResult run(const WorkloadSpec& workload, const PruningPolicy& policy,
+                  std::uint64_t request_seed = kDefaultRequestSeed);
 
     const E2eConfig& e2eConfig() const { return e2e_; }
 

@@ -56,4 +56,96 @@ QkvFetcher::stream(std::uint64_t base_addr, std::uint64_t bytes,
     return res;
 }
 
+namespace {
+
+/** Expected LSB-plane refetch bytes for one (layer, head). */
+double
+lsbRefetchBytes(const ExecutionContext& ctx)
+{
+    return ctx.active_lsb_fraction * static_cast<double>(ctx.queries) *
+           static_cast<double>(ctx.alive_tokens) *
+           static_cast<double>(ctx.bytesPerRow(ctx.lsb_bits));
+}
+
+} // namespace
+
+StageTiming
+QkvFetcher::timing(const ExecutionContext&) const
+{
+    // DRAM time is realized by issue(); under double buffering it
+    // overlaps compute, so the fetcher adds no core-pipeline occupancy.
+    return {};
+}
+
+ActivityCounts
+QkvFetcher::energy(const ExecutionContext&) const
+{
+    return {}; // Request energy is priced from traffic().fetch_requests.
+}
+
+StageTraffic
+QkvFetcher::traffic(const ExecutionContext& ctx) const
+{
+    StageTraffic t;
+    const double heads = static_cast<double>(ctx.alive_heads);
+    const double n = static_cast<double>(ctx.alive_tokens);
+    const double nq = static_cast<double>(ctx.queries);
+    const double v_rows = static_cast<double>(
+        ctx.generation ? ctx.kept_values : ctx.alive_tokens);
+    const double row = static_cast<double>(ctx.bytesPerRow(ctx.fetch_bits));
+    const double lsb = lsbRefetchBytes(ctx);
+    t.dram_bytes =
+        heads * (n * row + v_rows * row +
+                 nq * row * static_cast<double>(ctx.tiles()) +
+                 (lsb >= 1.0 ? lsb : 0.0));
+    t.fetch_requests = heads * (n + v_rows + nq);
+    // Summarization fills both SRAM buffers tile by tile; each context
+    // token is written exactly once per head.
+    if (!ctx.generation)
+        t.sram_write_elems = heads * n * static_cast<double>(ctx.d_head);
+    return t;
+}
+
+Cycles
+QkvFetcher::issue(const ExecutionContext& ctx, Cycles start)
+{
+    const std::size_t n = ctx.alive_tokens;
+    const std::size_t nq = ctx.queries;
+    const std::size_t row = ctx.bytesPerRow(ctx.fetch_bits);
+    const std::size_t lsb_row = ctx.bytesPerRow(ctx.lsb_bits);
+    const std::size_t v_rows = ctx.generation ? ctx.kept_values : n;
+    const std::size_t tiles = ctx.tiles();
+
+    Cycles done = start;
+    for (std::size_t hd = 0; hd < ctx.alive_heads; ++hd) {
+        // K plane (eager width), V plane, Q rows (once per K tile).
+        const auto fk = stream(ctx.planeBase(0, hd, row),
+                               static_cast<std::uint64_t>(n) * row, start);
+        done = std::max(done, fk.dram_cycles_done);
+        const auto fv =
+            stream(ctx.planeBase(2, hd, row),
+                   static_cast<std::uint64_t>(v_rows) * row, start);
+        done = std::max(done, fv.dram_cycles_done);
+        // Q is re-streamed once per K tile from the same plane slot (the
+        // same query rows are fetched again for every tile), so the
+        // stream never spills past this head's max_context-sized slot.
+        for (std::size_t t = 0; t < tiles; ++t) {
+            const auto fq =
+                stream(ctx.planeBase(4, hd, row),
+                       static_cast<std::uint64_t>(nq) * row, start);
+            done = std::max(done, fq.dram_cycles_done);
+        }
+        // Expected LSB refetch traffic (K plane) for flat rows — the
+        // same per-head plan traffic() prices statically.
+        const double lsb_bytes_exact = lsbRefetchBytes(ctx);
+        if (lsb_bytes_exact >= 1.0) {
+            const auto fl =
+                stream(ctx.planeBase(1, hd, lsb_row),
+                       static_cast<std::uint64_t>(lsb_bytes_exact), start);
+            done = std::max(done, fl.dram_cycles_done);
+        }
+    }
+    return done;
+}
+
 } // namespace spatten

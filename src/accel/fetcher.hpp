@@ -15,6 +15,7 @@
 #include "accel/crossbar.hpp"
 #include "hbm/hbm.hpp"
 #include "sim/clock.hpp"
+#include "sim/stage_model.hpp"
 
 namespace spatten {
 
@@ -35,10 +36,21 @@ struct FetchResult
 };
 
 /** The fetcher: address generation + crossbar + HBM. */
-class QkvFetcher
+class QkvFetcher : public MemoryStage
 {
   public:
     QkvFetcher(HbmModel& hbm, Crossbar& xbar) : hbm_(hbm), xbar_(xbar) {}
+
+    // StageModel/MemoryStage: per layer, every alive head streams its K
+    // plane (eager width), the kept V rows, and the Q rows once per SRAM
+    // K-tile; the expected LSB-plane refetch rides on top. issue()
+    // realizes the streams against the crossbar + HBM and returns the
+    // DRAM completion cycle; traffic() prices the same plan statically.
+    std::string stageName() const override { return "fetcher"; }
+    StageTiming timing(const ExecutionContext& ctx) const override;
+    ActivityCounts energy(const ExecutionContext& ctx) const override;
+    StageTraffic traffic(const ExecutionContext& ctx) const override;
+    Cycles issue(const ExecutionContext& ctx, Cycles start) override;
 
     /**
      * Issue a gather starting at DRAM cycle @p ready.

@@ -1,12 +1,7 @@
 #include "accel/pipeline.hpp"
 
-#include <algorithm>
-#include <cmath>
-
+#include "accel/attention_graph.hpp"
 #include "common/logging.hpp"
-#include "common/math_util.hpp"
-#include "accel/sram.hpp"
-#include "core/pruning.hpp"
 
 namespace spatten {
 
@@ -30,72 +25,11 @@ SpAttenPipeline::SpAttenPipeline(SpAttenConfig cfg) : cfg_(cfg)
     SPATTEN_ASSERT(cfg_.core_freq_ghz > 0, "bad core clock");
 }
 
-Cycles
-SpAttenPipeline::topkCycles(std::size_t n) const
-{
-    if (n <= 1)
-        return 1;
-    // Quick-select passes touch ~2n elements in expectation, the filter
-    // touches n; zero-eliminator latency is paid per pass (~log n passes
-    // of log n cycles, small against the streaming terms).
-    const std::size_t p = cfg_.topk_parallelism;
-    const auto logn = static_cast<Cycles>(ceilLog2(n));
-    return ceilDiv<std::size_t>(2 * n, p) + ceilDiv<std::size_t>(n, p) +
-           4 * (logn + 1);
-}
-
-Cycles
-SpAttenPipeline::queryII(std::size_t keys, std::size_t kept_v,
-                         std::size_t d, bool local_v_on) const
-{
-    const QkModule qk(cfg_.qk);
-    const PvModule pv(cfg_.pv);
-    const Cycles qk_c = qk.timing(keys, d).cycles;
-    const Cycles sm_c = ceilDiv(keys, cfg_.softmax.parallelism);
-    // The quick-select stage of the local-V top-k is the occupancy
-    // bottleneck of that engine (2n expected element-ops per query).
-    const Cycles tk_c =
-        local_v_on ? ceilDiv<std::size_t>(2 * keys, cfg_.topk_parallelism)
-                   : 0;
-    const Cycles pv_c = pv.timing(kept_v, d).cycles;
-    return std::max(std::max(qk_c, sm_c), std::max(tk_c, pv_c));
-}
-
-namespace {
-
-/** Survivors of one pruning round (never below 1). */
-std::size_t
-survivors(std::size_t alive, double ratio)
-{
-    if (ratio <= 0.0)
-        return alive;
-    const auto k = static_cast<std::size_t>(std::ceil(
-        static_cast<double>(alive) * (1.0 - std::min(ratio, 1.0))));
-    return std::max<std::size_t>(k, 1);
-}
-
-/** Synthetic, layer/head-distinct DRAM base addresses per tensor plane. */
-std::uint64_t
-planeBase(int plane, std::size_t layer, std::size_t head,
-          std::size_t max_context, std::size_t bytes_per_row)
-{
-    const std::uint64_t region = 0x10000000ULL; // 256 MB per plane.
-    const std::uint64_t slot =
-        (layer * 64 + head) * roundUp<std::uint64_t>(
-                                  max_context * bytes_per_row, 4096);
-    return static_cast<std::uint64_t>(plane) * region + slot;
-}
-
-} // namespace
-
 RunResult
 SpAttenPipeline::run(const WorkloadSpec& workload,
-                     const PruningPolicy& policy)
+                     const PruningPolicy& policy,
+                     std::uint64_t request_seed)
 {
-    const ModelSpec& model = workload.model;
-    const std::size_t d = model.d_head;
-    const std::size_t h_total = model.num_heads;
-    const std::size_t layers = model.num_layers;
     SPATTEN_ASSERT(workload.summarize_len >= 1, "empty input");
     SPATTEN_ASSERT(workload.summarize_len + workload.generate_len <=
                        cfg_.max_context,
@@ -103,244 +37,25 @@ SpAttenPipeline::run(const WorkloadSpec& workload,
                    workload.summarize_len + workload.generate_len,
                    cfg_.max_context);
 
-    // The summarization stage holds each head's K and V in the on-chip
-    // SRAMs (double buffered); the SRAM capacity bounds the context.
-    SramModel key_sram({cfg_.key_sram_kb, 768, true, 12.0}, "key_sram");
-    SramModel value_sram({cfg_.value_sram_kb, 768, true, 12.0},
-                         "value_sram");
-    // Contexts larger than one SRAM buffer are processed in K tiles:
-    // each tile is loaded once and all queries stream against it, so K/V
-    // are fetched once but Q is re-streamed per tile.
-    const std::size_t sram_tokens = key_sram.maxTokens(d);
-
-    const PruningSchedule token_sched =
-        policy.token_pruning
-            ? makeTokenSchedule(layers, policy.token_avg_ratio)
-            : PruningSchedule::disabled(layers);
-    const PruningSchedule head_sched =
-        policy.head_pruning
-            ? makeHeadSchedule(layers, policy.head_avg_ratio)
-            : PruningSchedule::disabled(layers);
-
-    // Bit widths. Progressive quantization fetches the MSB plane eagerly
-    // and refetches the LSB plane for lsb_fraction of the queries — but
-    // only in the generation stage: the summarization stage is
-    // computation-bound and per-query LSB recomputation would hurt it
-    // (§III-D: "For BERT, we only apply static quantization"), so it
-    // fetches the full static bitwidth once. The dense reference for
-    // reduction factors is fp32.
-    const int total_bits = policy.pq.setting.totalBits();
-    const int msb_bits =
-        policy.pq.enabled ? policy.pq.setting.msb_bits : total_bits;
-    const int lsb_bits =
-        policy.pq.enabled ? policy.pq.setting.lsb_bits : 0;
-    const double lsb_frac = policy.pq.enabled ? policy.lsb_fraction : 0.0;
-
-    HbmModel hbm(cfg_.hbm);
-    Crossbar xbar({32, static_cast<std::size_t>(cfg_.hbm.channels)});
-    QkvFetcher fetcher(hbm, xbar);
-
+    AttentionGraph graph(cfg_, workload, policy, request_seed);
     RunResult res;
     res.workload = workload.name;
-    ActivityCounts act;
-    act.freq_ghz = cfg_.core_freq_ghz;
-
-    double core_ns = 0.0;     // elapsed time
-    Cycles dram_clock = 0;    // DRAM-domain cursor
-    double compute_bound_ns = 0.0, memory_bound_ns = 0.0;
-    const double dram_ghz = cfg_.hbm.freq_ghz;
-
-    const auto bytesPerRow = [&](int bits) {
-        return static_cast<std::size_t>(
-            ceilDiv<std::size_t>(d * static_cast<std::size_t>(bits), 8));
-    };
-
-    // One attention pass over the whole model; `queries` is the number of
-    // query rows per (layer, head); `ctx` the entering context length.
-    // Returns nothing; accumulates time/energy/stats.
-    const auto runPass = [&](std::size_t queries, std::size_t ctx,
-                             bool generation) {
-        std::size_t alive = ctx;
-        std::size_t heads_alive = h_total;
-        for (std::size_t l = 0; l < layers; ++l) {
-            const std::size_t n = alive;
-            const std::size_t nq = generation ? 1 : std::min(queries, n);
-            const std::size_t kept_v =
-                policy.local_value_pruning
-                    ? std::max<std::size_t>(
-                          1, static_cast<std::size_t>(std::ceil(
-                                 n * (1.0 - policy.local_v_ratio))))
-                    : n;
-
-            // ---- Compute time ----
-            const Cycles ii =
-                queryII(n, kept_v, d, policy.local_value_pruning);
-            Cycles layer_compute =
-                static_cast<Cycles>(nq) * ii * heads_alive;
-            if (policy.token_pruning && token_sched.ratioAt(l) > 0.0)
-                layer_compute += topkCycles(n);
-            if (policy.head_pruning && head_sched.ratioAt(l) > 0.0)
-                layer_compute += topkCycles(heads_alive);
-            const double compute_ns =
-                static_cast<double>(layer_compute) / cfg_.core_freq_ghz;
-
-            // ---- Memory time ----
-            const Cycles dram_start = dram_clock;
-            Cycles dram_done = dram_start;
-            // Summarization fetches the static (full) width once;
-            // generation fetches MSBs eagerly + LSBs for flat rows.
-            const std::size_t k_row_msb =
-                bytesPerRow(generation ? msb_bits : total_bits);
-            const std::size_t k_row_lsb = bytesPerRow(lsb_bits);
-            const double pass_lsb_frac = generation ? lsb_frac : 0.0;
-            for (std::size_t hd = 0; hd < heads_alive; ++hd) {
-                // K plane (MSB), V plane (MSB), Q rows.
-                const auto fk = fetcher.stream(
-                    planeBase(0, l, hd, cfg_.max_context, k_row_msb),
-                    static_cast<std::uint64_t>(n) * k_row_msb, dram_start);
-                dram_done = std::max(dram_done, fk.dram_cycles_done);
-                const std::size_t v_rows = generation ? kept_v : n;
-                const auto fv = fetcher.stream(
-                    planeBase(2, l, hd, cfg_.max_context, k_row_msb),
-                    static_cast<std::uint64_t>(v_rows) * k_row_msb,
-                    dram_start);
-                dram_done = std::max(dram_done, fv.dram_cycles_done);
-                const std::size_t tiles =
-                    generation ? 1
-                               : std::max<std::size_t>(
-                                     1, ceilDiv(n, sram_tokens));
-                const auto fq = fetcher.stream(
-                    planeBase(4, l, hd, cfg_.max_context, k_row_msb),
-                    static_cast<std::uint64_t>(nq) * k_row_msb * tiles,
-                    dram_start);
-                dram_done = std::max(dram_done, fq.dram_cycles_done);
-                // Expected LSB refetch traffic (K plane) for flat rows.
-                const double lsb_bytes_exact =
-                    pass_lsb_frac * static_cast<double>(nq) *
-                    static_cast<double>(n) * k_row_lsb;
-                if (lsb_bytes_exact >= 1.0) {
-                    const auto fl = fetcher.stream(
-                        planeBase(1, l, hd, cfg_.max_context, k_row_lsb),
-                        static_cast<std::uint64_t>(lsb_bytes_exact),
-                        dram_start);
-                    dram_done = std::max(dram_done, fl.dram_cycles_done);
-                }
-                act.fetch_requests += static_cast<double>(n + v_rows + nq);
-            }
-            const double mem_ns =
-                static_cast<double>(dram_done - dram_start) / dram_ghz;
-            dram_clock = dram_done;
-
-            // ---- Coarse-grained overlap ----
-            const double layer_ns = std::max(compute_ns, mem_ns);
-            core_ns += layer_ns;
-            if (compute_ns >= mem_ns)
-                compute_bound_ns += layer_ns;
-            else
-                memory_bound_ns += layer_ns;
-
-            // ---- Work & energy accounting ----
-            const double q_rows = static_cast<double>(nq) * heads_alive;
-            const double qk_macs = q_rows * n * d;
-            const double pv_macs = q_rows * kept_v * d;
-            act.qk_macs += qk_macs * (1.0 + pass_lsb_frac); // LSB recompute
-            act.pv_macs += pv_macs;
-            act.softmax_elems += q_rows * n * (1.0 + pass_lsb_frac);
-            if (policy.local_value_pruning)
-                act.topk_comparisons += q_rows * 3.0 * n;
-            if (policy.token_pruning && token_sched.ratioAt(l) > 0.0)
-                act.topk_comparisons += 3.0 * n;
-            // SRAM traffic: K lines re-read per query; V rows read for
-            // the kept positions; both SRAMs are filled once per head.
-            key_sram.recordReads(q_rows * n * d);
-            value_sram.recordReads(q_rows * kept_v * d);
-            if (!generation) {
-                const std::size_t tiles =
-                    std::max<std::size_t>(1, ceilDiv(n, sram_tokens));
-                for (std::size_t hd = 0; hd < heads_alive; ++hd) {
-                    for (std::size_t t = 0; t < tiles; ++t) {
-                        const std::size_t tile_tokens = std::min(
-                            sram_tokens, n - t * std::min(sram_tokens, n));
-                        if (tile_tokens == 0)
-                            continue;
-                        key_sram.recordFill(tile_tokens, d);
-                        value_sram.recordFill(tile_tokens, d);
-                    }
-                }
-            }
-
-            res.attention_flops += 2.0 * (qk_macs + pv_macs);
-
-            // ---- Cascade pruning between layers ----
-            if (policy.token_pruning)
-                alive = survivors(alive, token_sched.ratioAt(l));
-            if (policy.head_pruning)
-                heads_alive = survivors(heads_alive,
-                                        head_sched.ratioAt(l));
-        }
-    };
 
     // Summarization stage (skipped when the workload measures the
     // generation stage only, per the paper's GPT-2 methodology).
     if (!workload.skip_summarization)
-        runPass(workload.summarize_len, workload.summarize_len, false);
-    res.summarize_seconds = core_ns * 1e-9;
+        graph.runPass(workload.summarize_len, workload.summarize_len,
+                      false);
+    res.summarize_seconds = graph.elapsedSeconds();
 
     // Generation stage: context grows by one token per iteration; tokens
     // pruned in earlier passes stay pruned (cascade across iterations is
     // approximated by re-applying the schedule to the grown context).
     for (std::size_t t = 0; t < workload.generate_len; ++t)
-        runPass(1, workload.summarize_len + t + 1, true);
-    res.generate_seconds = core_ns * 1e-9 - res.summarize_seconds;
+        graph.runPass(1, workload.summarize_len + t + 1, true);
+    res.generate_seconds = graph.elapsedSeconds() - res.summarize_seconds;
 
-    // ---- Dense (unpruned fp32) reference for reduction factors ----
-    {
-        const double fp32_row = static_cast<double>(d) * 4.0;
-        const auto densePass = [&](double queries, double ctx) {
-            res.attention_flops_dense +=
-                2.0 * (queries * ctx * d + queries * ctx * d) * h_total *
-                layers;
-            res.dram_bytes_dense +=
-                (ctx * fp32_row * 2.0 + queries * fp32_row) * h_total *
-                layers;
-        };
-        if (!workload.skip_summarization)
-            densePass(static_cast<double>(workload.summarize_len),
-                      static_cast<double>(workload.summarize_len));
-        for (std::size_t t = 0; t < workload.generate_len; ++t)
-            densePass(1.0,
-                      static_cast<double>(workload.summarize_len + t + 1));
-    }
-
-    act.sram_read_bytes =
-        key_sram.bytesRead() + value_sram.bytesRead();
-    act.sram_write_bytes =
-        key_sram.bytesWritten() + value_sram.bytesWritten();
-
-    res.cycles = static_cast<Cycles>(
-        std::ceil(core_ns * cfg_.core_freq_ghz));
-    res.seconds = core_ns * 1e-9;
-    res.dram_bytes = static_cast<double>(hbm.totalBytes());
-    act.cycles = static_cast<double>(res.cycles);
-    act.dram_energy_pj = hbm.energyPj();
-    res.energy = EnergyModel(cfg_.energy).compute(act);
-
-    hbm.exportStats(res.stats);
-    res.stats.set("pipeline.compute_bound_ns", compute_bound_ns);
-    res.stats.set("pipeline.memory_bound_ns", memory_bound_ns);
-    res.stats.set("pipeline.summarize_seconds", res.summarize_seconds);
-    res.stats.set("pipeline.generate_seconds", res.generate_seconds);
-    res.stats.set("pipeline.effective_tflops", res.effectiveTflops());
-    res.stats.set("pipeline.dram_reduction", res.dramReduction());
-    res.stats.set("pipeline.compute_reduction", res.computeReduction());
-    res.stats.set("activity.qk_macs", act.qk_macs);
-    res.stats.set("activity.pv_macs", act.pv_macs);
-    res.stats.set("activity.softmax_elems", act.softmax_elems);
-    res.stats.set("activity.topk_comparisons", act.topk_comparisons);
-    res.stats.set("crossbar.conflicts",
-                  static_cast<double>(xbar.totalConflicts()));
-    res.stats.set("sram.key_bytes_read", key_sram.bytesRead());
-    res.stats.set("sram.value_bytes_read", value_sram.bytesRead());
+    graph.finalize(res);
     return res;
 }
 

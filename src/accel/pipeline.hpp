@@ -1,18 +1,28 @@
 /**
  * @file
- * The SpAtten execution pipeline model (Fig. 8).
+ * The SpAtten execution pipeline model (Fig. 8), assembled as a
+ * composable stage graph.
+ *
+ * SpAttenPipeline::run() is a thin driver: it builds an AttentionGraph —
+ * the hardware stages (fetcher -> QxK -> Softmax -> top-k/zero-eliminator
+ * -> ProbxV), each implementing the common StageModel interface
+ * (sim/stage_model.hpp), wired into a StageGraph (sim/stage_graph.hpp)
+ * with the policy expressed as graph transforms — and iterates one
+ * runPass() per summarization/generation step.
  *
  * Processing is head-by-head and query-by-query (§IV-A). The critical
- * path (fetch -> QxK -> Softmax -> local-V top-k -> ProbxV) is fully
- * pipelined, so per-(layer, head) compute time is
+ * path is fully pipelined, so per-(layer, head) compute time is
  *     queries x II,   II = max over stage occupancies per query,
  * and DRAM traffic overlaps compute under double buffering, so
- *     stage time = max(compute time, memory time).
+ *     layer time = max(compute time, memory time).
  *
- * Cascade token/head pruning shrinks the alive token/head counts between
- * layers following the PruningSchedule; progressive quantization splits K
- * fetches into an eager MSB plane and an LSB plane refetched for a
- * configurable fraction of queries.
+ * Cascade token/head pruning and progressive quantization are graph
+ * transforms (core/graph_transforms.hpp) that rewrite the per-request
+ * ExecutionContext between layers: pruning shrinks the alive token/head
+ * counts following the PruningSchedule; quantization selects the eagerly
+ * fetched plane width and the LSB refetch fraction per pass. Every
+ * stage's occupancy, energy, and traffic land in RunResult::stats under
+ * "stage.<name>.*" automatically.
  */
 #ifndef SPATTEN_ACCEL_PIPELINE_HPP
 #define SPATTEN_ACCEL_PIPELINE_HPP
@@ -23,6 +33,7 @@
 #include "accel/crossbar.hpp"
 #include "accel/fetcher.hpp"
 #include "accel/qk_module.hpp"
+#include "common/prng.hpp"
 #include "accel/pv_module.hpp"
 #include "accel/softmax_module.hpp"
 #include "core/model_spec.hpp"
@@ -100,21 +111,20 @@ class SpAttenPipeline
      * Simulate the attention layers of @p workload under @p policy.
      * BERT-style workloads run the summarization stage only; GPT-2-style
      * workloads run summarization plus generate_len generation iterations
-     * with KV concatenation (Fig. 3).
+     * with KV concatenation (Fig. 3). @p request_seed seeds the
+     * per-request PRNG state consumed by stochastic stages (top-k pivot
+     * selection). The occupancy model prices selections analytically, so
+     * today's results are seed-independent (pinned by tests); the
+     * plumbing keeps future functional stages deterministic per request
+     * regardless of batch scheduling.
      */
     RunResult run(const WorkloadSpec& workload,
-                  const PruningPolicy& policy);
+                  const PruningPolicy& policy,
+                  std::uint64_t request_seed = kDefaultRequestSeed);
 
     const SpAttenConfig& config() const { return cfg_; }
 
   private:
-    /** Per-query initiation interval for (keys, kept V rows, head dim). */
-    Cycles queryII(std::size_t keys, std::size_t kept_v, std::size_t d,
-                   bool local_v_on) const;
-
-    /** Expected top-k engine occupancy for an n-element selection. */
-    Cycles topkCycles(std::size_t n) const;
-
     SpAttenConfig cfg_;
 };
 

@@ -24,6 +24,35 @@ PvModule::timing(std::size_t kept_rows, std::size_t d) const
     return t;
 }
 
+StageTiming
+PvModule::timing(const ExecutionContext& ctx) const
+{
+    StageTiming t;
+    t.ii_cycles = timing(ctx.kept_values, ctx.d_head).cycles;
+    return t;
+}
+
+ActivityCounts
+PvModule::energy(const ExecutionContext& ctx) const
+{
+    ActivityCounts a;
+    a.pv_macs = ctx.queryRows() *
+                static_cast<double>(ctx.kept_values) *
+                static_cast<double>(ctx.d_head);
+    return a;
+}
+
+StageTraffic
+PvModule::traffic(const ExecutionContext& ctx) const
+{
+    StageTraffic t;
+    // Only the V rows surviving local value pruning are read.
+    t.sram_read_elems = ctx.queryRows() *
+                        static_cast<double>(ctx.kept_values) *
+                        static_cast<double>(ctx.d_head);
+    return t;
+}
+
 std::vector<float>
 PvModule::accumulate(const std::vector<float>& prob,
                      const std::vector<std::vector<float>>& v,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/clock.hpp"
+#include "sim/stage_model.hpp"
 
 namespace spatten {
 
@@ -30,13 +31,20 @@ struct PvTiming
 };
 
 /** The prob x V module. */
-class PvModule
+class PvModule : public StageModel
 {
   public:
     explicit PvModule(PvModuleConfig cfg = PvModuleConfig{});
 
     /** Cycle cost of accumulating @p kept_rows V rows of dimension @p d. */
     PvTiming timing(std::size_t kept_rows, std::size_t d) const;
+
+    // StageModel: occupancy over the locally-kept V rows, their MACs,
+    // and the Value-SRAM reads.
+    std::string stageName() const override { return "pv"; }
+    StageTiming timing(const ExecutionContext& ctx) const override;
+    ActivityCounts energy(const ExecutionContext& ctx) const override;
+    StageTraffic traffic(const ExecutionContext& ctx) const override;
 
     /**
      * Functional weighted sum over the kept rows:

@@ -28,6 +28,36 @@ QkModule::timing(std::size_t num_keys, std::size_t d) const
     return t;
 }
 
+StageTiming
+QkModule::timing(const ExecutionContext& ctx) const
+{
+    StageTiming t;
+    t.ii_cycles = timing(ctx.alive_tokens, ctx.d_head).cycles;
+    return t;
+}
+
+ActivityCounts
+QkModule::energy(const ExecutionContext& ctx) const
+{
+    ActivityCounts a;
+    a.qk_macs = ctx.queryRows() *
+                static_cast<double>(ctx.alive_tokens) *
+                static_cast<double>(ctx.d_head) *
+                (1.0 + ctx.active_lsb_fraction); // LSB recompute share.
+    return a;
+}
+
+StageTraffic
+QkModule::traffic(const ExecutionContext& ctx) const
+{
+    StageTraffic t;
+    // K lines are re-read from the Key SRAM for every query row.
+    t.sram_read_elems = ctx.queryRows() *
+                        static_cast<double>(ctx.alive_tokens) *
+                        static_cast<double>(ctx.d_head);
+    return t;
+}
+
 std::vector<float>
 QkModule::computeScores(const std::vector<float>& q,
                         const std::vector<std::vector<float>>& k,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/clock.hpp"
+#include "sim/stage_model.hpp"
 
 namespace spatten {
 
@@ -35,7 +36,7 @@ struct QkTiming
 };
 
 /** The Q x K module. */
-class QkModule
+class QkModule : public StageModel
 {
   public:
     explicit QkModule(QkModuleConfig cfg = QkModuleConfig{});
@@ -45,6 +46,13 @@ class QkModule
      * @pre d <= num_multipliers.
      */
     QkTiming timing(std::size_t num_keys, std::size_t d) const;
+
+    // StageModel: occupancy over the alive keys, MAC activity including
+    // the LSB-recompute share, and the Key-SRAM line re-reads per query.
+    std::string stageName() const override { return "qk"; }
+    StageTiming timing(const ExecutionContext& ctx) const override;
+    ActivityCounts energy(const ExecutionContext& ctx) const override;
+    StageTraffic traffic(const ExecutionContext& ctx) const override;
 
     /**
      * Functional: scores[i] = sum_j q[j] * k[i][j] * inv_sqrt_d, computed

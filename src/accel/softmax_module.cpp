@@ -22,6 +22,30 @@ SoftmaxModule::timingCycles(std::size_t n) const
     return 2 * ceilDiv(n, cfg_.parallelism) + cfg_.pipeline_depth;
 }
 
+StageTiming
+SoftmaxModule::timing(const ExecutionContext& ctx) const
+{
+    StageTiming t;
+    t.ii_cycles = ceilDiv(ctx.alive_tokens, cfg_.parallelism);
+    return t;
+}
+
+ActivityCounts
+SoftmaxModule::energy(const ExecutionContext& ctx) const
+{
+    ActivityCounts a;
+    a.softmax_elems = ctx.queryRows() *
+                      static_cast<double>(ctx.alive_tokens) *
+                      (1.0 + ctx.active_lsb_fraction);
+    return a;
+}
+
+StageTraffic
+SoftmaxModule::traffic(const ExecutionContext&) const
+{
+    return {}; // Scores stay in the on-path FIFO; no SRAM/DRAM traffic.
+}
+
 SoftmaxTiming
 SoftmaxModule::run(const std::vector<float>& scores,
                    std::vector<float>& prob_out, double lsb_threshold) const

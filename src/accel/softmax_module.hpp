@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/clock.hpp"
+#include "sim/stage_model.hpp"
 
 namespace spatten {
 
@@ -35,13 +36,21 @@ struct SoftmaxTiming
 };
 
 /** The softmax hardware module. */
-class SoftmaxModule
+class SoftmaxModule : public StageModel
 {
   public:
     explicit SoftmaxModule(SoftmaxModuleConfig cfg = SoftmaxModuleConfig{});
 
     /** Cycle cost of a row of @p n scores. */
     Cycles timingCycles(std::size_t n) const;
+
+    // StageModel: steady-state occupancy per query row (the division
+    // pass and pipeline fill overlap the next row's exp stream under the
+    // score FIFO), element activity including the LSB recompute share.
+    std::string stageName() const override { return "softmax"; }
+    StageTiming timing(const ExecutionContext& ctx) const override;
+    ActivityCounts energy(const ExecutionContext& ctx) const override;
+    StageTraffic traffic(const ExecutionContext& ctx) const override;
 
     /**
      * Functional softmax of a score row with the progressive-quantization

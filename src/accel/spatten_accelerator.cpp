@@ -1,6 +1,7 @@
 #include "accel/spatten_accelerator.hpp"
 
 #include "common/logging.hpp"
+#include "serve/batch_runner.hpp"
 
 namespace spatten {
 
@@ -11,9 +12,17 @@ SpAttenAccelerator::SpAttenAccelerator(SpAttenConfig cfg)
 
 RunResult
 SpAttenAccelerator::run(const WorkloadSpec& workload,
-                        const PruningPolicy& policy)
+                        const PruningPolicy& policy,
+                        std::uint64_t request_seed)
 {
-    return pipeline_.run(workload, policy);
+    return pipeline_.run(workload, policy, request_seed);
+}
+
+BatchResult
+SpAttenAccelerator::runBatch(const std::vector<BatchRequest>& batch,
+                             std::size_t num_threads) const
+{
+    return BatchRunner(cfg_, BatchRunnerConfig{num_threads}).run(batch);
 }
 
 std::vector<AreaEntry>

@@ -14,6 +14,12 @@
 
 namespace spatten {
 
+// The serve layer sits on top of the accel pipeline; the facade only
+// forwards to it, so the full definitions stay in serve/batch_runner.hpp
+// (include it to use runBatch's argument/result types).
+struct BatchRequest;
+struct BatchResult;
+
 /**
  * The SpAtten accelerator.
  *
@@ -33,7 +39,16 @@ class SpAttenAccelerator
     explicit SpAttenAccelerator(SpAttenConfig cfg = SpAttenConfig{});
 
     /** Simulate attention layers of a workload under a policy. */
-    RunResult run(const WorkloadSpec& workload, const PruningPolicy& policy);
+    RunResult run(const WorkloadSpec& workload, const PruningPolicy& policy,
+                  std::uint64_t request_seed = kDefaultRequestSeed);
+
+    /**
+     * Serve a batch of requests across @p num_threads workers
+     * (0 = one per hardware thread). Deterministic: per-request results
+     * are bit-identical at any thread count.
+     */
+    BatchResult runBatch(const std::vector<BatchRequest>& batch,
+                         std::size_t num_threads = 0) const;
 
     /** Fig. 13 area breakdown for this configuration. */
     std::vector<AreaEntry> area() const;

@@ -48,6 +48,12 @@ SramModel::recordReads(double elems)
 }
 
 void
+SramModel::recordWrites(double elems)
+{
+    bytes_written_ += elems * cfg_.elem_bits / 8.0;
+}
+
+void
 SramModel::reset()
 {
     bytes_written_ = 0;

@@ -55,6 +55,13 @@ class SramModel
     /** Record @p elems element reads (datapath side). */
     void recordReads(double elems);
 
+    /**
+     * Record @p elems element writes accumulated across tile fills
+     * (fetcher side; capacity is checked per tile by the stage graph's
+     * tiling, not here).
+     */
+    void recordWrites(double elems);
+
     double bytesWritten() const { return bytes_written_; }
     double bytesRead() const { return bytes_read_; }
 

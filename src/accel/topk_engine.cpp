@@ -131,6 +131,50 @@ TopkEngine::resetStats()
     total_comparisons_ = 0;
 }
 
+Cycles
+TopkEngine::selectStreamCycles(std::size_t n) const
+{
+    if (n <= 1)
+        return 1;
+    return ceilDiv<std::size_t>(2 * n, cfg_.parallelism) +
+           ceilDiv<std::size_t>(n, cfg_.parallelism);
+}
+
+StageTiming
+TopkEngine::timing(const ExecutionContext& ctx) const
+{
+    StageTiming t;
+    // The quick-select stage of the local-V top-k is the occupancy
+    // bottleneck of that engine (2n expected element-ops per query).
+    if (ctx.local_value_pruning)
+        t.ii_cycles = ceilDiv<std::size_t>(2 * ctx.alive_tokens,
+                                           cfg_.parallelism);
+    if (ctx.token_pruning && ctx.token_prune_ratio > 0.0)
+        t.layer_cycles += selectStreamCycles(ctx.alive_tokens);
+    if (ctx.head_pruning && ctx.head_prune_ratio > 0.0)
+        t.layer_cycles += selectStreamCycles(ctx.alive_heads);
+    return t;
+}
+
+ActivityCounts
+TopkEngine::energy(const ExecutionContext& ctx) const
+{
+    ActivityCounts a;
+    // ~3n comparator ops per selection (2n quick-select + n filter).
+    if (ctx.local_value_pruning)
+        a.topk_comparisons +=
+            ctx.queryRows() * 3.0 * static_cast<double>(ctx.alive_tokens);
+    if (ctx.token_pruning && ctx.token_prune_ratio > 0.0)
+        a.topk_comparisons += 3.0 * static_cast<double>(ctx.alive_tokens);
+    return a;
+}
+
+StageTraffic
+TopkEngine::traffic(const ExecutionContext&) const
+{
+    return {}; // Candidates live in the engine FIFOs.
+}
+
 FullSortResult
 batcherSortDescending(const std::vector<float>& values,
                       std::size_t parallelism)

@@ -20,6 +20,7 @@
 
 #include "common/prng.hpp"
 #include "sim/clock.hpp"
+#include "sim/stage_model.hpp"
 
 namespace spatten {
 
@@ -43,7 +44,7 @@ struct TopkEngineConfig
 };
 
 /** The quick-select top-k engine. */
-class TopkEngine
+class TopkEngine : public StageModel
 {
   public:
     explicit TopkEngine(TopkEngineConfig cfg = TopkEngineConfig{});
@@ -53,6 +54,22 @@ class TopkEngine
      * @pre 1 <= k <= values.size().
      */
     TopkResult run(const std::vector<float>& values, std::size_t k);
+
+    /**
+     * Expected comparator-array streaming cycles of one n-element
+     * selection: quick-select passes touch ~2n elements in expectation,
+     * the final filter touches n. The zero-eliminator pass latency is
+     * accounted by the ZeroEliminator stage.
+     */
+    Cycles selectStreamCycles(std::size_t n) const;
+
+    // StageModel: the local-V quick-select bounds the query pipeline
+    // (2n expected element-ops per query); the cascade token/head top-k
+    // runs once per layer, serial with the query stream.
+    std::string stageName() const override { return "topk"; }
+    StageTiming timing(const ExecutionContext& ctx) const override;
+    ActivityCounts energy(const ExecutionContext& ctx) const override;
+    StageTraffic traffic(const ExecutionContext& ctx) const override;
 
     const TopkEngineConfig& config() const { return cfg_; }
 

@@ -73,4 +73,36 @@ ZeroEliminator::latencyCycles(std::size_t n)
     return n <= 1 ? 1 : static_cast<Cycles>(ceilLog2(n)) + 1;
 }
 
+Cycles
+ZeroEliminator::cascadeCycles(std::size_t n)
+{
+    // Eliminator latency paid per quick-select pass (~log n passes of
+    // log n + 1 cycles, small against the streaming terms).
+    return n <= 1 ? 0
+                  : 4 * (static_cast<Cycles>(ceilLog2(n)) + 1);
+}
+
+StageTiming
+ZeroEliminator::timing(const ExecutionContext& ctx) const
+{
+    StageTiming t;
+    if (ctx.token_pruning && ctx.token_prune_ratio > 0.0)
+        t.layer_cycles += cascadeCycles(ctx.alive_tokens);
+    if (ctx.head_pruning && ctx.head_prune_ratio > 0.0)
+        t.layer_cycles += cascadeCycles(ctx.alive_heads);
+    return t;
+}
+
+ActivityCounts
+ZeroEliminator::energy(const ExecutionContext&) const
+{
+    return {}; // Shift energy rides in the top-k comparator accounting.
+}
+
+StageTraffic
+ZeroEliminator::traffic(const ExecutionContext&) const
+{
+    return {};
+}
+
 } // namespace spatten

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/clock.hpp"
+#include "sim/stage_model.hpp"
 
 namespace spatten {
 
@@ -33,7 +34,7 @@ struct ZeroEliminateResult
  * zero counts, then log(n) rounds of conditional shifts keyed on each
  * count's bits — and checks the result against the obvious compaction.
  */
-class ZeroEliminator
+class ZeroEliminator : public StageModel
 {
   public:
     /** Compact @p input, treating exact 0.0f as "eliminated". */
@@ -41,6 +42,21 @@ class ZeroEliminator
 
     /** Pipeline latency in cycles for an @p n element vector. */
     static Cycles latencyCycles(std::size_t n);
+
+    /**
+     * Compaction latency paid per cascade-pruning selection over @p n
+     * candidates: one eliminator pass per quick-select round (~log n
+     * rounds of log n + 1 cycles each, x4 pipeline-stage cost).
+     */
+    static Cycles cascadeCycles(std::size_t n);
+
+    // StageModel: the per-query eliminations are hidden inside the top-k
+    // engine FIFOs; only the cascade-pruning passes surface as serial
+    // layer cycles.
+    std::string stageName() const override { return "zero_eliminator"; }
+    StageTiming timing(const ExecutionContext& ctx) const override;
+    ActivityCounts energy(const ExecutionContext& ctx) const override;
+    StageTraffic traffic(const ExecutionContext& ctx) const override;
 };
 
 } // namespace spatten

@@ -12,6 +12,11 @@
 
 namespace spatten {
 
+/// Default per-request seed shared by every public simulation API
+/// (pipeline, e2e, accelerator facade, batch runner, execution context),
+/// so the entry points can never drift to different defaults.
+constexpr std::uint64_t kDefaultRequestSeed = 0x5eed;
+
 /**
  * xoshiro256** PRNG. Satisfies the UniformRandomBitGenerator concept so it
  * can be used with <random> distributions, but the helpers below are

@@ -1,0 +1,99 @@
+#include "core/graph_transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spatten {
+
+CascadeTokenPruneTransform::CascadeTokenPruneTransform(
+    PruningSchedule schedule)
+    : schedule_(std::move(schedule))
+{
+}
+
+void
+CascadeTokenPruneTransform::prepare(ExecutionContext& ctx)
+{
+    ctx.token_prune_ratio = schedule_.ratioAt(ctx.layer);
+}
+
+void
+CascadeTokenPruneTransform::apply(ExecutionContext& ctx)
+{
+    ctx.alive_tokens =
+        pruneSurvivors(ctx.alive_tokens, schedule_.ratioAt(ctx.layer));
+}
+
+CascadeHeadPruneTransform::CascadeHeadPruneTransform(
+    PruningSchedule schedule)
+    : schedule_(std::move(schedule))
+{
+}
+
+void
+CascadeHeadPruneTransform::prepare(ExecutionContext& ctx)
+{
+    ctx.head_prune_ratio = schedule_.ratioAt(ctx.layer);
+}
+
+void
+CascadeHeadPruneTransform::apply(ExecutionContext& ctx)
+{
+    ctx.alive_heads =
+        pruneSurvivors(ctx.alive_heads, schedule_.ratioAt(ctx.layer));
+}
+
+void
+ProgressiveQuantTransform::prepare(ExecutionContext& ctx)
+{
+    // Summarization fetches the static (full) width once; generation
+    // fetches MSBs eagerly and LSBs for the flat-probability queries.
+    ctx.fetch_bits = ctx.generation ? ctx.msb_bits : ctx.total_bits;
+    ctx.active_lsb_fraction = ctx.generation ? ctx.lsb_fraction : 0.0;
+}
+
+std::vector<std::unique_ptr<GraphTransform>>
+makePolicyTransforms(const ModelSpec& model, const PruningPolicy& policy)
+{
+    std::vector<std::unique_ptr<GraphTransform>> transforms;
+    if (policy.token_pruning)
+        transforms.push_back(std::make_unique<CascadeTokenPruneTransform>(
+            makeTokenSchedule(model.num_layers, policy.token_avg_ratio)));
+    if (policy.head_pruning)
+        transforms.push_back(std::make_unique<CascadeHeadPruneTransform>(
+            makeHeadSchedule(model.num_layers, policy.head_avg_ratio)));
+    transforms.push_back(std::make_unique<ProgressiveQuantTransform>());
+    return transforms;
+}
+
+ExecutionContext
+makeExecutionContext(const WorkloadSpec& workload,
+                     const PruningPolicy& policy,
+                     std::uint64_t request_seed)
+{
+    ExecutionContext ctx;
+    ctx.d_head = workload.model.d_head;
+    ctx.num_layers = workload.model.num_layers;
+    ctx.num_heads_total = workload.model.num_heads;
+    ctx.request_seed = request_seed;
+
+    ctx.total_bits = policy.pq.setting.totalBits();
+    ctx.msb_bits =
+        policy.pq.enabled ? policy.pq.setting.msb_bits : ctx.total_bits;
+    ctx.lsb_bits = policy.pq.enabled ? policy.pq.setting.lsb_bits : 0;
+    ctx.lsb_fraction = policy.pq.enabled ? policy.lsb_fraction : 0.0;
+    ctx.fetch_bits = ctx.total_bits;
+    ctx.active_lsb_fraction = 0.0;
+
+    ctx.token_pruning = policy.token_pruning;
+    ctx.head_pruning = policy.head_pruning;
+    ctx.local_value_pruning = policy.local_value_pruning;
+    ctx.local_v_ratio =
+        policy.local_value_pruning ? policy.local_v_ratio : 0.0;
+
+    ctx.alive_tokens = workload.summarize_len;
+    ctx.alive_heads = workload.model.num_heads;
+    return ctx;
+}
+
+} // namespace spatten

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The SpAtten policy knobs expressed as stage-graph transforms.
+ *
+ * Cascade token/head pruning and progressive quantization used to be
+ * inline arithmetic inside the monolithic pipeline loop; here each is a
+ * GraphTransform that rewrites the per-request ExecutionContext between
+ * layers: prepare() publishes the layer's pruning ratios and the pass's
+ * quantization plane widths to the stages, apply() shrinks the alive
+ * token/head counts after the layer's top-k pass.
+ */
+#ifndef SPATTEN_CORE_GRAPH_TRANSFORMS_HPP
+#define SPATTEN_CORE_GRAPH_TRANSFORMS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/model_spec.hpp"
+#include "core/schedule.hpp"
+#include "sim/stage_graph.hpp"
+
+namespace spatten {
+
+/**
+ * Cascade token pruning (§III-A): after each layer the cumulative-
+ * importance top-k keeps a schedule-driven fraction of the alive tokens,
+ * and pruned tokens stay pruned in all later layers.
+ */
+class CascadeTokenPruneTransform : public GraphTransform
+{
+  public:
+    explicit CascadeTokenPruneTransform(PruningSchedule schedule);
+    std::string name() const override { return "cascade_token_prune"; }
+    void prepare(ExecutionContext& ctx) override;
+    void apply(ExecutionContext& ctx) override;
+
+  private:
+    PruningSchedule schedule_;
+};
+
+/** Cascade head pruning (§III-B), same shape as token pruning. */
+class CascadeHeadPruneTransform : public GraphTransform
+{
+  public:
+    explicit CascadeHeadPruneTransform(PruningSchedule schedule);
+    std::string name() const override { return "cascade_head_prune"; }
+    void prepare(ExecutionContext& ctx) override;
+    void apply(ExecutionContext& ctx) override;
+
+  private:
+    PruningSchedule schedule_;
+};
+
+/**
+ * Progressive quantization (§III-D) as a plane-state rewrite: the
+ * summarization stage is compute-bound, so it fetches the full static
+ * width once; the generation stage fetches the MSB plane eagerly and
+ * refetches the LSB plane for lsb_fraction of the queries.
+ */
+class ProgressiveQuantTransform : public GraphTransform
+{
+  public:
+    std::string name() const override { return "progressive_quant"; }
+    void prepare(ExecutionContext& ctx) override;
+    void apply(ExecutionContext&) override {}
+};
+
+/**
+ * Build the transform chain for @p policy over @p model: pruning
+ * schedules from the policy ratios, plus the quantization plane rewrite.
+ */
+std::vector<std::unique_ptr<GraphTransform>>
+makePolicyTransforms(const ModelSpec& model, const PruningPolicy& policy);
+
+/**
+ * Seed an ExecutionContext from a workload + policy pair (static shape,
+ * plane widths, policy mirrors). Hardware-config-dependent fields
+ * (max_context, sram_tokens) are set by the graph assembly, and
+ * pass-dependent fields (pass_queries, alive counts, generation flag)
+ * by the pass driver — callers other than AttentionGraph must fill
+ * max_context themselves or planeBase sizes slots for the 1024 default.
+ */
+ExecutionContext makeExecutionContext(const WorkloadSpec& workload,
+                                      const PruningPolicy& policy,
+                                      std::uint64_t request_seed = kDefaultRequestSeed);
+
+} // namespace spatten
+
+#endif // SPATTEN_CORE_GRAPH_TRANSFORMS_HPP

@@ -1,0 +1,119 @@
+#include "serve/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/prng.hpp"
+
+namespace spatten {
+
+namespace {
+
+/** Mix a request's seed with its queue position (splitmix64 finalizer). */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::size_t index)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                                 (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(SpAttenConfig cfg, BatchRunnerConfig runner)
+    : cfg_(cfg), runner_(runner)
+{
+    if (runner_.num_threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        runner_.num_threads = hw > 0 ? hw : 1;
+    }
+}
+
+namespace {
+
+/** Nearest-rank quantile of an ascending-sorted latency vector. */
+double
+sortedQuantile(const std::vector<double>& lat, double q)
+{
+    if (lat.empty())
+        return 0.0;
+    const double rank =
+        std::clamp(q, 0.0, 1.0) * static_cast<double>(lat.size() - 1);
+    return lat[static_cast<std::size_t>(std::llround(rank))];
+}
+
+} // namespace
+
+BatchResult
+BatchRunner::run(const std::vector<BatchRequest>& batch)
+{
+    BatchResult out;
+    out.results.resize(batch.size());
+    if (batch.empty())
+        return out;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::size_t workers =
+        std::min<std::size_t>(runner_.num_threads, batch.size());
+
+    // Work queue: an atomic cursor over the request vector. Each worker
+    // owns a private pipeline, and request i's outcome depends only on
+    // (config, batch[i], i) — never on which worker claims it — so the
+    // batch simulates bit-identically at any thread count.
+    std::atomic<std::size_t> next{0};
+    const auto work = [&]() {
+        SpAttenPipeline pipeline(cfg_);
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch.size())
+                return;
+            out.results[i] =
+                pipeline.run(batch[i].workload, batch[i].policy,
+                             mixSeed(batch[i].seed, i));
+        }
+    };
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (auto& t : pool)
+            t.join();
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    // ---- Aggregation ----
+    double dram_bytes = 0, dram_bytes_dense = 0;
+    std::vector<double> lat;
+    lat.reserve(out.results.size());
+    for (const auto& r : out.results) {
+        out.total_seconds += r.seconds;
+        out.total_flops += r.attention_flops;
+        dram_bytes += r.dram_bytes;
+        dram_bytes_dense += r.dram_bytes_dense;
+        lat.push_back(r.seconds);
+    }
+    std::sort(lat.begin(), lat.end());
+    out.p50_seconds = sortedQuantile(lat, 0.50);
+    out.p99_seconds = sortedQuantile(lat, 0.99);
+    out.aggregate_tflops = out.total_seconds > 0
+                               ? out.total_flops / out.total_seconds * 1e-12
+                               : 0.0;
+    out.dram_reduction =
+        dram_bytes > 0 ? dram_bytes_dense / dram_bytes : 1.0;
+    return out;
+}
+
+} // namespace spatten

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Concurrent batch serving on top of the stage-graph pipeline.
+ *
+ * BatchRunner simulates a vector of independent requests (workload +
+ * policy + seed) across a std::thread pool. Each worker owns a private
+ * SpAttenPipeline instance, and every request's PRNG state derives only
+ * from its own seed and position, so an N-thread run produces
+ * bit-identical per-request RunResults to a single-threaded run — the
+ * thread count changes wall-clock time, never simulated results.
+ *
+ * The aggregated BatchResult reports the latency distribution (p50/p99),
+ * aggregate effective TFLOPS, and the batch-wide DRAM reduction factor —
+ * the serving-level counterparts of the per-request Fig. 14 metrics.
+ */
+#ifndef SPATTEN_SERVE_BATCH_RUNNER_HPP
+#define SPATTEN_SERVE_BATCH_RUNNER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/pipeline.hpp"
+
+namespace spatten {
+
+/** One queued inference request. */
+struct BatchRequest
+{
+    WorkloadSpec workload;
+    PruningPolicy policy;
+    /// Per-request PRNG seed; combined with the request index so two
+    /// identical requests still draw independent streams.
+    std::uint64_t seed = kDefaultRequestSeed;
+};
+
+/** Configuration of the batch runner. */
+struct BatchRunnerConfig
+{
+    /// Worker threads; 0 (the default, matching the facade's runBatch)
+    /// means one per hardware thread.
+    std::size_t num_threads = 0;
+};
+
+/** Aggregated outcome of one batch. */
+struct BatchResult
+{
+    std::vector<RunResult> results; ///< Per-request, in request order.
+    double p50_seconds = 0;         ///< Median simulated request latency.
+    double p99_seconds = 0;         ///< Tail simulated request latency.
+    double total_seconds = 0;       ///< Sum of simulated request latencies.
+    double total_flops = 0;
+    /// Aggregate effective TFLOPS of the batch: executed attention FLOPs
+    /// over the back-to-back simulated service time of one accelerator.
+    double aggregate_tflops = 0;
+    /// Batch-wide DRAM reduction: dense fp32 bytes over fetched bytes.
+    double dram_reduction = 1.0;
+    double wall_seconds = 0;        ///< Host wall-clock of the simulation.
+
+    /** Simulated requests served per simulated second. */
+    double throughputRps() const
+    {
+        return total_seconds > 0
+                   ? static_cast<double>(results.size()) / total_seconds
+                   : 0.0;
+    }
+};
+
+/** The concurrent batch runner. */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(SpAttenConfig cfg = SpAttenConfig{},
+                         BatchRunnerConfig runner = BatchRunnerConfig{});
+
+    /**
+     * Simulate every request of @p batch and aggregate. Deterministic:
+     * the result is a pure function of (config, batch), independent of
+     * num_threads and scheduling.
+     */
+    BatchResult run(const std::vector<BatchRequest>& batch);
+
+    const BatchRunnerConfig& runnerConfig() const { return runner_; }
+    const SpAttenConfig& config() const { return cfg_; }
+
+  private:
+    SpAttenConfig cfg_;
+    BatchRunnerConfig runner_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SERVE_BATCH_RUNNER_HPP

@@ -1,0 +1,160 @@
+#include "sim/stage_graph.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+StageGraph::StageGraph(double core_freq_ghz, double dram_freq_ghz,
+                       EnergyConfig energy_cfg)
+    : core_freq_ghz_(core_freq_ghz), dram_freq_ghz_(dram_freq_ghz),
+      energy_cfg_(energy_cfg)
+{
+    SPATTEN_ASSERT(core_freq_ghz_ > 0 && dram_freq_ghz_ > 0,
+                   "bad clock config (%f core, %f dram)", core_freq_ghz_,
+                   dram_freq_ghz_);
+}
+
+void
+StageGraph::addStage(const StageModel* stage, TrafficSink sink)
+{
+    SPATTEN_ASSERT(stage != nullptr, "null stage");
+    stages_.push_back({stage, nullptr, std::move(sink)});
+}
+
+void
+StageGraph::addMemoryStage(MemoryStage* stage, TrafficSink sink)
+{
+    SPATTEN_ASSERT(stage != nullptr, "null memory stage");
+    stages_.push_back({stage, stage, std::move(sink)});
+}
+
+void
+StageGraph::addTransform(std::unique_ptr<GraphTransform> transform)
+{
+    SPATTEN_ASSERT(transform != nullptr, "null transform");
+    transforms_.push_back(std::move(transform));
+}
+
+double
+StageGraph::priceActivityPj(const ActivityCounts& act) const
+{
+    // Logic-event pricing only: SRAM/DRAM movement energy is accounted
+    // globally (SramModel byte counters, HbmModel energy) because the
+    // byte width belongs to those models, not to the producing stage.
+    return (act.qk_macs + act.pv_macs) * energy_cfg_.mac_pj +
+           act.softmax_elems * energy_cfg_.softmax_elem_pj +
+           act.topk_comparisons * energy_cfg_.topk_cmp_pj +
+           act.fetch_requests * energy_cfg_.fetch_req_pj;
+}
+
+LayerCost
+StageGraph::runLayer(ExecutionContext& ctx)
+{
+    SPATTEN_ASSERT(!stages_.empty(), "stage graph has no stages");
+    for (auto& t : transforms_)
+        t->prepare(ctx);
+    ctx.beginLayer();
+
+    LayerCost cost;
+    const double q_heads = static_cast<double>(ctx.queries) *
+                           static_cast<double>(ctx.alive_heads);
+
+    // ---- Compute time: fully-pipelined II + serial layer extras ----
+    Cycles layer_extra = 0;
+    std::vector<StageTiming> timings;
+    timings.reserve(stages_.size());
+    for (const auto& e : stages_) {
+        const StageTiming t = e.stage->timing(ctx);
+        cost.ii = std::max(cost.ii, t.ii_cycles);
+        layer_extra += t.layer_cycles;
+        timings.push_back(t);
+    }
+    cost.compute_cycles =
+        static_cast<Cycles>(ctx.queries) * cost.ii * ctx.alive_heads +
+        layer_extra;
+    cost.compute_ns =
+        static_cast<double>(cost.compute_cycles) / core_freq_ghz_;
+
+    // ---- Memory time: realize traffic through the memory stages ----
+    const Cycles dram_start = dram_clock_;
+    Cycles dram_done = dram_start;
+    for (auto& e : stages_) {
+        if (e.memory != nullptr)
+            dram_done =
+                std::max(dram_done, e.memory->issue(ctx, dram_start));
+    }
+    cost.memory_ns =
+        static_cast<double>(dram_done - dram_start) / dram_freq_ghz_;
+    dram_clock_ = dram_done;
+
+    // Memory stages have no core-pipeline occupancy (their streams
+    // overlap compute); their busy share is the realized DRAM window,
+    // attributed in core-domain cycles so the breakdown stays
+    // commensurable with the compute stages. The window is shared: with
+    // several memory stages each would be charged the whole layer
+    // window, so per-stage apportioning must be added before a second
+    // MemoryStage is registered.
+    for (const auto& e : stages_) {
+        if (e.memory != nullptr)
+            stats_.add("stage." + e.stage->stageName() + ".busy_cycles",
+                       cost.memory_ns * core_freq_ghz_);
+    }
+
+    // ---- Coarse-grained overlap ----
+    cost.layer_ns = std::max(cost.compute_ns, cost.memory_ns);
+    elapsed_ns_ += cost.layer_ns;
+    if (cost.compute_ns >= cost.memory_ns)
+        compute_bound_ns_ += cost.layer_ns;
+    else
+        memory_bound_ns_ += cost.layer_ns;
+
+    // ---- Per-stage accounting: occupancy, energy, traffic ----
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        const auto& e = stages_[i];
+        const std::string prefix = "stage." + e.stage->stageName();
+        // Memory stages were already charged their realized DRAM window
+        // above; charging their pipeline occupancy too would double-count.
+        const Cycles busy =
+            e.memory != nullptr
+                ? 0
+                : static_cast<Cycles>(
+                      q_heads * static_cast<double>(timings[i].ii_cycles) +
+                      static_cast<double>(timings[i].layer_cycles));
+        const ActivityCounts act = e.stage->energy(ctx);
+        const StageTraffic traffic = e.stage->traffic(ctx);
+        // Requests are a traffic quantity: a stage reporting them via
+        // energy() as well would double-price them here and in the
+        // global activity merge.
+        SPATTEN_ASSERT(act.fetch_requests == 0,
+                       "stage %s must report fetch_requests via traffic()",
+                       e.stage->stageName().c_str());
+        activity_.add(act);
+        activity_.fetch_requests += traffic.fetch_requests;
+        if (e.sink)
+            e.sink(traffic);
+        stats_.add(prefix + ".busy_cycles", static_cast<double>(busy));
+        // Price the stage's compute activity and its request traffic
+        // through the single pricing path so fetch requests can never be
+        // double-counted if a stage ever reports them via energy() too.
+        ActivityCounts priced = act;
+        priced.fetch_requests += traffic.fetch_requests;
+        stats_.add(prefix + ".energy_pj", priceActivityPj(priced));
+        stats_.add(prefix + ".dram_bytes", traffic.dram_bytes);
+    }
+
+    // Executed attention work (FLOPs = 2 x MACs); the LSB recompute
+    // share counts toward energy but not toward useful FLOPs.
+    cost.qk_macs = q_heads * static_cast<double>(ctx.alive_tokens) *
+                   static_cast<double>(ctx.d_head);
+    cost.pv_macs = q_heads * static_cast<double>(ctx.kept_values) *
+                   static_cast<double>(ctx.d_head);
+
+    for (auto& t : transforms_)
+        t->apply(ctx);
+    ++ctx.layer;
+    return cost;
+}
+
+} // namespace spatten

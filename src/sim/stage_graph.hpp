@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Composable stage graph: the execution engine of the accelerator model.
+ *
+ * A StageGraph is an ordered set of StageModels plus a chain of
+ * GraphTransforms. One runLayer() call evaluates every stage against the
+ * per-request ExecutionContext, combines their occupancies into the
+ * layer's initiation interval (fully pipelined critical path), realizes
+ * DRAM traffic through the registered MemoryStages, and lands each
+ * stage's occupancy / energy / traffic in the StatSet automatically.
+ * Transforms (cascade pruning, progressive quantization) run between
+ * layers and mutate only the context — pruning is a graph transform,
+ * not inline arithmetic in a monolithic run() loop.
+ */
+#ifndef SPATTEN_SIM_STAGE_GRAPH_HPP
+#define SPATTEN_SIM_STAGE_GRAPH_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "sim/stage_model.hpp"
+#include "sim/stats.hpp"
+
+namespace spatten {
+
+/**
+ * A between-layer rewrite of the execution context. prepare() runs
+ * before each layer is evaluated (e.g. to publish this layer's pruning
+ * ratio or the pass's quantization plane widths); apply() runs after
+ * (e.g. to shrink the alive token/head counts).
+ */
+class GraphTransform
+{
+  public:
+    virtual ~GraphTransform() = default;
+    virtual std::string name() const = 0;
+    virtual void prepare(ExecutionContext& ctx) = 0;
+    virtual void apply(ExecutionContext& ctx) = 0;
+};
+
+/** Cost outcome of one layer pass. */
+struct LayerCost
+{
+    Cycles ii = 0;              ///< Initiation interval (max over stages).
+    Cycles compute_cycles = 0;  ///< queries x ii x heads + serial extras.
+    double compute_ns = 0;
+    double memory_ns = 0;
+    double layer_ns = 0;        ///< max(compute, memory) under overlap.
+    double qk_macs = 0;         ///< Executed Q x K MACs (no LSB recompute).
+    double pv_macs = 0;         ///< Executed prob x V MACs.
+};
+
+/** The stage graph. Stages and transforms are registered once per run. */
+class StageGraph
+{
+  public:
+    /// Optional per-stage traffic hook (e.g. routing SRAM element counts
+    /// into the owning SramModel).
+    using TrafficSink = std::function<void(const StageTraffic&)>;
+
+    StageGraph(double core_freq_ghz, double dram_freq_ghz,
+               EnergyConfig energy_cfg = EnergyConfig{});
+
+    /** Register a pipelined stage; @p sink observes its per-layer traffic. */
+    void addStage(const StageModel* stage, TrafficSink sink = nullptr);
+
+    /** Register a stage that also realizes DRAM traffic. */
+    void addMemoryStage(MemoryStage* stage, TrafficSink sink = nullptr);
+
+    /** Append a between-layer transform. */
+    void addTransform(std::unique_ptr<GraphTransform> transform);
+
+    /**
+     * Evaluate one layer: run every transform's prepare(), price every
+     * stage, realize memory traffic, account time/energy/stats, then run
+     * every transform's apply() and advance ctx.layer.
+     */
+    LayerCost runLayer(ExecutionContext& ctx);
+
+    /** Elapsed core time across all layers so far (ns). */
+    double elapsedNs() const { return elapsed_ns_; }
+    double computeBoundNs() const { return compute_bound_ns_; }
+    double memoryBoundNs() const { return memory_bound_ns_; }
+
+    /** Merged energy-relevant activity across all layers. */
+    const ActivityCounts& activity() const { return activity_; }
+
+    /** Per-stage occupancy/energy/traffic counters. */
+    const StatSet& stats() const { return stats_; }
+
+    /** Number of registered stages. */
+    std::size_t numStages() const { return stages_.size(); }
+
+  private:
+    struct Entry
+    {
+        const StageModel* stage = nullptr;
+        MemoryStage* memory = nullptr; ///< Non-null for memory stages.
+        TrafficSink sink;
+    };
+
+    /** Energy (pJ) of one stage's activity under the graph's constants. */
+    double priceActivityPj(const ActivityCounts& act) const;
+
+    std::vector<Entry> stages_;
+    std::vector<std::unique_ptr<GraphTransform>> transforms_;
+    double core_freq_ghz_;
+    double dram_freq_ghz_;
+    EnergyConfig energy_cfg_;
+
+    Cycles dram_clock_ = 0; ///< DRAM-domain cursor across layers.
+    double elapsed_ns_ = 0;
+    double compute_bound_ns_ = 0;
+    double memory_bound_ns_ = 0;
+    ActivityCounts activity_;
+    StatSet stats_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SIM_STAGE_GRAPH_HPP

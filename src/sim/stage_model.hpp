@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The common stage abstraction of the accelerator model.
+ *
+ * Every hardware unit on the attention critical path (fetcher, Q x K,
+ * softmax, top-k, zero eliminator, prob x V) implements StageModel: given
+ * the per-request ExecutionContext it reports its timing contribution,
+ * its energy-relevant activity, and the data traffic it generates. The
+ * StageGraph composes the stages into one layer pass and lands each
+ * stage's occupancy/energy/traffic in a StatSet automatically, so the
+ * breakdown benches no longer re-derive pipeline internals by hand.
+ */
+#ifndef SPATTEN_SIM_STAGE_MODEL_HPP
+#define SPATTEN_SIM_STAGE_MODEL_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/math_util.hpp"
+#include "common/prng.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/clock.hpp"
+
+namespace spatten {
+
+/**
+ * Number of tokens/heads/rows surviving one pruning round: keep
+ * ceil(alive * (1 - ratio)), ratio clamped to [_, 1], never below one
+ * survivor. The single definition of this rounding rule — cascade
+ * transforms and local value pruning both call it.
+ */
+inline std::size_t
+pruneSurvivors(std::size_t alive, double ratio)
+{
+    if (ratio <= 0.0)
+        return alive;
+    const auto k = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(alive) * (1.0 - std::min(ratio, 1.0))));
+    return std::max<std::size_t>(k, 1);
+}
+
+/**
+ * Per-request execution state threaded through the stage graph.
+ *
+ * The context carries three kinds of state: the static request shape
+ * (model dims, sequence lengths, seed), the quantization plane state
+ * (MSB/LSB widths and the active LSB refetch fraction for the current
+ * pass), and the dynamic cascade state (alive tokens/heads, the current
+ * layer, SRAM tiling). Graph transforms mutate the dynamic state between
+ * layers; stages read but never write it.
+ */
+struct ExecutionContext
+{
+    // ---- Static request description ----
+    std::size_t d_head = 64;
+    std::size_t num_layers = 12;
+    std::size_t num_heads_total = 12;
+    std::size_t max_context = 1024;
+    /// Per-request PRNG seed: every stochastic stage (e.g. top-k pivot
+    /// selection) derives its stream from this, so a request simulates
+    /// bit-identically regardless of which BatchRunner thread runs it.
+    /// The current occupancy model is analytic and draws nothing, so
+    /// results are seed-independent today (pinned by tests).
+    std::uint64_t request_seed = kDefaultRequestSeed;
+
+    // ---- Quantization plane state ----
+    int total_bits = 32;         ///< Static on-DRAM width.
+    int msb_bits = 32;           ///< Eagerly fetched MSB plane width.
+    int lsb_bits = 0;            ///< On-demand LSB plane width.
+    double lsb_fraction = 0.0;   ///< Queries needing the LSB refetch.
+    /// Plane width fetched eagerly in the current pass (the progressive
+    /// quantization transform sets this: summarization fetches the full
+    /// static width, generation the MSB plane only).
+    int fetch_bits = 32;
+    /// LSB refetch fraction active in the current pass (0 outside the
+    /// generation stage).
+    double active_lsb_fraction = 0.0;
+
+    // ---- Pruning policy mirrors ----
+    bool token_pruning = false;
+    bool head_pruning = false;
+    bool local_value_pruning = false;
+    double local_v_ratio = 0.0;
+
+    // ---- SRAM tiling state ----
+    /// Tokens per SRAM buffer; contexts larger than one buffer stream in
+    /// K tiles (Q re-fetched per tile).
+    std::size_t sram_tokens = 0;
+
+    // ---- Dynamic cascade state (mutated by graph transforms) ----
+    std::size_t layer = 0;
+    bool generation = false;
+    std::size_t pass_queries = 0; ///< Query rows the pass was given.
+    std::size_t queries = 0;      ///< Effective query rows per (layer, head).
+    std::size_t alive_tokens = 0; ///< Context length entering the layer.
+    std::size_t alive_heads = 0;
+    std::size_t kept_values = 0;  ///< V rows after local value pruning.
+    double token_prune_ratio = 0; ///< This layer's cascade token ratio.
+    double head_prune_ratio = 0;  ///< This layer's cascade head ratio.
+
+    /**
+     * Refresh the per-layer derived state: cascade pruning caps the
+     * effective query rows at the surviving context, and local value
+     * pruning picks the V rows kept for this layer.
+     */
+    void beginLayer()
+    {
+        queries = std::min(pass_queries, alive_tokens);
+        kept_values = local_value_pruning
+                          ? pruneSurvivors(alive_tokens, local_v_ratio)
+                          : alive_tokens;
+    }
+
+    /** DRAM bytes of one d_head-dim row at @p bits element width. */
+    std::size_t bytesPerRow(int bits) const
+    {
+        return ceilDiv<std::size_t>(
+            d_head * static_cast<std::size_t>(bits), 8);
+    }
+
+    /** K tiles the current context needs at the current SRAM capacity. */
+    std::size_t tiles() const
+    {
+        if (generation || sram_tokens == 0)
+            return 1;
+        return std::max<std::size_t>(
+            1, ceilDiv(alive_tokens, sram_tokens));
+    }
+
+    /** Query rows across all alive heads. */
+    double queryRows() const
+    {
+        return static_cast<double>(queries) *
+               static_cast<double>(alive_heads);
+    }
+
+    /**
+     * Synthetic, layer/head-distinct DRAM base address of tensor plane
+     * @p plane for the current (layer, head). The per-layer slot stride
+     * is derived from the model's head count (floored at 64 to keep the
+     * historical generous slot spacing), so layer regions never alias —
+     * the seed's fixed `layer * 64 + head` stride silently collided
+     * layer regions for models with more than 64 heads. The per-plane
+     * region is 256 MB but grows when a large model's layer x head
+     * slots would spill into the next plane (sized by the widest plane,
+     * the static total_bits width, which bounds every plane's slots).
+     */
+    std::uint64_t planeBase(int plane, std::size_t head,
+                            std::size_t bytes_per_row) const
+    {
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(num_heads_total, 64);
+        const std::uint64_t max_slot_bytes = roundUp<std::uint64_t>(
+            max_context * bytesPerRow(total_bits), 4096);
+        const std::uint64_t region =
+            std::max<std::uint64_t>(0x10000000ULL, // 256 MB per plane.
+                                    num_layers * stride * max_slot_bytes);
+        const std::uint64_t slot =
+            (layer * stride + head) *
+            roundUp<std::uint64_t>(max_context * bytes_per_row, 4096);
+        return static_cast<std::uint64_t>(plane) * region + slot;
+    }
+};
+
+/** Timing contribution of one stage to one layer pass. */
+struct StageTiming
+{
+    /// Occupancy per query row. The layer's initiation interval is the
+    /// max over the per-query stages (the pipeline is fully pipelined,
+    /// Fig. 8), so the slowest stage bounds throughput.
+    Cycles ii_cycles = 0;
+    /// Serial per-layer cycles outside the query pipeline (e.g. the
+    /// cascade-pruning top-k pass between layers).
+    Cycles layer_cycles = 0;
+};
+
+/** Data traffic one stage generates in one layer pass. */
+struct StageTraffic
+{
+    double dram_bytes = 0;       ///< DRAM bytes fetched (estimate).
+    double fetch_requests = 0;   ///< Fetcher/crossbar request count.
+    double sram_read_elems = 0;  ///< Element reads from the stage's SRAM.
+    double sram_write_elems = 0; ///< Element writes (buffer fills).
+};
+
+/**
+ * A hardware stage of the attention dataflow.
+ *
+ * Implementations are pure observers of the ExecutionContext: the graph
+ * asks each stage for its timing / energy activity / traffic for the
+ * current layer and does all accumulation itself.
+ */
+class StageModel
+{
+  public:
+    virtual ~StageModel() = default;
+
+    /** Stable stage name, used as the StatSet key prefix. */
+    virtual std::string stageName() const = 0;
+
+    /** Timing contribution for the current layer. */
+    virtual StageTiming timing(const ExecutionContext& ctx) const = 0;
+
+    /**
+     * Energy-relevant activity for the current layer (MACs, softmax
+     * element ops, comparator ops, ...). The graph feeds the merged
+     * counts to the EnergyModel; per-stage energy is also priced
+     * individually for the StatSet breakdown.
+     */
+    virtual ActivityCounts energy(const ExecutionContext& ctx) const = 0;
+
+    /** Traffic contribution for the current layer. */
+    virtual StageTraffic traffic(const ExecutionContext& ctx) const = 0;
+};
+
+/**
+ * Extension for stages that realize their DRAM traffic against a
+ * stateful memory system (HBM + crossbar): the graph calls issue() once
+ * per layer with the DRAM-clock cursor and uses the returned completion
+ * cycle as the layer's memory time.
+ */
+class MemoryStage : public StageModel
+{
+  public:
+    /**
+     * Issue the layer's DRAM traffic starting at DRAM cycle @p start.
+     * @return the DRAM cycle at which the last beat lands.
+     */
+    virtual Cycles issue(const ExecutionContext& ctx, Cycles start) = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SIM_STAGE_MODEL_HPP

@@ -13,6 +13,7 @@
 
 // Algorithms (§III).
 #include "core/attention_ref.hpp"
+#include "core/graph_transforms.hpp"
 #include "core/importance.hpp"
 #include "core/model_spec.hpp"
 #include "core/progressive_quant.hpp"
@@ -37,6 +38,11 @@
 #include "nn/transformer.hpp"
 #include "workload/benchmarks.hpp"
 #include "workload/synthetic_tasks.hpp"
+
+// Stage-graph execution engine and concurrent batch serving.
+#include "serve/batch_runner.hpp"
+#include "sim/stage_graph.hpp"
+#include "sim/stage_model.hpp"
 
 // Co-design search (§V-B).
 #include "hat/hat_search.hpp"
