@@ -63,11 +63,7 @@ void
 AttentionGraph::runPass(std::size_t queries, std::size_t context_len,
                         bool generation)
 {
-    ctx_.pass_queries = queries;
-    ctx_.alive_tokens = context_len;
-    ctx_.alive_heads = ctx_.num_heads_total;
-    ctx_.generation = generation;
-    ctx_.layer = 0;
+    ctx_.beginPass(queries, context_len, generation);
     for (std::size_t l = 0; l < ctx_.num_layers; ++l) {
         const LayerCost cost = graph_.runLayer(ctx_);
         attention_flops_ += 2.0 * (cost.qk_macs + cost.pv_macs);

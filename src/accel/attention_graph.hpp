@@ -58,6 +58,14 @@ class AttentionGraph
     /** The stage graph (per-stage stats, activity). */
     const StageGraph& graph() const { return graph_; }
 
+    /**
+     * The live execution context. After runPass() returns,
+     * `context().alive_tokens` is the cascade-pruned survivor count the
+     * pass left behind — the KV length a DecodeSession carries into the
+     * next decode step.
+     */
+    const ExecutionContext& context() const { return ctx_; }
+
   private:
     WorkloadSpec workload_; ///< By value: the graph may outlive the caller's spec.
     SramModel key_sram_;

@@ -1,0 +1,69 @@
+#include "accel/decode_session.hpp"
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+DecodeSession::DecodeSession(const SpAttenConfig& cfg,
+                             const WorkloadSpec& workload,
+                             const PruningPolicy& policy,
+                             std::uint64_t request_seed)
+    : workload_(workload), graph_(cfg, workload, policy, request_seed)
+{
+    SPATTEN_ASSERT(workload_.summarize_len >= 1, "empty prompt");
+    // The unpruned trajectory peaks at summarize + generate tokens; the
+    // pruned one only shrinks from there, so this bound covers both.
+    SPATTEN_ASSERT(workload_.summarize_len + workload_.generate_len <=
+                       cfg.max_context,
+                   "context %zu exceeds SRAM-backed max %zu",
+                   workload_.summarize_len + workload_.generate_len,
+                   cfg.max_context);
+}
+
+double
+DecodeSession::prefill()
+{
+    SPATTEN_ASSERT(!prefilled_, "prefill() called twice");
+    prefilled_ = true;
+    if (workload_.skip_summarization) {
+        // Pre-summarized prompt: the KV cache exists but no prefill
+        // compute is charged, matching SpAttenPipeline's methodology.
+        kv_len_ = workload_.summarize_len;
+        kv_trace_.push_back(kv_len_);
+        return 0.0;
+    }
+    graph_.runPass(workload_.summarize_len, workload_.summarize_len,
+                   false);
+    prefill_seconds_ = graph_.elapsedSeconds();
+    kv_len_ = graph_.context().alive_tokens;
+    kv_trace_.push_back(kv_len_);
+    return prefill_seconds_;
+}
+
+double
+DecodeSession::decodeStep()
+{
+    SPATTEN_ASSERT(prefilled_, "decodeStep() before prefill()");
+    SPATTEN_ASSERT(!done(), "decodeStep() past generate_len");
+    const double before = graph_.elapsedSeconds();
+    // The new token's K/V joins the pruned survivors of the last pass.
+    graph_.runPass(1, kv_len_ + 1, true);
+    kv_len_ = graph_.context().alive_tokens;
+    kv_trace_.push_back(kv_len_);
+    ++tokens_;
+    return graph_.elapsedSeconds() - before;
+}
+
+RunResult
+DecodeSession::finalize() const
+{
+    SPATTEN_ASSERT(prefilled_, "finalize() before prefill()");
+    RunResult res;
+    res.workload = workload_.name;
+    res.summarize_seconds = prefill_seconds_;
+    res.generate_seconds = graph_.elapsedSeconds() - prefill_seconds_;
+    graph_.finalize(res);
+    return res;
+}
+
+} // namespace spatten

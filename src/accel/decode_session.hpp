@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Token-by-token generative decode on the stage graph.
+ *
+ * DecodeSession is the per-request unit of the continuous-batching
+ * serving model (serve/continuous_batch_scheduler.hpp): one prefill pass
+ * over the prompt, then one decodeStep() per generated token. Unlike
+ * SpAttenPipeline::run(), which re-applies the pruning schedule to the
+ * full grown context every generation iteration, a session carries the
+ * cascade-pruned KV length across steps — each generated token re-enters
+ * the stage graph against `kv + 1` tokens, where `kv` is the survivor
+ * count the previous pass left behind. Under cascade pruning the KV
+ * working set therefore shrinks as decode proceeds (pinned by
+ * tests/test_continuous_scheduler.cpp); with pruning disabled it grows
+ * by exactly one token per step.
+ *
+ * A session is a pure function of (config, workload, policy, seed): its
+ * step costs, KV trajectory, and finalized RunResult are bit-identical
+ * regardless of which scheduler thread or accelerator shard drives it.
+ */
+#ifndef SPATTEN_ACCEL_DECODE_SESSION_HPP
+#define SPATTEN_ACCEL_DECODE_SESSION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/attention_graph.hpp"
+#include "accel/pipeline.hpp"
+
+namespace spatten {
+
+/** Outcome of a full prefill + decode loop (SpAttenAccelerator::runDecode). */
+struct DecodeResult
+{
+    RunResult result;             ///< Aggregate per-request simulation result.
+    double prefill_seconds = 0;   ///< Prompt-processing (TTFT) share.
+    std::vector<double> step_seconds;      ///< One entry per generated token.
+    std::vector<std::size_t> kv_lengths;   ///< KV survivors after prefill
+                                           ///< and after each decode step.
+};
+
+/** One in-flight generative request on one simulated accelerator. */
+class DecodeSession
+{
+  public:
+    DecodeSession(const SpAttenConfig& cfg, const WorkloadSpec& workload,
+                  const PruningPolicy& policy,
+                  std::uint64_t request_seed = kDefaultRequestSeed);
+
+    // The attention graph holds references into its own members, so a
+    // session is pinned to its address (heap-allocate to hand around).
+    DecodeSession(const DecodeSession&) = delete;
+    DecodeSession& operator=(const DecodeSession&) = delete;
+
+    /**
+     * Process the prompt (summarization pass) and establish the initial
+     * cascade-pruned KV state. Workloads with skip_summarization (the
+     * paper's GPT-2 methodology: a pre-summarized sentence) charge no
+     * prefill time and enter decode with the full unpruned prompt KV.
+     * @return simulated seconds of the pass.
+     */
+    double prefill();
+
+    /**
+     * Generate one token: run a single-query generation pass against the
+     * carried KV plus the previous step's token, then adopt the pass's
+     * pruned survivor count as the next KV length.
+     * @return simulated seconds of the step.
+     */
+    double decodeStep();
+
+    bool prefilled() const { return prefilled_; }
+
+    /** All generate_len tokens emitted (a 0-token request is done at
+     *  prefill). */
+    bool done() const
+    {
+        return prefilled_ && tokens_ >= workload_.generate_len;
+    }
+
+    /** Current cascade-pruned KV length (survivors of the last pass). */
+    std::size_t kvLength() const { return kv_len_; }
+
+    std::size_t tokensGenerated() const { return tokens_; }
+    std::size_t tokensTotal() const { return workload_.generate_len; }
+
+    /** KV survivor count after prefill and after each decode step. */
+    const std::vector<std::size_t>& kvTrace() const { return kv_trace_; }
+
+    const WorkloadSpec& workload() const { return workload_; }
+
+    /** Total simulated seconds consumed so far (prefill + steps). */
+    double elapsedSeconds() const { return graph_.elapsedSeconds(); }
+
+    /** Land the per-request totals; call once the session is done(). */
+    RunResult finalize() const;
+
+  private:
+    WorkloadSpec workload_;
+    AttentionGraph graph_;
+    std::size_t kv_len_ = 0;
+    std::size_t tokens_ = 0;
+    bool prefilled_ = false;
+    double prefill_seconds_ = 0;
+    std::vector<std::size_t> kv_trace_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_ACCEL_DECODE_SESSION_HPP

@@ -1,5 +1,6 @@
 #include "accel/spatten_accelerator.hpp"
 
+#include "accel/decode_session.hpp"
 #include "common/logging.hpp"
 #include "serve/batch_runner.hpp"
 
@@ -23,6 +24,23 @@ SpAttenAccelerator::runBatch(const std::vector<BatchRequest>& batch,
                              std::size_t num_threads) const
 {
     return BatchRunner(cfg_, BatchRunnerConfig{num_threads}).run(batch);
+}
+
+DecodeResult
+SpAttenAccelerator::runDecode(const WorkloadSpec& workload,
+                              const PruningPolicy& policy,
+                              std::uint64_t request_seed) const
+{
+    DecodeSession session(cfg_, workload, policy, request_seed);
+    DecodeResult out;
+    out.prefill_seconds = session.prefill();
+    out.kv_lengths.push_back(session.kvLength());
+    while (!session.done()) {
+        out.step_seconds.push_back(session.decodeStep());
+        out.kv_lengths.push_back(session.kvLength());
+    }
+    out.result = session.finalize();
+    return out;
 }
 
 std::vector<AreaEntry>

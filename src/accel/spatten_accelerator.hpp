@@ -19,6 +19,9 @@ namespace spatten {
 // (include it to use runBatch's argument/result types).
 struct BatchRequest;
 struct BatchResult;
+// Defined in accel/decode_session.hpp (include it to use runDecode's
+// result type).
+struct DecodeResult;
 
 /**
  * The SpAtten accelerator.
@@ -49,6 +52,19 @@ class SpAttenAccelerator
      */
     BatchResult runBatch(const std::vector<BatchRequest>& batch,
                          std::size_t num_threads = 0) const;
+
+    /**
+     * Run a full prefill + token-by-token decode loop through a
+     * DecodeSession: each generated token re-enters the stage graph with
+     * the cascade-pruned KV length of the previous step (unlike run(),
+     * which re-applies the schedule to the full grown context per
+     * iteration). Returns per-step latencies and the KV trajectory along
+     * with the aggregate RunResult.
+     */
+    DecodeResult runDecode(const WorkloadSpec& workload,
+                           const PruningPolicy& policy,
+                           std::uint64_t request_seed =
+                               kDefaultRequestSeed) const;
 
     /** Fig. 13 area breakdown for this configuration. */
     std::vector<AreaEntry> area() const;

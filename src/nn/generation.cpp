@@ -52,8 +52,8 @@ GenerativeRunner::stepToken(Beam& beam, std::size_t token,
             const BitplaneTensor& bp = cache.kq[r];
             const int lsb = bp.setting.lsb_bits;
             if (full) {
-                const std::int32_t code =
-                    (bp.msb[col] << lsb) | bp.lsb[col];
+                const std::int32_t code = quant::reconstructCode(
+                    bp.msb[col], bp.lsb[col], lsb);
                 return static_cast<float>(code) * bp.scale;
             }
             return static_cast<float>(bp.msb[col]) * bp.scale *

@@ -70,7 +70,7 @@ reconstructFull(const BitplaneTensor& bp)
     Tensor out(bp.shape);
     for (std::size_t i = 0; i < bp.msb.size(); ++i) {
         const std::int32_t code =
-            (bp.msb[i] << bp.setting.lsb_bits) | bp.lsb[i];
+            reconstructCode(bp.msb[i], bp.lsb[i], bp.setting.lsb_bits);
         out[i] = static_cast<float>(code) * bp.scale;
     }
     return out;

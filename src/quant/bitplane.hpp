@@ -53,6 +53,22 @@ struct BitplaneTensor
 namespace quant {
 
 /**
+ * Recombine an MSB plane code with its unsigned LSB bits into the full
+ * signed code. The shift happens in the unsigned domain because
+ * left-shifting a negative value is undefined behavior pre-C++20 (the
+ * UBSan CI job enforces this); the round-trip through uint32 is
+ * value-preserving two's complement. The single definition of the
+ * recombination — every reconstruction site must use it.
+ */
+inline std::int32_t
+reconstructCode(std::int32_t msb, std::int32_t lsb, int lsb_bits)
+{
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(msb)
+                                     << static_cast<unsigned>(lsb_bits)) |
+           lsb;
+}
+
+/**
  * Quantize @p x to setting.totalBits() and split into bit planes.
  */
 BitplaneTensor splitPlanes(const Tensor& x, const BitplaneSetting& setting);

@@ -8,6 +8,7 @@
 
 #include "common/logging.hpp"
 #include "common/prng.hpp"
+#include "sim/stats.hpp"
 
 namespace spatten {
 
@@ -34,21 +35,6 @@ BatchRunner::BatchRunner(SpAttenConfig cfg, BatchRunnerConfig runner)
         runner_.num_threads = hw > 0 ? hw : 1;
     }
 }
-
-namespace {
-
-/** Nearest-rank quantile of an ascending-sorted latency vector. */
-double
-sortedQuantile(const std::vector<double>& lat, double q)
-{
-    if (lat.empty())
-        return 0.0;
-    const double rank =
-        std::clamp(q, 0.0, 1.0) * static_cast<double>(lat.size() - 1);
-    return lat[static_cast<std::size_t>(std::llround(rank))];
-}
-
-} // namespace
 
 BatchResult
 BatchRunner::run(const std::vector<BatchRequest>& batch)
@@ -100,6 +86,7 @@ BatchRunner::run(const std::vector<BatchRequest>& batch)
     lat.reserve(out.results.size());
     for (const auto& r : out.results) {
         out.total_seconds += r.seconds;
+        out.makespan_seconds = std::max(out.makespan_seconds, r.seconds);
         out.total_flops += r.attention_flops;
         dram_bytes += r.dram_bytes;
         dram_bytes_dense += r.dram_bytes_dense;

@@ -48,6 +48,10 @@ struct BatchResult
     double p50_seconds = 0;         ///< Median simulated request latency.
     double p99_seconds = 0;         ///< Tail simulated request latency.
     double total_seconds = 0;       ///< Sum of simulated request latencies.
+    /// Simulated batch makespan under concurrent service: the runner
+    /// models independent requests starting together on their own
+    /// accelerator, so the batch completes when the slowest request does.
+    double makespan_seconds = 0;
     double total_flops = 0;
     /// Aggregate effective TFLOPS of the batch: executed attention FLOPs
     /// over the back-to-back simulated service time of one accelerator.
@@ -56,11 +60,18 @@ struct BatchResult
     double dram_reduction = 1.0;
     double wall_seconds = 0;        ///< Host wall-clock of the simulation.
 
-    /** Simulated requests served per simulated second. */
+    /**
+     * Simulated requests served per simulated second of the batch
+     * makespan. Concurrent requests overlap in time, so dividing by the
+     * *sum* of per-request latencies (the old definition) under-reported
+     * throughput by up to the batch width; the makespan is the time the
+     * batch actually occupies the platform.
+     */
     double throughputRps() const
     {
-        return total_seconds > 0
-                   ? static_cast<double>(results.size()) / total_seconds
+        return makespan_seconds > 0
+                   ? static_cast<double>(results.size()) /
+                         makespan_seconds
                    : 0.0;
     }
 };

@@ -1,0 +1,367 @@
+#include "serve/continuous_batch_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "accel/decode_session.hpp"
+#include "common/logging.hpp"
+
+namespace spatten {
+
+namespace {
+
+/** One in-flight request on one accelerator. */
+struct ActiveSession
+{
+    std::size_t idx = 0; ///< Position in the trace (report index).
+    std::unique_ptr<DecodeSession> session;
+};
+
+/** One simulated accelerator's private scheduling state. */
+struct AccelState
+{
+    double clock_s = 0; ///< Simulated time cursor.
+    double busy_s = 0;  ///< Time spent serving (vs idle waiting).
+    std::vector<ActiveSession> active; ///< In admission order.
+    std::deque<std::size_t> queue;     ///< Round-robin private feed.
+};
+
+/** One session step to simulate this iteration. */
+struct StepJob
+{
+    DecodeSession* session = nullptr;
+    bool do_prefill = false;
+    double seconds = 0; ///< Output: simulated step cost.
+};
+
+/**
+ * Persistent helper-thread pool for the per-iteration session steps.
+ *
+ * A scheduler run has one iteration per prefill/decode round — hundreds
+ * for a modest trace — and each step simulates only microseconds of
+ * work, so spawning threads per iteration would cost more than it
+ * saves. The pool keeps num_threads-1 helpers parked on a condition
+ * variable; run() publishes a job batch (a "generation"), drains it
+ * together with the helpers through an atomic cursor, and returns only
+ * after every helper has finished the generation (which also makes the
+ * next cursor reset race-free). Sessions are independent, each job
+ * executes exactly once,
+ * and outputs land in caller-fixed job slots, so the result is
+ * identical at any thread count — parallelism here is pure wall-clock
+ * speedup.
+ */
+class StepPool
+{
+  public:
+    explicit StepPool(std::size_t num_threads)
+    {
+        const std::size_t helpers = num_threads > 1 ? num_threads - 1 : 0;
+        helpers_.reserve(helpers);
+        for (std::size_t i = 0; i < helpers; ++i)
+            helpers_.emplace_back([this] { helperLoop(); });
+    }
+
+    ~StepPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            stop_ = true;
+        }
+        wake_cv_.notify_all();
+        for (auto& t : helpers_)
+            t.join();
+    }
+
+    /** Execute every job once; blocks until all are complete. */
+    void run(std::vector<StepJob>& jobs)
+    {
+        if (helpers_.empty() || jobs.size() <= 1) {
+            for (auto& job : jobs)
+                step(job);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            // Every helper finished the previous generation before the
+            // previous run() returned, so resetting the shared cursor
+            // is race-free.
+            jobs_ = &jobs;
+            cursor_.store(0, std::memory_order_relaxed);
+            done_ = 0;
+            ++generation_;
+        }
+        wake_cv_.notify_all();
+        drain(jobs); // The caller is a worker too.
+        // Full rendezvous: wait until every helper has drained *this*
+        // generation. Waiting merely for parked helpers would let a
+        // slow helper that never started the generation park-count as
+        // done and then dereference jobs_ after it was reset.
+        std::unique_lock<std::mutex> lk(m_);
+        idle_cv_.wait(lk, [&] { return done_ == helpers_.size(); });
+        jobs_ = nullptr;
+    }
+
+  private:
+    static void step(StepJob& job)
+    {
+        job.seconds = job.do_prefill ? job.session->prefill()
+                                     : job.session->decodeStep();
+    }
+
+    void drain(std::vector<StepJob>& jobs)
+    {
+        for (;;) {
+            const std::size_t i =
+                cursor_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            step(jobs[i]);
+        }
+    }
+
+    void helperLoop()
+    {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(m_);
+        for (;;) {
+            wake_cv_.wait(lk,
+                          [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            std::vector<StepJob>& jobs = *jobs_;
+            lk.unlock();
+            drain(jobs);
+            lk.lock();
+            // Completing under the mutex publishes this helper's step
+            // results to run()'s post-wait reads.
+            ++done_;
+            if (done_ == helpers_.size())
+                idle_cv_.notify_one();
+        }
+    }
+
+    std::vector<std::thread> helpers_;
+    std::mutex m_;
+    std::condition_variable wake_cv_; ///< Helpers wait for a generation.
+    std::condition_variable idle_cv_; ///< run() waits for helpers to park.
+    std::vector<StepJob>* jobs_ = nullptr;
+    std::atomic<std::size_t> cursor_{0};
+    std::uint64_t generation_ = 0;
+    std::size_t done_ = 0; ///< Helpers finished with this generation.
+    bool stop_ = false;
+};
+
+} // namespace
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    SpAttenConfig cfg, ContinuousBatchConfig sched)
+    : cfg_(cfg), sched_(sched)
+{
+    SPATTEN_ASSERT(sched_.num_accelerators >= 1, "empty accelerator pool");
+    SPATTEN_ASSERT(sched_.max_active >= 1, "batch width must be >= 1");
+    if (sched_.num_threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        sched_.num_threads = hw > 0 ? hw : 1;
+    }
+    // A generation never holds more than max_active jobs, so extra
+    // helpers would only add rendezvous cost on wide machines.
+    sched_.num_threads = std::min(sched_.num_threads, sched_.max_active);
+}
+
+ServeReport
+ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
+{
+    const std::size_t n = trace.size();
+    const std::size_t num_accels = sched_.num_accelerators;
+
+    ServeReport rep;
+    rep.requests.resize(n);
+    rep.accel_busy_s.assign(num_accels, 0.0);
+    rep.accel_util.assign(num_accels, 0.0);
+    rep.accel_requests.assign(num_accels, 0);
+    if (n == 0)
+        return rep;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        rep.requests[i].id = trace[i].id;
+        rep.requests[i].arrival_s = trace[i].arrival_s;
+    }
+
+    // Canonical admission order: by (arrival, id), independent of the
+    // trace vector's ordering, so the schedule is a pure function of the
+    // trace's *content*.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (trace[a].arrival_s != trace[b].arrival_s)
+                             return trace[a].arrival_s < trace[b].arrival_s;
+                         return trace[a].id < trace[b].id;
+                     });
+
+    std::vector<AccelState> accels(num_accels);
+    std::deque<std::size_t> shared; // Least-loaded shared FIFO.
+    for (std::size_t k = 0; k < n; ++k) {
+        if (sched_.shard == ShardPolicy::RoundRobin)
+            accels[k % num_accels].queue.push_back(order[k]);
+        else
+            shared.push_back(order[k]);
+    }
+    const auto feedQueue = [&](AccelState& a) -> std::deque<std::size_t>& {
+        return sched_.shard == ShardPolicy::RoundRobin ? a.queue : shared;
+    };
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // The earliest simulated time at which an accelerator can do work:
+    // now if it has an active batch, the head arrival of its feed queue
+    // if it is idle, +inf if it has nothing left to do.
+    const auto nextEventTime = [&](AccelState& a) {
+        if (!a.active.empty())
+            return a.clock_s;
+        const auto& q = feedQueue(a);
+        if (q.empty())
+            return kInf;
+        return std::max(a.clock_s, trace[q.front()].arrival_s);
+    };
+
+    std::size_t finished = 0;
+    std::vector<StepJob> jobs;
+    StepPool pool(sched_.num_threads);
+    while (finished < n) {
+        // ---- Pick the accelerator with the earliest next event ----
+        // (ties break to the lowest index, keeping the loop an exact
+        // discrete-event simulation: iterations are processed in global
+        // simulated-time order, so least-loaded pulls stay FIFO.)
+        std::size_t best = num_accels;
+        double best_t = kInf;
+        for (std::size_t a = 0; a < num_accels; ++a) {
+            const double t = nextEventTime(accels[a]);
+            if (t < best_t) {
+                best_t = t;
+                best = a;
+            }
+        }
+        SPATTEN_ASSERT(best < num_accels,
+                       "scheduler stalled with %zu unfinished requests",
+                       n - finished);
+        AccelState& accel = accels[best];
+        accel.clock_s = std::max(accel.clock_s, best_t);
+
+        // ---- Admit arrived requests into free batch slots (FIFO) ----
+        auto& queue = feedQueue(accel);
+        while (accel.active.size() < sched_.max_active && !queue.empty() &&
+               trace[queue.front()].arrival_s <= accel.clock_s) {
+            const std::size_t idx = queue.front();
+            queue.pop_front();
+            ServedRequest& r = rep.requests[idx];
+            r.accel = static_cast<int>(best);
+            r.admit_s = accel.clock_s;
+            r.phase = RequestPhase::Prefill;
+            ++rep.accel_requests[best];
+            accel.active.push_back(
+                {idx, std::make_unique<DecodeSession>(
+                          cfg_, trace[idx].workload, trace[idx].policy,
+                          trace[idx].seed)});
+        }
+        SPATTEN_ASSERT(!accel.active.empty(),
+                       "selected an accelerator with no admissible work");
+
+        // ---- One iteration: a step per member, in parallel on the
+        // host, applied in admission order ----
+        jobs.clear();
+        jobs.reserve(accel.active.size());
+        for (auto& m : accel.active)
+            jobs.push_back(
+                {m.session.get(), !m.session->prefilled(), 0.0});
+        pool.run(jobs);
+
+        double t = accel.clock_s;
+        for (std::size_t i = 0; i < accel.active.size(); ++i) {
+            ActiveSession& m = accel.active[i];
+            ServedRequest& r = rep.requests[m.idx];
+            t += jobs[i].seconds;
+            r.service_seconds += jobs[i].seconds;
+            if (jobs[i].do_prefill) {
+                r.phase = RequestPhase::Decoding;
+            } else {
+                r.token_times_s.push_back(t);
+                ++r.tokens;
+                if (r.first_token_s < 0)
+                    r.first_token_s = t;
+            }
+            if (m.session->done()) {
+                // A 0-token request's "first token" is its prefill
+                // completion (the classification-style response).
+                if (r.first_token_s < 0)
+                    r.first_token_s = t;
+                r.finish_s = t;
+                r.phase = RequestPhase::Finished;
+                r.kv_trace = m.session->kvTrace();
+                r.sim = m.session->finalize();
+                ++finished;
+            }
+        }
+        accel.busy_s += t - accel.clock_s;
+        accel.clock_s = t;
+        accel.active.erase(
+            std::remove_if(accel.active.begin(), accel.active.end(),
+                           [](const ActiveSession& m) {
+                               return m.session->done();
+                           }),
+            accel.active.end());
+    }
+
+    // ---- Aggregate ----
+    std::vector<double> ttfts, itls;
+    ttfts.reserve(n);
+    double dram_bytes = 0, dram_bytes_dense = 0;
+    for (const ServedRequest& r : rep.requests) {
+        rep.makespan_s = std::max(rep.makespan_s, r.finish_s);
+        rep.total_tokens += r.tokens;
+        ttfts.push_back(r.ttftSeconds());
+        for (double g : r.interTokenGaps())
+            itls.push_back(g);
+        rep.total_cycles += static_cast<double>(r.sim.cycles);
+        rep.total_energy_j += r.sim.energy.totalJ();
+        rep.total_flops += r.sim.attention_flops;
+        dram_bytes += r.sim.dram_bytes;
+        dram_bytes_dense += r.sim.dram_bytes_dense;
+        const bool good =
+            r.ttftSeconds() <= sched_.slo_ttft_s &&
+            (r.tokens < 2 || r.avgItlSeconds() <= sched_.slo_itl_s);
+        rep.slo_met += good ? 1 : 0;
+    }
+    std::sort(ttfts.begin(), ttfts.end());
+    std::sort(itls.begin(), itls.end());
+    rep.ttft_p50_s = sortedQuantile(ttfts, 0.50);
+    rep.ttft_p99_s = sortedQuantile(ttfts, 0.99);
+    rep.itl_p50_s = sortedQuantile(itls, 0.50);
+    rep.itl_p99_s = sortedQuantile(itls, 0.99);
+    if (rep.makespan_s > 0) {
+        rep.throughput_rps = static_cast<double>(n) / rep.makespan_s;
+        rep.goodput_rps =
+            static_cast<double>(rep.slo_met) / rep.makespan_s;
+        rep.tokens_per_s =
+            static_cast<double>(rep.total_tokens) / rep.makespan_s;
+    }
+    for (std::size_t a = 0; a < num_accels; ++a) {
+        rep.accel_busy_s[a] = accels[a].busy_s;
+        rep.accel_util[a] = rep.makespan_s > 0
+                                ? accels[a].busy_s / rep.makespan_s
+                                : 0.0;
+    }
+    rep.dram_reduction =
+        dram_bytes > 0 ? dram_bytes_dense / dram_bytes : 1.0;
+    return rep;
+}
+
+} // namespace spatten

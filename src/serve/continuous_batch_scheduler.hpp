@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Iteration-level continuous-batching scheduler over a pool of simulated
+ * accelerators.
+ *
+ * The scheduler consumes an arrival trace (workload/arrival_trace.hpp)
+ * and serves it the way a production LLM endpoint does: requests arrive
+ * over simulated time, are sharded onto N simulated SpAtten accelerators
+ * (round-robin or least-loaded), and each accelerator runs iterations
+ * that interleave prefill passes of newly admitted requests with one
+ * decode step of every in-flight request — tokens leave the batch one
+ * iteration at a time, and finished requests free their slot for queued
+ * arrivals (continuous batching, not one-shot batches). Each request's
+ * decode loop runs in a DecodeSession, so its KV working set carries the
+ * cascade-pruned survivor count across steps.
+ *
+ * Determinism contract (pinned by tests/test_continuous_scheduler.cpp):
+ * the report is a pure function of (config, trace). Host worker threads
+ * only parallelize the independent per-session step simulations inside
+ * one iteration; the single-threaded coordinator applies their results
+ * in admission order, so every timestamp, metric, and per-request result
+ * is bit-identical at any num_threads. Per-request *service* results
+ * (step costs, KV trajectory, cycles, energy) depend only on
+ * (config, workload, policy, seed) — never on placement — so they are
+ * also bit-identical across accelerator shard counts; only the queueing
+ * metrics (TTFT, goodput) respond to the pool size.
+ */
+#ifndef SPATTEN_SERVE_CONTINUOUS_BATCH_SCHEDULER_HPP
+#define SPATTEN_SERVE_CONTINUOUS_BATCH_SCHEDULER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/pipeline.hpp"
+#include "serve/request_state.hpp"
+#include "workload/arrival_trace.hpp"
+
+namespace spatten {
+
+/** How arriving requests are spread across the accelerator pool. */
+enum class ShardPolicy
+{
+    /// Request i is statically pinned to accelerator i mod N.
+    RoundRobin,
+    /// Requests wait in one shared FIFO; the accelerator with the
+    /// earliest simulated time and a free slot pulls the head (classic
+    /// least-loaded / join-idle-queue dispatch, FIFO overall).
+    LeastLoaded,
+};
+
+/** Scheduler configuration. */
+struct ContinuousBatchConfig
+{
+    std::size_t num_accelerators = 1;
+    /// Max concurrent sessions per accelerator iteration (the continuous
+    /// batch width).
+    std::size_t max_active = 8;
+    ShardPolicy shard = ShardPolicy::LeastLoaded;
+    /// Host threads for the per-iteration session steps; 0 = one per
+    /// hardware thread. Never affects simulated results.
+    std::size_t num_threads = 0;
+    /// SLO for goodput accounting: a finished request counts as good
+    /// when TTFT <= slo_ttft_s and its mean ITL <= slo_itl_s.
+    double slo_ttft_s = 50e-3;
+    double slo_itl_s = 2e-3;
+};
+
+/** Aggregated outcome of serving one trace. */
+struct ServeReport
+{
+    std::vector<ServedRequest> requests; ///< In trace order.
+
+    double makespan_s = 0;    ///< Last token emission time.
+    double ttft_p50_s = 0;
+    double ttft_p99_s = 0;
+    double itl_p50_s = 0;     ///< Over all inter-token gaps of all requests.
+    double itl_p99_s = 0;
+    double throughput_rps = 0; ///< Finished requests per simulated second.
+    double goodput_rps = 0;    ///< SLO-meeting requests per simulated second.
+    std::size_t slo_met = 0;   ///< Requests that met both SLOs.
+    double tokens_per_s = 0;
+    std::size_t total_tokens = 0;
+
+    std::vector<double> accel_busy_s;  ///< Busy seconds per accelerator.
+    std::vector<double> accel_util;    ///< busy / makespan per accelerator.
+    std::vector<std::size_t> accel_requests; ///< Requests served per accel.
+
+    double total_cycles = 0;   ///< Sum of per-request simulated cycles.
+    double total_energy_j = 0;
+    double total_flops = 0;
+    double dram_reduction = 1; ///< Batch-wide dense bytes / fetched bytes.
+};
+
+/** The continuous-batching scheduler. */
+class ContinuousBatchScheduler
+{
+  public:
+    explicit ContinuousBatchScheduler(
+        SpAttenConfig cfg = SpAttenConfig{},
+        ContinuousBatchConfig sched = ContinuousBatchConfig{});
+
+    /**
+     * Serve every request of @p trace to completion and aggregate.
+     * Deterministic: a pure function of (config, trace), independent of
+     * num_threads; per-request service results are also independent of
+     * num_accelerators and shard policy.
+     */
+    ServeReport run(const std::vector<TracedRequest>& trace);
+
+    const ContinuousBatchConfig& schedulerConfig() const { return sched_; }
+    const SpAttenConfig& config() const { return cfg_; }
+
+  private:
+    SpAttenConfig cfg_;
+    ContinuousBatchConfig sched_;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SERVE_CONTINUOUS_BATCH_SCHEDULER_HPP

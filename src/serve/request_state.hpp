@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Request lifecycle state of the continuous-batching scheduler.
+ *
+ * Every traced request moves through a strict FSM:
+ *
+ *   Queued --admit--> Prefill --first pass--> Decoding --last token-->
+ *   Finished
+ *
+ * (a request with generate_len == 0 jumps Prefill -> Finished). The
+ * ServedRequest record keeps the full timing trail — arrival, admission,
+ * first token, per-token emission times, completion — plus the per-step
+ * KV trajectory and the finalized per-request simulation result, so the
+ * serving metrics (TTFT, ITL, goodput) and the determinism properties
+ * are all derivable from it after the run.
+ */
+#ifndef SPATTEN_SERVE_REQUEST_STATE_HPP
+#define SPATTEN_SERVE_REQUEST_STATE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "accel/pipeline.hpp"
+
+namespace spatten {
+
+/** Lifecycle phase of one request. */
+enum class RequestPhase
+{
+    Queued,   ///< Arrived, waiting for an accelerator slot.
+    Prefill,  ///< Admitted; prompt pass not yet run.
+    Decoding, ///< Prompt processed; emitting tokens.
+    Finished, ///< All tokens emitted, result finalized.
+};
+
+/** Full service record of one request after a scheduler run. */
+struct ServedRequest
+{
+    std::size_t id = 0;      ///< Trace id.
+    int accel = -1;          ///< Accelerator that served it.
+    RequestPhase phase = RequestPhase::Queued;
+
+    double arrival_s = 0;     ///< From the trace.
+    double admit_s = -1;      ///< Admission onto the accelerator.
+    double first_token_s = -1;///< First decode completion (or prefill
+                              ///< completion for 0-token requests).
+    double finish_s = -1;     ///< Last token emitted.
+    double service_seconds = 0; ///< Busy time consumed on the accelerator.
+
+    std::size_t tokens = 0;             ///< Tokens emitted.
+    std::vector<double> token_times_s;  ///< Emission time of each token.
+    std::vector<std::size_t> kv_trace;  ///< KV survivors after prefill
+                                        ///< and after each decode step.
+    RunResult sim;                      ///< Finalized simulation result.
+
+    /** Queueing delay: admission minus arrival. */
+    double queueDelaySeconds() const { return admit_s - arrival_s; }
+
+    /** Time to first token, measured from arrival (includes queueing). */
+    double ttftSeconds() const { return first_token_s - arrival_s; }
+
+    /** Gaps between consecutive token emissions (empty below 2 tokens). */
+    std::vector<double> interTokenGaps() const
+    {
+        std::vector<double> gaps;
+        if (token_times_s.size() >= 2) {
+            gaps.reserve(token_times_s.size() - 1);
+            for (std::size_t i = 1; i < token_times_s.size(); ++i)
+                gaps.push_back(token_times_s[i] - token_times_s[i - 1]);
+        }
+        return gaps;
+    }
+
+    /** Mean inter-token latency (0 when fewer than two tokens). */
+    double avgItlSeconds() const
+    {
+        const auto gaps = interTokenGaps();
+        if (gaps.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double g : gaps)
+            s += g;
+        return s / static_cast<double>(gaps.size());
+    }
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SERVE_REQUEST_STATE_HPP

@@ -102,6 +102,25 @@ struct ExecutionContext
     double head_prune_ratio = 0;  ///< This layer's cascade head ratio.
 
     /**
+     * Reset the per-pass dynamic state in place so one context instance
+     * is reused across every summarization/decode step of a request
+     * (rather than rebuilt per step): the pass enters with
+     * @p context_len alive tokens, the full head complement, and layer 0.
+     * Static shape, plane state, and policy mirrors are untouched, so a
+     * decode step can re-enter the graph with the cascade-pruned KV
+     * length its predecessor left behind.
+     */
+    void beginPass(std::size_t pass_q, std::size_t context_len,
+                   bool generation_pass)
+    {
+        pass_queries = pass_q;
+        alive_tokens = context_len;
+        alive_heads = num_heads_total;
+        generation = generation_pass;
+        layer = 0;
+    }
+
+    /**
      * Refresh the per-layer derived state: cascade pruning caps the
      * effective query rows at the surviving context, and local value
      * pruning picks the V rows kept for this layer.

@@ -1,5 +1,8 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.hpp"
 
 namespace spatten {
@@ -43,6 +46,16 @@ StatSet::toString() const
     for (const auto& [name, value] : stats_)
         out += strfmt("%-40s = %.6g\n", name.c_str(), value);
     return out;
+}
+
+double
+sortedQuantile(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(std::llround(rank))];
 }
 
 } // namespace spatten

@@ -43,6 +43,13 @@ class StatSet
     std::map<std::string, double> stats_;
 };
 
+/**
+ * Nearest-rank quantile of an ascending-sorted sample vector (the
+ * single definition of the rounding rule behind every p50/p99 the
+ * serving layer reports). Returns 0 for an empty sample.
+ */
+double sortedQuantile(const std::vector<double>& sorted, double q);
+
 } // namespace spatten
 
 #endif // SPATTEN_SIM_STATS_HPP

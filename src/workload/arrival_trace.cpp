@@ -1,0 +1,51 @@
+#include "workload/arrival_trace.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+std::vector<TracedRequest>
+generatePoissonTrace(const ArrivalTraceConfig& cfg)
+{
+    SPATTEN_ASSERT(cfg.mean_interarrival_s > 0, "bad interarrival mean");
+    SPATTEN_ASSERT(cfg.min_prompt >= 1 && cfg.min_prompt <= cfg.max_prompt,
+                   "bad prompt bounds [%zu, %zu]", cfg.min_prompt,
+                   cfg.max_prompt);
+    SPATTEN_ASSERT(cfg.min_output <= cfg.max_output,
+                   "bad output bounds [%zu, %zu]", cfg.min_output,
+                   cfg.max_output);
+
+    Prng prng(cfg.seed);
+    std::vector<TracedRequest> trace;
+    trace.reserve(cfg.num_requests);
+    double t = 0.0;
+    for (std::size_t i = 0; i < cfg.num_requests; ++i) {
+        // Exponential gap via inverse transform; 1-u keeps the argument
+        // of log strictly positive (uniform() is in [0, 1)).
+        t += -std::log(1.0 - prng.uniform()) * cfg.mean_interarrival_s;
+        const std::size_t prompt =
+            cfg.min_prompt +
+            prng.below(cfg.max_prompt - cfg.min_prompt + 1);
+        const std::size_t output =
+            cfg.min_output +
+            prng.below(cfg.max_output - cfg.min_output + 1);
+
+        TracedRequest req;
+        req.id = i;
+        req.arrival_s = t;
+        req.workload.name = "trace-" + std::to_string(i) + "-p" +
+                            std::to_string(prompt) + "-g" +
+                            std::to_string(output);
+        req.workload.model = cfg.model;
+        req.workload.summarize_len = prompt;
+        req.workload.generate_len = output;
+        req.policy = cfg.policy;
+        req.seed = prng();
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+} // namespace spatten

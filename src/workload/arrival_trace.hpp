@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Seeded arrival traces for the continuous-batching serving model.
+ *
+ * A trace is the demand side of a serving experiment: requests arriving
+ * over simulated time (Poisson process — i.i.d. exponential interarrival
+ * gaps), each with a prompt length and an output length drawn from
+ * seeded uniform distributions over a shared model/policy template. The
+ * trace is a pure function of its config (including the seed), so every
+ * scheduler experiment replays the exact same demand — the determinism
+ * anchor the property tests and BENCH_serving.json trajectories rely on.
+ */
+#ifndef SPATTEN_WORKLOAD_ARRIVAL_TRACE_HPP
+#define SPATTEN_WORKLOAD_ARRIVAL_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/model_spec.hpp"
+
+namespace spatten {
+
+/** One request of an arrival trace. */
+struct TracedRequest
+{
+    std::size_t id = 0;      ///< Position in the trace (stable identity).
+    double arrival_s = 0;    ///< Simulated arrival time.
+    WorkloadSpec workload;   ///< Prompt/output shape of this request.
+    PruningPolicy policy;
+    std::uint64_t seed = kDefaultRequestSeed; ///< Per-request PRNG seed.
+};
+
+/** Distribution parameters of a synthetic Poisson trace. */
+struct ArrivalTraceConfig
+{
+    std::size_t num_requests = 64;
+    /// Mean interarrival gap of the Poisson process (rate = 1/mean).
+    double mean_interarrival_s = 1e-3;
+    std::uint64_t seed = kDefaultRequestSeed;
+    ModelSpec model = ModelSpec::gpt2Small();
+    PruningPolicy policy;         ///< Applied to every request.
+    std::size_t min_prompt = 64;  ///< Uniform prompt-length bounds.
+    std::size_t max_prompt = 384;
+    std::size_t min_output = 4;   ///< Uniform output-length bounds.
+    std::size_t max_output = 32;
+};
+
+/**
+ * Generate a Poisson arrival trace: arrival times are the running sum of
+ * exponential gaps, prompt and output lengths are uniform draws, and
+ * each request gets a distinct derived seed. Deterministic: the same
+ * config yields a bit-identical trace. Arrivals are non-decreasing and
+ * ids run 0..n-1 in arrival order.
+ */
+std::vector<TracedRequest> generatePoissonTrace(
+    const ArrivalTraceConfig& cfg);
+
+} // namespace spatten
+
+#endif // SPATTEN_WORKLOAD_ARRIVAL_TRACE_HPP

@@ -4,6 +4,8 @@
 /// stage graph are pinned at the old monolith's values (no regression).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "accel/spatten_accelerator.hpp"
 #include "serve/batch_runner.hpp"
 #include "workload/benchmarks.hpp"
@@ -121,6 +123,39 @@ TEST(BatchRunner, EmptyBatchAndFacade)
                                          2);
     ASSERT_EQ(r.results.size(), 1u);
     EXPECT_GT(r.results.front().seconds, 0.0);
+}
+
+// throughputRps once divided by the *sum* of per-request latencies,
+// which under-reports concurrent service: two equal requests served in
+// parallel are 2/latency, not 1/latency. It is now makespan-based.
+TEST(BatchRunner, ThroughputIsMakespanBasedNotLatencySumBased)
+{
+    const BatchRequest req{gptWorkload(256, 4), fullPolicy(), 1};
+    const BatchResult r =
+        BatchRunner(SpAttenConfig{}, {2}).run({req, req});
+    ASSERT_EQ(r.results.size(), 2u);
+    // Identical requests: identical latencies, so the concurrent batch
+    // completes in one request latency.
+    ASSERT_EQ(r.results[0].seconds, r.results[1].seconds);
+    EXPECT_DOUBLE_EQ(r.makespan_seconds, r.results[0].seconds);
+    EXPECT_DOUBLE_EQ(r.throughputRps(), 2.0 / r.results[0].seconds);
+    // The old sum-based definition (size / total_seconds) would have
+    // reported exactly half of this.
+    EXPECT_DOUBLE_EQ(r.total_seconds, 2.0 * r.results[0].seconds);
+    EXPECT_GT(r.throughputRps(),
+              1.9 * static_cast<double>(r.results.size()) /
+                  r.total_seconds);
+}
+
+TEST(BatchRunner, MakespanIsSlowestRequestLatency)
+{
+    const BatchResult r =
+        BatchRunner(SpAttenConfig{}, {4}).run(mixedBatch());
+    double slowest = 0.0;
+    for (const auto& res : r.results)
+        slowest = std::max(slowest, res.seconds);
+    EXPECT_DOUBLE_EQ(r.makespan_seconds, slowest);
+    EXPECT_LT(r.makespan_seconds, r.total_seconds);
 }
 
 // Values measured on the pre-refactor monolithic SpAttenPipeline::run()

@@ -1,0 +1,491 @@
+/// Property tests for the continuous-batching serving stack: arrival
+/// traces, DecodeSession KV-carry semantics, the scheduler's determinism
+/// contract (thread-count and shard-count bit-identity), FIFO fairness,
+/// bounded queue delay, and metric coherence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/decode_session.hpp"
+#include "accel/spatten_accelerator.hpp"
+#include "serve/continuous_batch_scheduler.hpp"
+
+namespace spatten {
+namespace {
+
+/// A small 4-layer model keeps each scheduler run to a few milliseconds
+/// of host time while exercising every code path.
+ModelSpec
+tinyModel()
+{
+    return {"tiny", 4, 4, 64, 4};
+}
+
+ArrivalTraceConfig
+tinyTraceConfig(std::size_t n = 16, std::uint64_t seed = 0x5eed)
+{
+    ArrivalTraceConfig tc;
+    tc.num_requests = n;
+    tc.mean_interarrival_s = 0.2e-3;
+    tc.seed = seed;
+    tc.model = tinyModel();
+    tc.min_prompt = 48;
+    tc.max_prompt = 160;
+    tc.min_output = 2;
+    tc.max_output = 8;
+    return tc;
+}
+
+ServeReport
+serve(const std::vector<TracedRequest>& trace, ContinuousBatchConfig sc)
+{
+    return ContinuousBatchScheduler(SpAttenConfig{}, sc).run(trace);
+}
+
+/// Per-request *service* state (placement-independent by contract).
+void
+expectSameService(const ServedRequest& a, const ServedRequest& b)
+{
+    EXPECT_EQ(a.sim.cycles, b.sim.cycles);
+    EXPECT_EQ(a.sim.seconds, b.sim.seconds);
+    EXPECT_EQ(a.sim.dram_bytes, b.sim.dram_bytes);
+    EXPECT_EQ(a.sim.attention_flops, b.sim.attention_flops);
+    EXPECT_EQ(a.sim.energy.totalJ(), b.sim.energy.totalJ());
+    EXPECT_EQ(a.service_seconds, b.service_seconds);
+    EXPECT_EQ(a.kv_trace, b.kv_trace);
+    EXPECT_EQ(a.tokens, b.tokens);
+}
+
+// ---------------------------------------------------------------------
+// Arrival traces
+// ---------------------------------------------------------------------
+
+TEST(ArrivalTrace, DeterministicFromSeed)
+{
+    const auto a = generatePoissonTrace(tinyTraceConfig(32, 7));
+    const auto b = generatePoissonTrace(tinyTraceConfig(32, 7));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_EQ(a[i].workload.summarize_len, b[i].workload.summarize_len);
+        EXPECT_EQ(a[i].workload.generate_len, b[i].workload.generate_len);
+    }
+    const auto c = generatePoissonTrace(tinyTraceConfig(32, 8));
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].arrival_s != c[i].arrival_s;
+    EXPECT_TRUE(any_diff) << "different seeds must yield different traces";
+}
+
+TEST(ArrivalTrace, RespectsConfiguredBounds)
+{
+    const auto tc = tinyTraceConfig(64);
+    const auto trace = generatePoissonTrace(tc);
+    ASSERT_EQ(trace.size(), tc.num_requests);
+    double prev = 0.0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].id, i);
+        EXPECT_GE(trace[i].arrival_s, prev) << "arrivals must be sorted";
+        prev = trace[i].arrival_s;
+        EXPECT_GE(trace[i].workload.summarize_len, tc.min_prompt);
+        EXPECT_LE(trace[i].workload.summarize_len, tc.max_prompt);
+        EXPECT_GE(trace[i].workload.generate_len, tc.min_output);
+        EXPECT_LE(trace[i].workload.generate_len, tc.max_output);
+    }
+    EXPECT_GT(trace.front().arrival_s, 0.0);
+}
+
+TEST(ArrivalTrace, MeanInterarrivalMatchesPoissonRate)
+{
+    auto tc = tinyTraceConfig(512);
+    tc.mean_interarrival_s = 1e-3;
+    const auto trace = generatePoissonTrace(tc);
+    const double mean =
+        trace.back().arrival_s / static_cast<double>(trace.size());
+    // 512 exponential draws: the sample mean lands well within 20%.
+    EXPECT_GT(mean, 0.8e-3);
+    EXPECT_LT(mean, 1.25e-3);
+}
+
+// ---------------------------------------------------------------------
+// DecodeSession: cascade-pruned KV carried across decode steps
+// ---------------------------------------------------------------------
+
+TEST(DecodeSession, KvMonotoneNonIncreasingUnderCascadePruning)
+{
+    WorkloadSpec w;
+    w.name = "kv-monotone";
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 256;
+    w.generate_len = 16;
+    const SpAttenAccelerator accel;
+    const DecodeResult r = accel.runDecode(w, PruningPolicy{});
+    ASSERT_EQ(r.kv_lengths.size(), w.generate_len + 1);
+    EXPECT_LT(r.kv_lengths.front(), w.summarize_len)
+        << "prefill must prune the prompt KV";
+    for (std::size_t i = 1; i < r.kv_lengths.size(); ++i)
+        EXPECT_LE(r.kv_lengths[i], r.kv_lengths[i - 1])
+            << "KV must be non-increasing at step " << i;
+    EXPECT_GE(r.kv_lengths.back(), 1u);
+}
+
+TEST(DecodeSession, KvGrowsByExactlyOneWithoutPruning)
+{
+    WorkloadSpec w;
+    w.name = "kv-dense";
+    w.model = tinyModel();
+    w.summarize_len = 64;
+    w.generate_len = 6;
+    const SpAttenAccelerator accel;
+    const DecodeResult r = accel.runDecode(w, PruningPolicy::disabled());
+    ASSERT_EQ(r.kv_lengths.size(), w.generate_len + 1);
+    EXPECT_EQ(r.kv_lengths.front(), w.summarize_len);
+    for (std::size_t i = 1; i < r.kv_lengths.size(); ++i)
+        EXPECT_EQ(r.kv_lengths[i], r.kv_lengths[i - 1] + 1);
+}
+
+TEST(DecodeSession, LifecycleAndTokenAccounting)
+{
+    WorkloadSpec w;
+    w.model = tinyModel();
+    w.summarize_len = 48;
+    w.generate_len = 3;
+    DecodeSession s(SpAttenConfig{}, w, PruningPolicy{});
+    EXPECT_FALSE(s.prefilled());
+    EXPECT_FALSE(s.done());
+    EXPECT_GT(s.prefill(), 0.0);
+    EXPECT_TRUE(s.prefilled());
+    for (std::size_t t = 0; t < w.generate_len; ++t) {
+        EXPECT_FALSE(s.done());
+        EXPECT_GT(s.decodeStep(), 0.0);
+        EXPECT_EQ(s.tokensGenerated(), t + 1);
+    }
+    EXPECT_TRUE(s.done());
+    EXPECT_EQ(s.kvTrace().size(), w.generate_len + 1);
+    const RunResult res = s.finalize();
+    EXPECT_GT(res.seconds, 0.0);
+    EXPECT_GT(res.summarize_seconds, 0.0);
+    EXPECT_GT(res.generate_seconds, 0.0);
+    EXPECT_NEAR(res.seconds,
+                res.summarize_seconds + res.generate_seconds, 1e-15);
+}
+
+TEST(DecodeSession, ZeroTokenRequestIsDoneAtPrefill)
+{
+    WorkloadSpec w;
+    w.model = tinyModel();
+    w.summarize_len = 48;
+    w.generate_len = 0;
+    DecodeSession s(SpAttenConfig{}, w, PruningPolicy{});
+    s.prefill();
+    EXPECT_TRUE(s.done());
+    EXPECT_EQ(s.tokensGenerated(), 0u);
+}
+
+TEST(DecodeSession, SkipSummarizationEntersDecodeWithFullPromptKv)
+{
+    WorkloadSpec w;
+    w.model = tinyModel();
+    w.summarize_len = 96;
+    w.generate_len = 4;
+    w.skip_summarization = true;
+    DecodeSession s(SpAttenConfig{}, w, PruningPolicy{});
+    EXPECT_EQ(s.prefill(), 0.0) << "pre-summarized prompts cost nothing";
+    EXPECT_EQ(s.kvLength(), w.summarize_len);
+    EXPECT_GT(s.decodeStep(), 0.0);
+    EXPECT_LT(s.kvLength(), w.summarize_len + 1);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler determinism
+// ---------------------------------------------------------------------
+
+TEST(ContinuousScheduler, BitIdenticalAcrossThreadCounts)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(20));
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 2;
+    sc.max_active = 4;
+    sc.num_threads = 1;
+    const ServeReport ref = serve(trace, sc);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        sc.num_threads = threads;
+        const ServeReport r = serve(trace, sc);
+        ASSERT_EQ(r.requests.size(), ref.requests.size());
+        for (std::size_t i = 0; i < r.requests.size(); ++i) {
+            expectSameService(r.requests[i], ref.requests[i]);
+            EXPECT_EQ(r.requests[i].admit_s, ref.requests[i].admit_s)
+                << "request " << i << " at " << threads << " threads";
+            EXPECT_EQ(r.requests[i].first_token_s,
+                      ref.requests[i].first_token_s);
+            EXPECT_EQ(r.requests[i].finish_s, ref.requests[i].finish_s);
+            EXPECT_EQ(r.requests[i].token_times_s,
+                      ref.requests[i].token_times_s);
+            EXPECT_EQ(r.requests[i].accel, ref.requests[i].accel);
+        }
+        EXPECT_EQ(r.makespan_s, ref.makespan_s);
+        EXPECT_EQ(r.ttft_p99_s, ref.ttft_p99_s);
+        EXPECT_EQ(r.itl_p99_s, ref.itl_p99_s);
+        EXPECT_EQ(r.goodput_rps, ref.goodput_rps);
+    }
+}
+
+TEST(ContinuousScheduler, ServiceResultsBitIdenticalAcrossShardCounts)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(20));
+    ContinuousBatchConfig sc;
+    const ServeReport one = serve(trace, sc);
+    for (const std::size_t accels : {2u, 4u}) {
+        for (const ShardPolicy policy :
+             {ShardPolicy::RoundRobin, ShardPolicy::LeastLoaded}) {
+            sc.num_accelerators = accels;
+            sc.shard = policy;
+            const ServeReport r = serve(trace, sc);
+            for (std::size_t i = 0; i < r.requests.size(); ++i)
+                expectSameService(r.requests[i], one.requests[i]);
+        }
+    }
+}
+
+TEST(ContinuousScheduler, RepeatedRunsAreIdentical)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(12));
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 3;
+    const ServeReport a = serve(trace, sc);
+    const ServeReport b = serve(trace, sc);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+    for (std::size_t i = 0; i < a.requests.size(); ++i)
+        EXPECT_EQ(a.requests[i].finish_s, b.requests[i].finish_s);
+}
+
+// ---------------------------------------------------------------------
+// Sharding and fairness
+// ---------------------------------------------------------------------
+
+TEST(ContinuousScheduler, RoundRobinPinsRequestsModulo)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(16));
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 4;
+    sc.shard = ShardPolicy::RoundRobin;
+    const ServeReport r = serve(trace, sc);
+    // The trace arrives in id order, so arrival position == id.
+    for (std::size_t i = 0; i < r.requests.size(); ++i)
+        EXPECT_EQ(r.requests[i].accel, static_cast<int>(i % 4));
+}
+
+TEST(ContinuousScheduler, LeastLoadedAdmitsInFifoArrivalOrder)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(24));
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 3;
+    sc.max_active = 2;
+    sc.shard = ShardPolicy::LeastLoaded;
+    const ServeReport r = serve(trace, sc);
+    for (std::size_t i = 1; i < r.requests.size(); ++i)
+        EXPECT_GE(r.requests[i].admit_s, r.requests[i - 1].admit_s)
+            << "equal-priority FIFO: admission must follow arrival order";
+}
+
+TEST(ContinuousScheduler, NoRequestStarvedBeyondBoundedQueueDelay)
+{
+    // Saturating trace: tight arrivals on one accelerator with a narrow
+    // batch, the worst case for queueing.
+    auto tc = tinyTraceConfig(24);
+    tc.mean_interarrival_s = 1e-6;
+    const auto trace = generatePoissonTrace(tc);
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 1;
+    sc.max_active = 2;
+    sc.shard = ShardPolicy::LeastLoaded;
+    const ServeReport r = serve(trace, sc);
+    for (std::size_t i = 0; i < r.requests.size(); ++i) {
+        const ServedRequest& req = r.requests[i];
+        ASSERT_EQ(req.phase, RequestPhase::Finished);
+        // FIFO bound: a request waits at most for the full service of
+        // everything that arrived before it (single-accelerator worst
+        // case; pooling only shrinks the wait).
+        double earlier_service = 0.0;
+        for (std::size_t j = 0; j < r.requests.size(); ++j)
+            if (r.requests[j].arrival_s <= req.arrival_s && j != i)
+                earlier_service += r.requests[j].service_seconds;
+        EXPECT_LE(req.queueDelaySeconds(), earlier_service + 1e-12)
+            << "request " << i << " starved";
+    }
+}
+
+TEST(ContinuousScheduler, MaxActiveBoundsConcurrency)
+{
+    auto tc = tinyTraceConfig(16);
+    tc.mean_interarrival_s = 1e-6; // everyone arrives ~at once
+    const auto trace = generatePoissonTrace(tc);
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 2;
+    sc.max_active = 3;
+    const ServeReport r = serve(trace, sc);
+    for (const ServedRequest& req : r.requests) {
+        // Requests concurrently resident with req on its accelerator:
+        // admitted no later, not yet finished at req's admission.
+        std::size_t resident = 0;
+        for (const ServedRequest& other : r.requests)
+            if (other.accel == req.accel &&
+                other.admit_s <= req.admit_s &&
+                other.finish_s > req.admit_s)
+                ++resident;
+        EXPECT_LE(resident, sc.max_active);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle and metrics
+// ---------------------------------------------------------------------
+
+TEST(ContinuousScheduler, TimestampsRespectLifecycleOrder)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(16));
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 2;
+    const ServeReport r = serve(trace, sc);
+    for (const ServedRequest& req : r.requests) {
+        EXPECT_GE(req.admit_s, req.arrival_s);
+        EXPECT_GT(req.first_token_s, req.admit_s);
+        EXPECT_GE(req.finish_s, req.first_token_s);
+        EXPECT_GE(req.queueDelaySeconds(), 0.0);
+        EXPECT_GT(req.ttftSeconds(), 0.0);
+    }
+}
+
+TEST(ContinuousScheduler, TokensMatchTraceAndIncreaseMonotonically)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(12));
+    const ServeReport r = serve(trace, ContinuousBatchConfig{});
+    std::size_t expected_total = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const ServedRequest& req = r.requests[i];
+        EXPECT_EQ(req.tokens, trace[i].workload.generate_len);
+        ASSERT_EQ(req.token_times_s.size(), req.tokens);
+        for (std::size_t t = 1; t < req.token_times_s.size(); ++t)
+            EXPECT_GT(req.token_times_s[t], req.token_times_s[t - 1]);
+        EXPECT_EQ(req.kv_trace.size(), req.tokens + 1);
+        expected_total += trace[i].workload.generate_len;
+    }
+    EXPECT_EQ(r.total_tokens, expected_total);
+}
+
+TEST(ContinuousScheduler, ZeroTokenRequestFinishesAtPrefill)
+{
+    TracedRequest req;
+    req.id = 0;
+    req.arrival_s = 1e-3;
+    req.workload.name = "bert-style";
+    req.workload.model = tinyModel();
+    req.workload.summarize_len = 64;
+    req.workload.generate_len = 0;
+    const ServeReport r = serve({req}, ContinuousBatchConfig{});
+    ASSERT_EQ(r.requests.size(), 1u);
+    const ServedRequest& s = r.requests.front();
+    EXPECT_EQ(s.phase, RequestPhase::Finished);
+    EXPECT_EQ(s.tokens, 0u);
+    EXPECT_EQ(s.first_token_s, s.finish_s);
+    EXPECT_GT(s.finish_s, req.arrival_s);
+}
+
+TEST(ContinuousScheduler, MetricsAreCoherent)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(20));
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 2;
+    const ServeReport r = serve(trace, sc);
+    EXPECT_LE(r.ttft_p50_s, r.ttft_p99_s);
+    EXPECT_LE(r.itl_p50_s, r.itl_p99_s);
+    EXPECT_GT(r.throughput_rps, 0.0);
+    EXPECT_GT(r.tokens_per_s, 0.0);
+    EXPECT_GT(r.dram_reduction, 1.0);
+    double max_finish = 0.0, service_sum = 0.0;
+    std::vector<double> busy(r.accel_busy_s.size(), 0.0);
+    for (const ServedRequest& req : r.requests) {
+        max_finish = std::max(max_finish, req.finish_s);
+        service_sum += req.service_seconds;
+        ASSERT_GE(req.accel, 0);
+        busy[static_cast<std::size_t>(req.accel)] += req.service_seconds;
+    }
+    EXPECT_EQ(r.makespan_s, max_finish);
+    for (std::size_t a = 0; a < busy.size(); ++a) {
+        EXPECT_NEAR(r.accel_busy_s[a], busy[a], 1e-12);
+        EXPECT_GE(r.accel_util[a], 0.0);
+        EXPECT_LE(r.accel_util[a], 1.0 + 1e-12);
+    }
+    std::size_t assigned = 0;
+    for (std::size_t c : r.accel_requests)
+        assigned += c;
+    EXPECT_EQ(assigned, trace.size());
+}
+
+TEST(ContinuousScheduler, GoodputCountsOnlySloMeetingRequests)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(12));
+    ContinuousBatchConfig sc;
+    sc.slo_ttft_s = 1e9; // Everything meets a generous SLO.
+    sc.slo_itl_s = 1e9;
+    const ServeReport generous = serve(trace, sc);
+    EXPECT_EQ(generous.slo_met, trace.size());
+    EXPECT_DOUBLE_EQ(generous.goodput_rps, generous.throughput_rps);
+
+    sc.slo_ttft_s = 0.0; // Nothing meets an impossible SLO.
+    sc.slo_itl_s = 0.0;
+    const ServeReport impossible = serve(trace, sc);
+    EXPECT_EQ(impossible.slo_met, 0u);
+    EXPECT_EQ(impossible.goodput_rps, 0.0);
+}
+
+TEST(ContinuousScheduler, EmptyTraceYieldsEmptyReport)
+{
+    const ServeReport r = serve({}, ContinuousBatchConfig{});
+    EXPECT_TRUE(r.requests.empty());
+    EXPECT_EQ(r.makespan_s, 0.0);
+    EXPECT_EQ(r.throughput_rps, 0.0);
+    EXPECT_EQ(r.total_tokens, 0u);
+}
+
+TEST(ContinuousScheduler, SingleIdleRequestMatchesRunDecodeFacade)
+{
+    WorkloadSpec w;
+    w.name = "solo";
+    w.model = tinyModel();
+    w.summarize_len = 96;
+    w.generate_len = 5;
+    const std::uint64_t seed = 42;
+
+    const SpAttenAccelerator accel;
+    const DecodeResult direct = accel.runDecode(w, PruningPolicy{}, seed);
+
+    TracedRequest req;
+    req.id = 0;
+    req.arrival_s = 0.5e-3;
+    req.workload = w;
+    req.seed = seed;
+    const ServeReport r = serve({req}, ContinuousBatchConfig{});
+    ASSERT_EQ(r.requests.size(), 1u);
+    const ServedRequest& s = r.requests.front();
+
+    // An idle accelerator adds no queueing: the scheduler's per-request
+    // result must be the facade's, bit for bit, shifted by the arrival.
+    EXPECT_EQ(s.sim.cycles, direct.result.cycles);
+    EXPECT_EQ(s.sim.seconds, direct.result.seconds);
+    EXPECT_EQ(s.sim.energy.totalJ(), direct.result.energy.totalJ());
+    EXPECT_EQ(s.kv_trace, direct.kv_lengths);
+    EXPECT_EQ(s.admit_s, req.arrival_s);
+    EXPECT_NEAR(s.first_token_s,
+                req.arrival_s + direct.prefill_seconds +
+                    direct.step_seconds.front(),
+                1e-12);
+    EXPECT_NEAR(s.finish_s, req.arrival_s + direct.result.seconds, 1e-12);
+    EXPECT_NEAR(s.service_seconds, direct.result.seconds, 1e-15);
+}
+
+} // namespace
+} // namespace spatten

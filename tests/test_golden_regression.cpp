@@ -1,0 +1,242 @@
+/// Golden regression suite: six named workload x policy combos with
+/// cycles / DRAM-reduction / energy pinned against checked-in golden
+/// values, so any change to the timing, traffic, or energy model is a
+/// conscious decision, never an accident.
+///
+/// Re-baselining intentionally:
+///   SPATTEN_GOLDEN_DUMP=1 ./test_golden_regression
+/// prints a fresh `kGoldens` table; paste it over the one below.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "accel/decode_session.hpp"
+#include "accel/spatten_accelerator.hpp"
+#include "serve/batch_runner.hpp"
+
+namespace spatten {
+namespace {
+
+struct Metrics
+{
+    double cycles = 0;         ///< Simulated core cycles (summed for batches).
+    double dram_reduction = 1; ///< Dense fp32 bytes / fetched bytes.
+    double energy_j = 0;       ///< Total energy (summed for batches).
+};
+
+struct Golden
+{
+    const char* name;
+    double cycles;
+    double dram_reduction;
+    double energy_j;
+};
+
+// Measured on the current model (see file header for the re-baseline
+// recipe). Workload x policy combos cover the paper's main scenarios:
+// discriminative prefill, generative decode with carried pruned KV,
+// BERT, MemNet-style memory hops, beam search, and batched serving.
+constexpr Golden kGoldens[] = {
+    {"gpt2-prefill", 2553202, 3.9037407672146771, 0.0067539634951},
+    {"gpt2-decode", 713571, 36.482948854267796, 0.0019153460735400014},
+    {"bert", 1439268, 3.9021911718005717, 0.0038977779987000001},
+    {"memnet", 965, 2.8985507246376812, 2.1028826000000002e-06},
+    {"beam-search", 318336, 6.6982921781093312, 0.0026592823845695999},
+    {"batch-of-8", 6279128, 3.6367933481243346, 0.023001340760403201},
+};
+
+Metrics
+fromRun(const RunResult& r)
+{
+    return {static_cast<double>(r.cycles), r.dramReduction(),
+            r.energy.totalJ()};
+}
+
+Metrics
+fromBatch(const BatchResult& b)
+{
+    Metrics m;
+    for (const RunResult& r : b.results) {
+        m.cycles += static_cast<double>(r.cycles);
+        m.energy_j += r.energy.totalJ();
+    }
+    m.dram_reduction = b.dram_reduction;
+    return m;
+}
+
+/// GPT-2 Small prefill over a 512-token prompt, full SpAtten policy.
+Metrics
+runGpt2Prefill()
+{
+    WorkloadSpec w;
+    w.name = "gpt2-prefill";
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 512;
+    SpAttenAccelerator accel;
+    return fromRun(accel.run(w, PruningPolicy{}));
+}
+
+/// GPT-2 Small token-by-token decode (256 + 16) through a DecodeSession:
+/// every generated token re-enters the graph with the cascade-pruned KV.
+Metrics
+runGpt2Decode()
+{
+    WorkloadSpec w;
+    w.name = "gpt2-decode";
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 256;
+    w.generate_len = 16;
+    const SpAttenAccelerator accel;
+    return fromRun(accel.runDecode(w, PruningPolicy{}).result);
+}
+
+/// BERT-Base over a 384-token input (SQuAD-length), full policy.
+Metrics
+runBert()
+{
+    WorkloadSpec w;
+    w.name = "bert";
+    w.model = ModelSpec::bertBase();
+    w.summarize_len = 384;
+    SpAttenAccelerator accel;
+    return fromRun(accel.run(w, PruningPolicy{}));
+}
+
+/// MemNet-style shape (3 hops x 1 head over 50 memory slots) with
+/// aggressive cumulative token pruning between hops (paper SVI).
+Metrics
+runMemnet()
+{
+    WorkloadSpec w;
+    w.name = "memnet";
+    w.model = {"memnet", 3, 1, 32, 4};
+    w.summarize_len = 50;
+    PruningPolicy p = PruningPolicy::disabled();
+    p.token_pruning = true;
+    p.token_avg_ratio = 0.5;
+    SpAttenAccelerator accel;
+    return fromRun(accel.run(w, p));
+}
+
+/// Beam search (width 4): four decode streams over a shared
+/// pre-summarized 192-token prompt — pruned prompt KV is shared and
+/// skipped by every beam (paper SV-B).
+Metrics
+runBeamSearch()
+{
+    WorkloadSpec w;
+    w.name = "beam-search";
+    w.model = ModelSpec::gpt2Small();
+    w.summarize_len = 192;
+    w.generate_len = 8;
+    w.skip_summarization = true;
+    std::vector<BatchRequest> beams;
+    for (std::uint64_t b = 0; b < 4; ++b)
+        beams.push_back({w, PruningPolicy{}, b + 1});
+    return fromBatch(BatchRunner(SpAttenConfig{}, {1}).run(beams));
+}
+
+/// A batch of 8 mixed requests (BERT + GPT-2, pruned and dense) through
+/// the BatchRunner, single-threaded for a stable service order.
+Metrics
+runBatchOf8()
+{
+    WorkloadSpec bert;
+    bert.name = "bert-b8";
+    bert.model = ModelSpec::bertBase();
+    bert.summarize_len = 192;
+    WorkloadSpec gpt;
+    gpt.name = "gpt2-b8";
+    gpt.model = ModelSpec::gpt2Small();
+    gpt.summarize_len = 256;
+    gpt.generate_len = 8;
+    std::vector<BatchRequest> batch;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        batch.push_back({bert, i % 2 ? PruningPolicy{}
+                                     : PruningPolicy::disabled(),
+                         i + 1});
+        batch.push_back({gpt, i % 2 ? PruningPolicy::disabled()
+                                    : PruningPolicy{},
+                         i + 100});
+    }
+    return fromBatch(BatchRunner(SpAttenConfig{}, {1}).run(batch));
+}
+
+Metrics
+runCombo(const std::string& name)
+{
+    if (name == "gpt2-prefill")
+        return runGpt2Prefill();
+    if (name == "gpt2-decode")
+        return runGpt2Decode();
+    if (name == "bert")
+        return runBert();
+    if (name == "memnet")
+        return runMemnet();
+    if (name == "beam-search")
+        return runBeamSearch();
+    if (name == "batch-of-8")
+        return runBatchOf8();
+    ADD_FAILURE() << "unknown combo " << name;
+    return {};
+}
+
+const Golden&
+findGolden(const std::string& name)
+{
+    for (const Golden& g : kGoldens)
+        if (name == g.name)
+            return g;
+    static Golden none{"", 0, 0, 0};
+    ADD_FAILURE() << "no golden entry for " << name;
+    return none;
+}
+
+/// One-line re-baseline recipe appended to every failure message.
+#define GOLDEN_RECIPE                                                     \
+    "  [to re-baseline intentionally: SPATTEN_GOLDEN_DUMP=1 "             \
+    "./test_golden_regression and paste the printed table over "          \
+    "kGoldens in tests/test_golden_regression.cpp]"
+
+void
+checkCombo(const std::string& name)
+{
+    const Metrics m = runCombo(name);
+    if (std::getenv("SPATTEN_GOLDEN_DUMP") != nullptr) {
+        std::printf("    {\"%s\", %.0f, %.17g, %.17g},\n", name.c_str(),
+                    m.cycles, m.dram_reduction, m.energy_j);
+        GTEST_SKIP() << "dump mode: golden line printed, nothing checked";
+    }
+    const Golden& g = findGolden(name);
+    EXPECT_EQ(m.cycles, g.cycles)
+        << name << " cycles drifted from golden" << GOLDEN_RECIPE;
+    EXPECT_NEAR(m.dram_reduction, g.dram_reduction,
+                1e-6 * g.dram_reduction)
+        << name << " DRAM reduction drifted from golden" << GOLDEN_RECIPE;
+    EXPECT_NEAR(m.energy_j, g.energy_j, 1e-6 * g.energy_j)
+        << name << " energy drifted from golden" << GOLDEN_RECIPE;
+}
+
+TEST(GoldenRegression, Gpt2Prefill) { checkCombo("gpt2-prefill"); }
+TEST(GoldenRegression, Gpt2Decode) { checkCombo("gpt2-decode"); }
+TEST(GoldenRegression, Bert) { checkCombo("bert"); }
+TEST(GoldenRegression, Memnet) { checkCombo("memnet"); }
+TEST(GoldenRegression, BeamSearch) { checkCombo("beam-search"); }
+TEST(GoldenRegression, BatchOf8) { checkCombo("batch-of-8"); }
+
+// The goldens are only trustworthy if a combo is a pure function: two
+// evaluations in one process must agree bit for bit.
+TEST(GoldenRegression, CombosAreDeterministic)
+{
+    for (const Golden& g : kGoldens) {
+        const Metrics a = runCombo(g.name);
+        const Metrics b = runCombo(g.name);
+        EXPECT_EQ(a.cycles, b.cycles) << g.name;
+        EXPECT_EQ(a.dram_reduction, b.dram_reduction) << g.name;
+        EXPECT_EQ(a.energy_j, b.energy_j) << g.name;
+    }
+}
+
+} // namespace
+} // namespace spatten

@@ -29,7 +29,10 @@ TEST(Benchmarks, NamesUnique)
 
 TEST(Benchmarks, BertConfigsCorrect)
 {
-    const auto& b = findBenchmark(paperBenchmarks(), "bert-large-sst-2");
+    // Bind the list first: findBenchmark returns a reference into it,
+    // which would dangle past a temporary (caught by the ASan CI job).
+    const auto all = paperBenchmarks();
+    const auto& b = findBenchmark(all, "bert-large-sst-2");
     EXPECT_EQ(b.workload.model.num_layers, 24u);
     EXPECT_EQ(b.workload.model.num_heads, 16u);
     EXPECT_EQ(b.workload.generate_len, 0u);
@@ -39,7 +42,8 @@ TEST(Benchmarks, BertConfigsCorrect)
 
 TEST(Benchmarks, GptConfigsCorrect)
 {
-    const auto& g = findBenchmark(paperBenchmarks(), "gpt2-small-ptb");
+    const auto all = paperBenchmarks();
+    const auto& g = findBenchmark(all, "gpt2-small-ptb");
     EXPECT_EQ(g.workload.summarize_len, 992u);
     EXPECT_EQ(g.workload.generate_len, 32u);
     EXPECT_TRUE(g.generative);
