@@ -37,6 +37,13 @@ struct DecodeResult
     std::vector<double> step_seconds;      ///< One entry per generated token.
     std::vector<std::size_t> kv_lengths;   ///< KV survivors after prefill
                                            ///< and after each decode step.
+    std::size_t peak_kv_bytes = 0; ///< Largest resident KV cache across
+                                   ///< the loop: the un-pruned prompt KV
+                                   ///< held during prefill and each
+                                   ///< decode pass's pre-prune transient
+                                   ///< (carried KV + 1 token) — what a
+                                   ///< serving-layer KvPool charges,
+                                   ///< before block rounding.
 };
 
 /** One in-flight generative request on one simulated accelerator. */
@@ -80,6 +87,20 @@ class DecodeSession
 
     /** Current cascade-pruned KV length (survivors of the last pass). */
     std::size_t kvLength() const { return kv_len_; }
+
+    /** Bytes one token of this session's KV cache occupies. */
+    std::size_t kvBytesPerToken() const
+    {
+        return spatten::kvBytesPerToken(workload_.model);
+    }
+
+    /**
+     * Resident KV-cache bytes right now (cascade-pruned length x bytes
+     * per token), before any allocator block rounding. Introspection
+     * only: a serving-layer KvPool accounts in token counts and applies
+     * its own block rounding via KvPool::bytesForTokens.
+     */
+    std::size_t kvBytes() const { return kv_len_ * kvBytesPerToken(); }
 
     std::size_t tokensGenerated() const { return tokens_; }
     std::size_t tokensTotal() const { return workload_.generate_len; }

@@ -1,5 +1,7 @@
 #include "accel/spatten_accelerator.hpp"
 
+#include <algorithm>
+
 #include "accel/decode_session.hpp"
 #include "common/logging.hpp"
 #include "serve/batch_runner.hpp"
@@ -33,11 +35,22 @@ SpAttenAccelerator::runDecode(const WorkloadSpec& workload,
 {
     DecodeSession session(cfg_, workload, policy, request_seed);
     DecodeResult out;
+    // The full prompt KV is resident through prefill (pruning only
+    // shrinks it afterwards), so the peak starts there.
+    out.peak_kv_bytes =
+        workload.summarize_len * session.kvBytesPerToken();
     out.prefill_seconds = session.prefill();
     out.kv_lengths.push_back(session.kvLength());
     while (!session.done()) {
+        // Each pass holds the carried KV plus the new token before
+        // pruning — the same pre-prune transient a serving-layer
+        // KvPool reserves for the step.
+        const std::size_t transient_tokens = session.kvLength() + 1;
         out.step_seconds.push_back(session.decodeStep());
         out.kv_lengths.push_back(session.kvLength());
+        out.peak_kv_bytes =
+            std::max(out.peak_kv_bytes,
+                     transient_tokens * session.kvBytesPerToken());
     }
     out.result = session.finalize();
     return out;

@@ -66,6 +66,21 @@ ModelSpec::gpt2Medium()
     return {"gpt2-medium", 24, 16, 64, 4};
 }
 
+/**
+ * Bytes one token's K and V vectors occupy across all layers of
+ * @p model at @p bytes_per_elem storage width (2 = the fp16-equivalent
+ * layout the fetcher streams quantized planes out of). The single
+ * definition behind every KV-capacity computation: DecodeSession's
+ * resident-size reporting and the serving layer's KvPool both call it.
+ */
+inline std::size_t
+kvBytesPerToken(const ModelSpec& model, std::size_t bytes_per_elem = 2)
+{
+    // One K row and one V row of d_head elements per head, per layer.
+    return 2 * model.num_layers * model.num_heads * model.d_head *
+           bytes_per_elem;
+}
+
 /** One benchmark instance: model shape + sequence lengths. */
 struct WorkloadSpec
 {

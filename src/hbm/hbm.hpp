@@ -42,6 +42,17 @@ struct HbmConfig
     /// gathers of this kind.
     double bus_efficiency = 0.72;
 
+    /// Total stack capacity in GiB (HBM2: 8 GiB across the 16 channels).
+    /// The serving layer's KV pool derives its byte budget from this.
+    double capacity_gb = 8.0;
+
+    /** Total stack capacity in bytes. */
+    std::uint64_t capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(capacity_gb *
+                                          (1024.0 * 1024.0 * 1024.0));
+    }
+
     // Energy constants (pJ), after O'Connor et al. fine-grained DRAM.
     double act_energy_pj = 909.0;    ///< Per row activation.
     double bit_energy_pj = 3.9;      ///< Per bit moved (array+IO).

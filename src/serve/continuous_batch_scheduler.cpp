@@ -22,6 +22,8 @@ namespace {
 struct ActiveSession
 {
     std::size_t idx = 0; ///< Position in the trace (report index).
+    std::uint64_t admit_seq = 0; ///< Global admission order (preemption
+                                 ///< tie-break: evict the latest).
     std::unique_ptr<DecodeSession> session;
 };
 
@@ -32,6 +34,9 @@ struct AccelState
     double busy_s = 0;  ///< Time spent serving (vs idle waiting).
     std::vector<ActiveSession> active; ///< In admission order.
     std::deque<std::size_t> queue;     ///< Round-robin private feed.
+    KvPool pool;                       ///< KV-capacity accounting.
+    double kv_weighted_bytes_s = 0; ///< Integral of occupancy over busy
+                                    ///< time (for the mean occupancy).
 };
 
 /** One session step to simulate this iteration. */
@@ -162,12 +167,31 @@ class StepPool
 
 } // namespace
 
+std::uint64_t
+kvBudgetForWorstRequest(const std::vector<TracedRequest>& trace,
+                        double headroom,
+                        const ContinuousBatchConfig& sched)
+{
+    const KvPool probe({0, sched.kv_block_tokens});
+    std::uint64_t worst = 0;
+    for (const TracedRequest& r : trace)
+        worst = std::max(worst, probe.bytesForTokens(
+                                    r.workload.model,
+                                    r.workload.summarize_len +
+                                        r.workload.generate_len));
+    return static_cast<std::uint64_t>(static_cast<double>(worst) *
+                                      headroom);
+}
+
 ContinuousBatchScheduler::ContinuousBatchScheduler(
     SpAttenConfig cfg, ContinuousBatchConfig sched)
     : cfg_(cfg), sched_(sched)
 {
     SPATTEN_ASSERT(sched_.num_accelerators >= 1, "empty accelerator pool");
     SPATTEN_ASSERT(sched_.max_active >= 1, "batch width must be >= 1");
+    SPATTEN_ASSERT(sched_.kv_block_tokens >= 1, "zero-token KV blocks");
+    if (sched_.kv_capacity_bytes == 0)
+        sched_.kv_capacity_bytes = cfg_.hbm.capacityBytes();
     if (sched_.num_threads == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         sched_.num_threads = hw > 0 ? hw : 1;
@@ -188,52 +212,195 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     rep.accel_busy_s.assign(num_accels, 0.0);
     rep.accel_util.assign(num_accels, 0.0);
     rep.accel_requests.assign(num_accels, 0);
+    rep.kv_capacity_bytes = sched_.kv_capacity_bytes;
+    rep.kv_peak_bytes.assign(num_accels, 0);
+    rep.kv_mean_bytes.assign(num_accels, 0.0);
     if (n == 0)
         return rep;
 
     for (std::size_t i = 0; i < n; ++i) {
         rep.requests[i].id = trace[i].id;
         rep.requests[i].arrival_s = trace[i].arrival_s;
+        rep.requests[i].priority = trace[i].priority;
     }
+
+    // When a request may next be admitted: its arrival until it is
+    // first admitted, then — after a preemption — its eviction time, so
+    // an idle accelerator with a lagging clock can never re-admit a
+    // victim in the simulated past (causality of the event loop).
+    std::vector<double> eligible(n);
+    for (std::size_t i = 0; i < n; ++i)
+        eligible[i] = trace[i].arrival_s;
+    // The single queue ordering: by (eligibility, id). Every feed queue
+    // keeps this sorted invariant — the initial fill is sorted and
+    // preemption re-inserts in order — so the head is always the
+    // earliest-eligible entry.
+    const auto queuedBefore = [&](std::size_t a, std::size_t b) {
+        if (eligible[a] != eligible[b])
+            return eligible[a] < eligible[b];
+        return trace[a].id < trace[b].id;
+    };
 
     // Canonical admission order: by (arrival, id), independent of the
     // trace vector's ordering, so the schedule is a pure function of the
     // trace's *content*.
     std::vector<std::size_t> order(n);
     std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         if (trace[a].arrival_s != trace[b].arrival_s)
-                             return trace[a].arrival_s < trace[b].arrival_s;
-                         return trace[a].id < trace[b].id;
-                     });
+    std::stable_sort(order.begin(), order.end(), queuedBefore);
 
+    const KvPoolConfig pool_cfg{sched_.kv_capacity_bytes,
+                                sched_.kv_block_tokens};
     std::vector<AccelState> accels(num_accels);
-    std::deque<std::size_t> shared; // Least-loaded shared FIFO.
+    for (auto& a : accels)
+        a.pool = KvPool(pool_cfg);
+    // Forward-progress precondition: a sole resident request can always
+    // grow to its worst-case (unpruned) KV, so preemption never cascades
+    // into a stall.
+    for (const TracedRequest& req : trace) {
+        const std::uint64_t worst = accels[0].pool.bytesForTokens(
+            req.workload.model,
+            req.workload.summarize_len + req.workload.generate_len);
+        SPATTEN_ASSERT(worst <= sched_.kv_capacity_bytes,
+                       "request %zu needs %llu KV bytes, budget is %llu",
+                       req.id, static_cast<unsigned long long>(worst),
+                       static_cast<unsigned long long>(
+                           sched_.kv_capacity_bytes));
+    }
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // When demand first exists *for each accelerator*: under
+    // RoundRobin an accelerator only ever sees its pinned requests, so
+    // its utilization window starts at their earliest arrival; under
+    // LeastLoaded every accelerator could pull the first arrival of
+    // the trace (order[] is arrival-sorted, so that is order[0]'s).
+    std::vector<double> first_demand(
+        num_accels, sched_.shard == ShardPolicy::LeastLoaded
+                        ? trace[order[0]].arrival_s
+                        : kInf);
+    std::deque<std::size_t> shared; // Least-loaded shared queue.
     for (std::size_t k = 0; k < n; ++k) {
-        if (sched_.shard == ShardPolicy::RoundRobin)
+        if (sched_.shard == ShardPolicy::RoundRobin) {
             accels[k % num_accels].queue.push_back(order[k]);
-        else
+            first_demand[k % num_accels] =
+                std::min(first_demand[k % num_accels],
+                         trace[order[k]].arrival_s);
+        } else {
             shared.push_back(order[k]);
+        }
     }
     const auto feedQueue = [&](AccelState& a) -> std::deque<std::size_t>& {
         return sched_.shard == ShardPolicy::RoundRobin ? a.queue : shared;
     };
 
-    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // Queue-policy admission key: lexicographic (policy primary,
+    // eligibility, id) — FIFO is the degenerate constant-primary case,
+    // so every policy stays deterministic and starvation-diagnosable.
+    // A preempted request re-enters the queue keyed by its eviction
+    // time, i.e. FIFO treats it like a fresh arrival.
+    const auto admitBefore = [&](std::size_t a, std::size_t b) {
+        double pa = 0.0, pb = 0.0;
+        switch (sched_.queue) {
+        case QueuePolicy::Fifo:
+            break;
+        case QueuePolicy::Priority:
+            pa = -static_cast<double>(trace[a].priority);
+            pb = -static_cast<double>(trace[b].priority);
+            break;
+        case QueuePolicy::ShortestPromptFirst:
+            pa = static_cast<double>(trace[a].workload.summarize_len);
+            pb = static_cast<double>(trace[b].workload.summarize_len);
+            break;
+        }
+        if (pa != pb)
+            return pa < pb;
+        return queuedBefore(a, b);
+    };
+
     // The earliest simulated time at which an accelerator can do work:
-    // now if it has an active batch, the head arrival of its feed queue
-    // if it is idle, +inf if it has nothing left to do.
+    // now if it has an active batch, the head eligibility of its feed
+    // queue if it is idle, +inf if it has nothing left to do. (Queue
+    // policies reorder admission among *eligible* requests only, never
+    // the wake-up time.)
     const auto nextEventTime = [&](AccelState& a) {
         if (!a.active.empty())
             return a.clock_s;
         const auto& q = feedQueue(a);
         if (q.empty())
             return kInf;
-        return std::max(a.clock_s, trace[q.front()].arrival_s);
+        return std::max(a.clock_s, eligible[q.front()]);
     };
 
     std::size_t finished = 0;
+    std::uint64_t admit_seq = 0;   ///< Global admission counter.
+    // Residency intervals [admission, finish-or-eviction) in simulated
+    // time, across all accelerators and incarnations. peak_concurrency
+    // is their maximum overlap — computed by a sweep at the end, since
+    // the host processes accelerator iterations in event order, not in
+    // simulated-time order, so no running counter samples correctly.
+    std::vector<std::pair<double, double>> residency;
+    // Work consumed by preempted incarnations before they were evicted:
+    // real simulated passes whose outputs were discarded. They count
+    // toward the report's totals (the accelerator did burn the cycles,
+    // energy, and DRAM traffic) but contribute no useful-work dense
+    // reference, so preemption overhead shows up as a lower effective
+    // dram_reduction — matching how busy_s already keeps the time.
+    double wasted_cycles = 0, wasted_energy_j = 0, wasted_flops = 0;
+    double wasted_dram_bytes = 0;
+
+    // Evict active[v] vLLM-recompute-style: KV blocks released, emitted
+    // tokens discarded, request re-queued for a fresh admission.
+    const auto preempt = [&](AccelState& accel, std::size_t v) {
+        const std::size_t idx = accel.active[v].idx;
+        accel.pool.release(idx);
+        // Every victim is prefilled: a session admitted in iteration k
+        // runs its prefill step in iteration k, and preemption only
+        // happens at the start of a later iteration.
+        const RunResult w = accel.active[v].session->finalize();
+        wasted_cycles += static_cast<double>(w.cycles);
+        wasted_energy_j += w.energy.totalJ();
+        wasted_flops += w.attention_flops;
+        wasted_dram_bytes += w.dram_bytes;
+        ServedRequest& r = rep.requests[idx];
+        residency.emplace_back(r.admit_s, accel.clock_s);
+        ++r.preemptions;
+        ++rep.preemptions;
+        r.recompute_tokens += r.tokens;
+        rep.recompute_tokens += r.tokens;
+        r.tokens = 0;
+        r.token_times_s.clear();
+        r.kv_trace.clear();
+        r.first_token_s = -1;
+        r.admit_s = -1;
+        r.phase = RequestPhase::Queued;
+        // Eligible again only from the eviction onward — never before,
+        // so no accelerator can re-admit it in the simulated past.
+        eligible[idx] = accel.clock_s;
+        // Sorted re-insert preserves the queues' (eligibility, id)
+        // order, keeping nextEventTime's head-is-earliest invariant.
+        auto& q = feedQueue(accel);
+        q.insert(std::upper_bound(q.begin(), q.end(), idx, queuedBefore),
+                 idx);
+        accel.active.erase(accel.active.begin() +
+                           static_cast<std::ptrdiff_t>(v));
+    };
+
+    // The preemption victim: lowest priority first, latest admission
+    // (least sunk cost) within a level.
+    const auto pickVictim = [&](const AccelState& accel) {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < accel.active.size(); ++i) {
+            const ServedRequest& a = rep.requests[accel.active[i].idx];
+            const ServedRequest& b =
+                rep.requests[accel.active[victim].idx];
+            if (a.priority != b.priority
+                    ? a.priority < b.priority
+                    : accel.active[i].admit_seq >
+                          accel.active[victim].admit_seq)
+                victim = i;
+        }
+        return victim;
+    };
+
     std::vector<StepJob> jobs;
     StepPool pool(sched_.num_threads);
     while (finished < n) {
@@ -256,24 +423,77 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         AccelState& accel = accels[best];
         accel.clock_s = std::max(accel.clock_s, best_t);
 
-        // ---- Admit arrived requests into free batch slots (FIFO) ----
+        // ---- Grow the residents' decode KV reservations for this
+        // iteration (each pass appends one token before pruning);
+        // under pressure, preempt-and-recompute until the growth fits.
+        // This runs BEFORE admission so a newcomer is only admitted
+        // into blocks the residents do not need this iteration — never
+        // admitted and then evicted untouched in the same breath ----
+        for (std::size_t i = 0; i < accel.active.size();) {
+            // Residents are always prefilled here: prefill ran in the
+            // admission iteration, before this iteration started.
+            SPATTEN_ASSERT(accel.active[i].session->prefilled(),
+                           "un-prefilled resident at iteration start");
+            const std::size_t idx = accel.active[i].idx;
+            const std::size_t grown =
+                accel.active[i].session->kvLength() + 1;
+            bool self_preempted = false;
+            while (!accel.pool.tryResize(
+                idx, trace[idx].workload.model, grown)) {
+                // A sole resident request always fits (asserted above),
+                // so there is always a victim and progress is made.
+                SPATTEN_ASSERT(accel.active.size() > 1,
+                               "sole request %zu cannot grow its KV",
+                               idx);
+                const std::size_t v = pickVictim(accel);
+                self_preempted = v == i;
+                preempt(accel, v);
+                if (self_preempted)
+                    break;
+                if (v < i)
+                    --i;
+            }
+            if (!self_preempted)
+                ++i;
+        }
+
+        // ---- Admit eligible requests into free batch slots, best
+        // queue-policy key first; admission blocks (head-of-line) when
+        // the prompt KV does not fit the pool ----
         auto& queue = feedQueue(accel);
-        while (accel.active.size() < sched_.max_active && !queue.empty() &&
-               trace[queue.front()].arrival_s <= accel.clock_s) {
-            const std::size_t idx = queue.front();
-            queue.pop_front();
+        while (accel.active.size() < sched_.max_active) {
+            constexpr auto npos = std::numeric_limits<std::size_t>::max();
+            std::size_t best_pos = npos;
+            for (std::size_t p = 0; p < queue.size(); ++p) {
+                // Sorted by eligibility: everything past the first
+                // not-yet-eligible entry is ineligible too.
+                if (eligible[queue[p]] > accel.clock_s)
+                    break;
+                if (best_pos == npos ||
+                    admitBefore(queue[p], queue[best_pos]))
+                    best_pos = p;
+            }
+            if (best_pos == npos)
+                break;
+            const std::size_t idx = queue[best_pos];
+            if (!accel.pool.tryReserve(idx, trace[idx].workload.model,
+                                       trace[idx].workload.summarize_len))
+                break; // Pool full: prefill blocked until blocks free up.
+            queue.erase(queue.begin() +
+                        static_cast<std::ptrdiff_t>(best_pos));
             ServedRequest& r = rep.requests[idx];
             r.accel = static_cast<int>(best);
             r.admit_s = accel.clock_s;
             r.phase = RequestPhase::Prefill;
-            ++rep.accel_requests[best];
             accel.active.push_back(
-                {idx, std::make_unique<DecodeSession>(
-                          cfg_, trace[idx].workload, trace[idx].policy,
-                          trace[idx].seed)});
+                {idx, admit_seq++,
+                 std::make_unique<DecodeSession>(
+                     cfg_, trace[idx].workload, trace[idx].policy,
+                     trace[idx].seed)});
         }
         SPATTEN_ASSERT(!accel.active.empty(),
                        "selected an accelerator with no admissible work");
+        const std::uint64_t kv_used = accel.pool.usedBytes();
 
         // ---- One iteration: a step per member, in parallel on the
         // host, applied in admission order ----
@@ -307,10 +527,24 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 r.phase = RequestPhase::Finished;
                 r.kv_trace = m.session->kvTrace();
                 r.sim = m.session->finalize();
+                accel.pool.release(m.idx);
+                residency.emplace_back(r.admit_s, r.finish_s);
                 ++finished;
+            } else {
+                // Trim the reservation to the pass's cascade-pruned
+                // survivor count — this is where pruning frees blocks
+                // and raises admissible concurrency. Shrink-or-equal by
+                // construction, so it can never fail.
+                const bool ok = accel.pool.tryResize(
+                    m.idx, trace[m.idx].workload.model,
+                    m.session->kvLength());
+                SPATTEN_ASSERT(ok, "post-step KV trim failed");
             }
         }
-        accel.busy_s += t - accel.clock_s;
+        const double iter_s = t - accel.clock_s;
+        accel.busy_s += iter_s;
+        accel.kv_weighted_bytes_s +=
+            static_cast<double>(kv_used) * iter_s;
         accel.clock_s = t;
         accel.active.erase(
             std::remove_if(accel.active.begin(), accel.active.end(),
@@ -321,9 +555,32 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     }
 
     // ---- Aggregate ----
+    // peak_concurrency: maximum overlap of the residency intervals in
+    // *simulated* time. A departure at time t frees its KV before an
+    // admission at the same t can reuse it, so ends sort before starts
+    // at equal times (delta -1 < +1).
+    {
+        std::vector<std::pair<double, int>> events;
+        events.reserve(residency.size() * 2);
+        for (const auto& [start, end] : residency) {
+            events.emplace_back(start, +1);
+            events.emplace_back(end, -1);
+        }
+        std::sort(events.begin(), events.end());
+        std::ptrdiff_t depth = 0, peak = 0;
+        for (const auto& [time, delta] : events) {
+            depth += delta;
+            peak = std::max(peak, depth);
+        }
+        rep.peak_concurrency = static_cast<std::size_t>(peak);
+    }
+
     std::vector<double> ttfts, itls;
     ttfts.reserve(n);
-    double dram_bytes = 0, dram_bytes_dense = 0;
+    rep.total_cycles = wasted_cycles;
+    rep.total_energy_j = wasted_energy_j;
+    rep.total_flops = wasted_flops;
+    double dram_bytes = wasted_dram_bytes, dram_bytes_dense = 0;
     for (const ServedRequest& r : rep.requests) {
         rep.makespan_s = std::max(rep.makespan_s, r.finish_s);
         rep.total_tokens += r.tokens;
@@ -335,6 +592,8 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         rep.total_flops += r.sim.attention_flops;
         dram_bytes += r.sim.dram_bytes;
         dram_bytes_dense += r.sim.dram_bytes_dense;
+        if (r.accel >= 0)
+            ++rep.accel_requests[static_cast<std::size_t>(r.accel)];
         const bool good =
             r.ttftSeconds() <= sched_.slo_ttft_s &&
             (r.tokens < 2 || r.avgItlSeconds() <= sched_.slo_itl_s);
@@ -353,11 +612,21 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         rep.tokens_per_s =
             static_cast<double>(rep.total_tokens) / rep.makespan_s;
     }
+    // Utilization over the window in which work could exist for each
+    // accelerator: idle lead-in before its first (routable) arrival is
+    // demand absence, not accelerator idleness, so it is excluded from
+    // the denominator — per accelerator, since RoundRobin pinning can
+    // route an accelerator's first demand long after the trace starts.
     for (std::size_t a = 0; a < num_accels; ++a) {
+        const double window_s = rep.makespan_s - first_demand[a];
         rep.accel_busy_s[a] = accels[a].busy_s;
-        rep.accel_util[a] = rep.makespan_s > 0
-                                ? accels[a].busy_s / rep.makespan_s
-                                : 0.0;
+        rep.accel_util[a] =
+            window_s > 0 ? accels[a].busy_s / window_s : 0.0;
+        rep.kv_peak_bytes[a] = accels[a].pool.peakBytes();
+        rep.kv_mean_bytes[a] = accels[a].busy_s > 0
+                                   ? accels[a].kv_weighted_bytes_s /
+                                         accels[a].busy_s
+                                   : 0.0;
     }
     rep.dram_reduction =
         dram_bytes > 0 ? dram_bytes_dense / dram_bytes : 1.0;

@@ -14,16 +14,31 @@
  * decode loop runs in a DecodeSession, so its KV working set carries the
  * cascade-pruned survivor count across steps.
  *
+ * Scheduling is KV-capacity-aware: every accelerator owns a KvPool
+ * (serve/kv_pool.hpp) whose byte budget derives from the HBM capacity
+ * (or an explicit override). A request is only admitted when its prompt
+ * KV fits the pool; after every pass its reservation is resized to the
+ * cascade-pruned survivor count, so pruning directly raises admissible
+ * concurrency. When a decoding request cannot grow its cache, the
+ * lowest-priority (then most-recently-admitted) resident request is
+ * preempted vLLM-recompute-style: blocks released, emitted tokens
+ * discarded, request re-queued. Queue order is a policy: FIFO,
+ * priority (descending), or shortest-prompt-first.
+ *
  * Determinism contract (pinned by tests/test_continuous_scheduler.cpp):
  * the report is a pure function of (config, trace). Host worker threads
  * only parallelize the independent per-session step simulations inside
- * one iteration; the single-threaded coordinator applies their results
- * in admission order, so every timestamp, metric, and per-request result
- * is bit-identical at any num_threads. Per-request *service* results
- * (step costs, KV trajectory, cycles, energy) depend only on
- * (config, workload, policy, seed) — never on placement — so they are
- * also bit-identical across accelerator shard counts; only the queueing
- * metrics (TTFT, goodput) respond to the pool size.
+ * one iteration; the single-threaded coordinator makes every admission
+ * and preemption decision and applies step results in admission order,
+ * so every timestamp, metric, and per-request result is bit-identical
+ * at any num_threads — including under preemption. Per-request
+ * *service* results (step costs, KV trajectory, cycles, energy) depend
+ * only on (config, workload, policy, seed) — never on placement — so
+ * while no preemption occurs they are also bit-identical across
+ * accelerator shard counts; a preempted request's service time
+ * additionally includes its recomputed work, which does depend on where
+ * capacity pressure materialized. Only the queueing metrics (TTFT,
+ * goodput) respond to the pool size.
  */
 #ifndef SPATTEN_SERVE_CONTINUOUS_BATCH_SCHEDULER_HPP
 #define SPATTEN_SERVE_CONTINUOUS_BATCH_SCHEDULER_HPP
@@ -32,6 +47,7 @@
 #include <vector>
 
 #include "accel/pipeline.hpp"
+#include "serve/kv_pool.hpp"
 #include "serve/request_state.hpp"
 #include "workload/arrival_trace.hpp"
 
@@ -42,10 +58,23 @@ enum class ShardPolicy
 {
     /// Request i is statically pinned to accelerator i mod N.
     RoundRobin,
-    /// Requests wait in one shared FIFO; the accelerator with the
-    /// earliest simulated time and a free slot pulls the head (classic
-    /// least-loaded / join-idle-queue dispatch, FIFO overall).
+    /// Requests wait in one shared queue; the accelerator with the
+    /// earliest simulated time and a free slot pulls the best eligible
+    /// entry under the queue policy (classic least-loaded /
+    /// join-idle-queue dispatch).
     LeastLoaded,
+};
+
+/** Order in which queued requests are admitted. */
+enum class QueuePolicy
+{
+    /// Arrival order (ties by id) — the classic fair baseline.
+    Fifo,
+    /// Highest TracedRequest::priority first; FIFO within a level.
+    Priority,
+    /// Smallest prompt first (SJF on the prefill cost proxy): minimizes
+    /// mean TTFT at the price of starving long prompts under load.
+    ShortestPromptFirst,
 };
 
 /** Scheduler configuration. */
@@ -56,6 +85,7 @@ struct ContinuousBatchConfig
     /// batch width).
     std::size_t max_active = 8;
     ShardPolicy shard = ShardPolicy::LeastLoaded;
+    QueuePolicy queue = QueuePolicy::Fifo;
     /// Host threads for the per-iteration session steps; 0 = one per
     /// hardware thread. Never affects simulated results.
     std::size_t num_threads = 0;
@@ -63,6 +93,14 @@ struct ContinuousBatchConfig
     /// when TTFT <= slo_ttft_s and its mean ITL <= slo_itl_s.
     double slo_ttft_s = 50e-3;
     double slo_itl_s = 2e-3;
+
+    /// Per-accelerator KV byte budget; 0 derives it from the HBM stack
+    /// capacity (SpAttenConfig::hbm.capacityBytes()), which for these
+    /// model sizes never binds — set a small explicit budget to study
+    /// the memory-pressure regime.
+    std::uint64_t kv_capacity_bytes = 0;
+    /// KV allocation granularity in tokens (paged-KV block size).
+    std::size_t kv_block_tokens = 16;
 };
 
 /** Aggregated outcome of serving one trace. */
@@ -82,14 +120,52 @@ struct ServeReport
     std::size_t total_tokens = 0;
 
     std::vector<double> accel_busy_s;  ///< Busy seconds per accelerator.
-    std::vector<double> accel_util;    ///< busy / makespan per accelerator.
+    /// busy / (makespan - that accelerator's first routable arrival):
+    /// utilization over the window in which work could exist for it, so
+    /// idle lead-in before any demand (the whole trace's start, or a
+    /// round-robin-pinned request arriving late) does not dilute it.
+    std::vector<double> accel_util;
     std::vector<std::size_t> accel_requests; ///< Requests served per accel.
 
-    double total_cycles = 0;   ///< Sum of per-request simulated cycles.
-    double total_energy_j = 0;
-    double total_flops = 0;
-    double dram_reduction = 1; ///< Batch-wide dense bytes / fetched bytes.
+    /// Sum of per-request simulated cycles, PLUS the cycles of
+    /// preempted incarnations whose outputs were discarded — the
+    /// accelerator burned them, so they exceed the sum over
+    /// requests[i].sim on memory-capped runs with preemptions.
+    double total_cycles = 0;
+    double total_energy_j = 0; ///< Includes preempted work, as above.
+    double total_flops = 0;    ///< Includes preempted work, as above.
+    /// Batch-wide dense bytes / fetched bytes. Fetched includes
+    /// preempted incarnations' traffic with no dense counterpart, so
+    /// preemption overhead lowers the effective reduction.
+    double dram_reduction = 1;
+
+    // ---- KV-capacity / preemption accounting ----
+    std::size_t preemptions = 0;      ///< Total evictions across the run.
+    std::size_t recompute_tokens = 0; ///< Tokens discarded and re-decoded.
+    std::size_t peak_concurrency = 0; ///< Max requests resident at the
+                                      ///< same *simulated* time across
+                                      ///< the whole pool (preempted
+                                      ///< incarnations count while they
+                                      ///< were resident).
+    std::uint64_t kv_capacity_bytes = 0;  ///< Effective per-accel budget.
+    std::vector<std::uint64_t> kv_peak_bytes; ///< Peak pool occupancy.
+    std::vector<double> kv_mean_bytes; ///< Time-weighted mean occupancy
+                                       ///< over each accel's busy time.
 };
+
+/**
+ * A KV byte budget sized at @p headroom times the worst single request
+ * of @p trace (its full un-pruned prompt + output KV, block-rounded at
+ * @p sched's kv_block_tokens — taking the config keeps the rounding
+ * granularity coupled to the pool that will enforce the budget).
+ * headroom 1.0 is the scheduler's minimum legal budget (every request
+ * must fit alone); small multiples like 1.25-2.0 dial in the
+ * memory-pressure regime the preemption machinery serves — the single
+ * definition the bench and the property tests both use.
+ */
+std::uint64_t kvBudgetForWorstRequest(
+    const std::vector<TracedRequest>& trace, double headroom,
+    const ContinuousBatchConfig& sched = ContinuousBatchConfig{});
 
 /** The continuous-batching scheduler. */
 class ContinuousBatchScheduler

@@ -1,0 +1,68 @@
+#include "serve/kv_pool.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace spatten {
+
+KvPool::KvPool(KvPoolConfig cfg) : cfg_(cfg)
+{
+    SPATTEN_ASSERT(cfg_.block_tokens >= 1, "zero-token KV blocks");
+}
+
+std::uint64_t
+KvPool::bytesForTokens(const ModelSpec& model, std::size_t tokens) const
+{
+    if (tokens == 0)
+        return 0;
+    const std::uint64_t blocks =
+        ceilDiv<std::uint64_t>(tokens, cfg_.block_tokens);
+    return blocks * cfg_.block_tokens * kvBytesPerToken(model);
+}
+
+bool
+KvPool::tryReserve(std::size_t id, const ModelSpec& model,
+                   std::size_t tokens)
+{
+    SPATTEN_ASSERT(held_.count(id) == 0,
+                   "request %zu already holds a KV reservation", id);
+    const std::uint64_t need = bytesForTokens(model, tokens);
+    if (!unlimited() && used_bytes_ + need > cfg_.capacity_bytes)
+        return false;
+    held_[id] = need;
+    used_bytes_ += need;
+    peak_bytes_ = std::max(peak_bytes_, used_bytes_);
+    return true;
+}
+
+bool
+KvPool::tryResize(std::size_t id, const ModelSpec& model,
+                  std::size_t tokens)
+{
+    const auto it = held_.find(id);
+    SPATTEN_ASSERT(it != held_.end(),
+                   "request %zu resized without a KV reservation", id);
+    const std::uint64_t need = bytesForTokens(model, tokens);
+    if (need > it->second && !unlimited() &&
+        used_bytes_ + (need - it->second) > cfg_.capacity_bytes)
+        return false;
+    used_bytes_ += need;
+    used_bytes_ -= it->second;
+    it->second = need;
+    peak_bytes_ = std::max(peak_bytes_, used_bytes_);
+    return true;
+}
+
+void
+KvPool::release(std::size_t id)
+{
+    const auto it = held_.find(id);
+    if (it == held_.end())
+        return;
+    used_bytes_ -= it->second;
+    held_.erase(it);
+}
+
+} // namespace spatten

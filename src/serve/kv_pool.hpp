@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Block-granular KV-cache capacity accounting for one simulated
+ * accelerator.
+ *
+ * Production continuous-batching systems are defined by the coupling
+ * between scheduling and KV memory: a request can only be admitted when
+ * its prompt KV fits the device's HBM budget, a decoding request can
+ * only grow its cache while blocks remain, and under pressure the
+ * scheduler preempts a victim and recomputes it later. KvPool is that
+ * accounting: a byte budget (derived from HbmConfig::capacityBytes() by
+ * default) carved into fixed-size token blocks, with one reservation per
+ * resident request sized from its *cascade-pruned* KV length — so
+ * SpAtten's token pruning directly raises the number of requests a pool
+ * admits under the same budget.
+ *
+ * The pool is plain deterministic bookkeeping driven by the scheduler's
+ * single-threaded coordinator; it never touches simulated time.
+ */
+#ifndef SPATTEN_SERVE_KV_POOL_HPP
+#define SPATTEN_SERVE_KV_POOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "core/model_spec.hpp"
+
+namespace spatten {
+
+/** Static configuration of one accelerator's KV pool. */
+struct KvPoolConfig
+{
+    /// Byte budget for resident KV caches. 0 = unlimited (the pool
+    /// still accounts occupancy but never rejects).
+    std::uint64_t capacity_bytes = 0;
+    /// Allocation granularity in tokens (vLLM-style paged blocks): a
+    /// request holding t tokens reserves ceil(t / block_tokens) blocks.
+    std::size_t block_tokens = 16;
+};
+
+/** Per-accelerator KV block allocator. */
+class KvPool
+{
+  public:
+    explicit KvPool(KvPoolConfig cfg = KvPoolConfig{});
+
+    const KvPoolConfig& config() const { return cfg_; }
+
+    /** Bytes a @p tokens-token KV cache of @p model reserves (rounded
+     *  up to whole blocks). 0 tokens reserve nothing. */
+    std::uint64_t bytesForTokens(const ModelSpec& model,
+                                 std::size_t tokens) const;
+
+    /**
+     * Reserve a new cache of @p tokens tokens for request @p id.
+     * @return false (and reserve nothing) when the budget would be
+     * exceeded; unlimited pools always succeed.
+     */
+    bool tryReserve(std::size_t id, const ModelSpec& model,
+                    std::size_t tokens);
+
+    /**
+     * Resize request @p id's reservation to @p tokens tokens. Shrinking
+     * always succeeds and frees blocks; growing fails (leaving the
+     * reservation untouched) when the budget would be exceeded.
+     */
+    bool tryResize(std::size_t id, const ModelSpec& model,
+                   std::size_t tokens);
+
+    /** Drop request @p id's reservation (no-op when absent). */
+    void release(std::size_t id);
+
+    std::uint64_t capacityBytes() const { return cfg_.capacity_bytes; }
+    std::uint64_t usedBytes() const { return used_bytes_; }
+    std::uint64_t peakBytes() const { return peak_bytes_; }
+    std::size_t residentRequests() const { return held_.size(); }
+    bool unlimited() const { return cfg_.capacity_bytes == 0; }
+
+  private:
+    KvPoolConfig cfg_;
+    std::map<std::size_t, std::uint64_t> held_; ///< id -> reserved bytes.
+    std::uint64_t used_bytes_ = 0;
+    std::uint64_t peak_bytes_ = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SERVE_KV_POOL_HPP

@@ -7,7 +7,12 @@
  *   Queued --admit--> Prefill --first pass--> Decoding --last token-->
  *   Finished
  *
- * (a request with generate_len == 0 jumps Prefill -> Finished). The
+ * (a request with generate_len == 0 jumps Prefill -> Finished). Under
+ * KV-capacity pressure the scheduler may preempt a Prefill/Decoding
+ * request: its KV blocks are released, its emitted tokens are discarded
+ * (recompute-style preemption), and it re-enters Queued to be admitted
+ * again later — preemptions/recompute_tokens record the overhead, and
+ * the timing trail reflects the final (completed) incarnation. The
  * ServedRequest record keeps the full timing trail — arrival, admission,
  * first token, per-token emission times, completion — plus the per-step
  * KV trajectory and the finalized per-request simulation result, so the
@@ -39,13 +44,20 @@ struct ServedRequest
     std::size_t id = 0;      ///< Trace id.
     int accel = -1;          ///< Accelerator that served it.
     RequestPhase phase = RequestPhase::Queued;
+    int priority = 0;        ///< From the trace; higher is more urgent.
 
     double arrival_s = 0;     ///< From the trace.
-    double admit_s = -1;      ///< Admission onto the accelerator.
+    double admit_s = -1;      ///< Admission onto the accelerator (the
+                              ///< final one, after any preemptions).
     double first_token_s = -1;///< First decode completion (or prefill
                               ///< completion for 0-token requests).
     double finish_s = -1;     ///< Last token emitted.
-    double service_seconds = 0; ///< Busy time consumed on the accelerator.
+    double service_seconds = 0; ///< Busy time consumed on the accelerator,
+                                ///< including preempted (wasted) work.
+
+    std::size_t preemptions = 0; ///< Times this request was evicted.
+    std::size_t recompute_tokens = 0; ///< Tokens discarded by preemption
+                                      ///< and generated again.
 
     std::size_t tokens = 0;             ///< Tokens emitted.
     std::vector<double> token_times_s;  ///< Emission time of each token.

@@ -11,12 +11,16 @@ void
 StatSet::add(const std::string& name, double delta)
 {
     stats_[name] += delta;
+    // Accumulating into an entry makes it a counter, whatever it was:
+    // the kind follows the latest write style, exactly like the value.
+    gauges_.erase(name);
 }
 
 void
 StatSet::set(const std::string& name, double value)
 {
     stats_[name] = value;
+    gauges_.insert(name);
 }
 
 double
@@ -32,11 +36,21 @@ StatSet::has(const std::string& name) const
     return stats_.count(name) > 0;
 }
 
+bool
+StatSet::isGauge(const std::string& name) const
+{
+    return gauges_.count(name) > 0;
+}
+
 void
 StatSet::merge(const StatSet& other)
 {
-    for (const auto& [name, value] : other.stats_)
-        stats_[name] += value;
+    for (const auto& [name, value] : other.stats_) {
+        if (other.gauges_.count(name) > 0)
+            set(name, value);
+        else
+            add(name, value); // Also reclassifies a stale gauge mark.
+    }
 }
 
 std::string
@@ -55,7 +69,10 @@ sortedQuantile(const std::vector<double>& sorted, double q)
         return 0.0;
     const double rank =
         std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size() - 1);
-    return sorted[static_cast<std::size_t>(std::llround(rank))];
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 } // namespace spatten

@@ -8,19 +8,28 @@
 #define SPATTEN_SIM_STATS_HPP
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 namespace spatten {
 
-/** A flat name -> double statistics map with formatting helpers. */
+/**
+ * A flat name -> double statistics map with formatting helpers.
+ *
+ * Entries carry counter-or-gauge semantics: add() creates counters
+ * (accumulating deltas, summed by merge()); set() creates gauges
+ * (point-in-time values like utilizations or config echoes, overwritten
+ * by merge() — last writer wins, never summed). Merging a result's
+ * stats into an aggregate therefore never corrupts gauge entries.
+ */
 class StatSet
 {
   public:
     /** Add @p delta to the named counter (creating it at 0). */
     void add(const std::string& name, double delta);
 
-    /** Set the named counter to @p value. */
+    /** Set the named gauge to @p value (marks the entry as a gauge). */
     void set(const std::string& name, double value);
 
     /** Value of the counter, 0 when absent. */
@@ -28,7 +37,13 @@ class StatSet
 
     bool has(const std::string& name) const;
 
-    /** Merge another stat set into this one (summing counters). */
+    /** True when the entry was last written via set(). */
+    bool isGauge(const std::string& name) const;
+
+    /**
+     * Merge another stat set into this one: counters sum, gauges
+     * overwrite (adopting the other side's latest value).
+     */
     void merge(const StatSet& other);
 
     /** All (name, value) pairs in name order. */
@@ -37,16 +52,24 @@ class StatSet
     /** Multi-line "name = value" dump, for harness output. */
     std::string toString() const;
 
-    void clear() { stats_.clear(); }
+    void clear()
+    {
+        stats_.clear();
+        gauges_.clear();
+    }
 
   private:
     std::map<std::string, double> stats_;
+    std::set<std::string> gauges_; ///< Entries last written via set().
 };
 
 /**
- * Nearest-rank quantile of an ascending-sorted sample vector (the
- * single definition of the rounding rule behind every p50/p99 the
- * serving layer reports). Returns 0 for an empty sample.
+ * Quantile of an ascending-sorted sample vector with linear
+ * interpolation between adjacent ranks (the "linear"/type-7 definition:
+ * rank = q * (n - 1), interpolating between floor and ceil). The single
+ * definition behind every p50/p99 the serving layer reports — nearest
+ * rank would return ~p98.4 for "p99" over 64 samples and p89 over 10.
+ * Returns 0 for an empty sample.
  */
 double sortedQuantile(const std::vector<double>& sorted, double q);
 

@@ -1,13 +1,46 @@
 #include "workload/arrival_trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hpp"
 
 namespace spatten {
 
+namespace {
+
+/** Exponential draw via inverse transform; 1-u keeps the argument of
+ *  log strictly positive (uniform() is in [0, 1)). */
+double
+expDraw(Prng& prng, double mean)
+{
+    return -std::log(1.0 - prng.uniform()) * mean;
+}
+
+/**
+ * Bounded Pareto draw over [lo, hi] with shape alpha (inverse CDF of
+ * the Pareto truncated at hi): heavy-tailed but never out of bounds.
+ */
+std::size_t
+boundedParetoDraw(Prng& prng, std::size_t lo, std::size_t hi,
+                  double alpha)
+{
+    if (lo == hi)
+        return lo;
+    const double l = static_cast<double>(lo);
+    const double h = static_cast<double>(hi);
+    const double u = prng.uniform();
+    const double ratio = std::pow(l / h, alpha);
+    const double x =
+        l / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+    const auto v = static_cast<std::size_t>(std::llround(x));
+    return std::clamp(v, lo, hi);
+}
+
+} // namespace
+
 std::vector<TracedRequest>
-generatePoissonTrace(const ArrivalTraceConfig& cfg)
+generateArrivalTrace(const ArrivalTraceConfig& cfg)
 {
     SPATTEN_ASSERT(cfg.mean_interarrival_s > 0, "bad interarrival mean");
     SPATTEN_ASSERT(cfg.min_prompt >= 1 && cfg.min_prompt <= cfg.max_prompt,
@@ -16,18 +49,42 @@ generatePoissonTrace(const ArrivalTraceConfig& cfg)
     SPATTEN_ASSERT(cfg.min_output <= cfg.max_output,
                    "bad output bounds [%zu, %zu]", cfg.min_output,
                    cfg.max_output);
+    SPATTEN_ASSERT(cfg.priority_levels >= 1, "no priority levels");
+    if (cfg.process == ArrivalProcess::OnOffBurst) {
+        SPATTEN_ASSERT(cfg.burst_on_mean_s > 0 && cfg.burst_off_mean_s > 0,
+                       "bad burst period means");
+    }
+    if (cfg.prompt_dist == PromptLengthDist::BoundedPareto)
+        SPATTEN_ASSERT(cfg.pareto_alpha > 0, "bad Pareto shape");
 
     Prng prng(cfg.seed);
     std::vector<TracedRequest> trace;
     trace.reserve(cfg.num_requests);
     double t = 0.0;
+    // Remaining length of the current ON period (OnOffBurst only).
+    double on_left = cfg.process == ArrivalProcess::OnOffBurst
+                         ? expDraw(prng, cfg.burst_on_mean_s)
+                         : 0.0;
     for (std::size_t i = 0; i < cfg.num_requests; ++i) {
-        // Exponential gap via inverse transform; 1-u keeps the argument
-        // of log strictly positive (uniform() is in [0, 1)).
-        t += -std::log(1.0 - prng.uniform()) * cfg.mean_interarrival_s;
+        double gap = expDraw(prng, cfg.mean_interarrival_s);
+        if (cfg.process == ArrivalProcess::OnOffBurst) {
+            // Consume the gap from ON time only; every ON/OFF boundary
+            // crossed inserts an exponential silence.
+            while (gap > on_left) {
+                gap -= on_left;
+                t += on_left + expDraw(prng, cfg.burst_off_mean_s);
+                on_left = expDraw(prng, cfg.burst_on_mean_s);
+            }
+            on_left -= gap;
+        }
+        t += gap;
+
         const std::size_t prompt =
-            cfg.min_prompt +
-            prng.below(cfg.max_prompt - cfg.min_prompt + 1);
+            cfg.prompt_dist == PromptLengthDist::BoundedPareto
+                ? boundedParetoDraw(prng, cfg.min_prompt, cfg.max_prompt,
+                                    cfg.pareto_alpha)
+                : cfg.min_prompt +
+                      prng.below(cfg.max_prompt - cfg.min_prompt + 1);
         const std::size_t output =
             cfg.min_output +
             prng.below(cfg.max_output - cfg.min_output + 1);
@@ -43,9 +100,20 @@ generatePoissonTrace(const ArrivalTraceConfig& cfg)
         req.workload.generate_len = output;
         req.policy = cfg.policy;
         req.seed = prng();
+        // Guarded draw: priority_levels == 1 consumes no PRNG state, so
+        // pre-priority traces replay bit-identically from the same seed.
+        if (cfg.priority_levels > 1)
+            req.priority =
+                static_cast<int>(prng.below(cfg.priority_levels));
         trace.push_back(std::move(req));
     }
     return trace;
+}
+
+std::vector<TracedRequest>
+generatePoissonTrace(const ArrivalTraceConfig& cfg)
+{
+    return generateArrivalTrace(cfg);
 }
 
 } // namespace spatten

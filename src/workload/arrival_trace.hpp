@@ -3,12 +3,18 @@
  * Seeded arrival traces for the continuous-batching serving model.
  *
  * A trace is the demand side of a serving experiment: requests arriving
- * over simulated time (Poisson process — i.i.d. exponential interarrival
- * gaps), each with a prompt length and an output length drawn from
- * seeded uniform distributions over a shared model/policy template. The
- * trace is a pure function of its config (including the seed), so every
- * scheduler experiment replays the exact same demand — the determinism
- * anchor the property tests and BENCH_serving.json trajectories rely on.
+ * over simulated time, each with a prompt length, an output length, and
+ * a priority drawn from seeded distributions over a shared model/policy
+ * template. Two arrival processes are modeled — a Poisson process
+ * (i.i.d. exponential interarrival gaps) and an ON/OFF burst process
+ * (Poisson arrivals during exponential ON periods separated by
+ * exponential OFF gaps, the classic interrupted-Poisson bursty-traffic
+ * model) — and prompt lengths can be uniform or bounded-Pareto
+ * heavy-tailed, the regime where a KV-capacity-aware scheduler actually
+ * gets exercised. The trace is a pure function of its config (including
+ * the seed), so every scheduler experiment replays the exact same
+ * demand — the determinism anchor the property tests and
+ * BENCH_serving.json trajectories rely on.
  */
 #ifndef SPATTEN_WORKLOAD_ARRIVAL_TRACE_HPP
 #define SPATTEN_WORKLOAD_ARRIVAL_TRACE_HPP
@@ -29,30 +35,71 @@ struct TracedRequest
     WorkloadSpec workload;   ///< Prompt/output shape of this request.
     PruningPolicy policy;
     std::uint64_t seed = kDefaultRequestSeed; ///< Per-request PRNG seed.
+    int priority = 0; ///< Scheduling priority; higher is more urgent.
 };
 
-/** Distribution parameters of a synthetic Poisson trace. */
+/** How arrival times are generated. */
+enum class ArrivalProcess
+{
+    /// i.i.d. exponential interarrival gaps at rate 1/mean.
+    Poisson,
+    /// Interrupted Poisson: gaps accrue only during exponential ON
+    /// periods (mean burst_on_mean_s); crossing into an OFF period
+    /// inserts an exponential silence (mean burst_off_mean_s). Arrivals
+    /// cluster into bursts with long gaps between them.
+    OnOffBurst,
+};
+
+/** How prompt lengths are drawn. */
+enum class PromptLengthDist
+{
+    Uniform, ///< Uniform over [min_prompt, max_prompt].
+    /// Bounded Pareto over [min_prompt, max_prompt] with shape
+    /// pareto_alpha: mostly short prompts with a heavy tail of
+    /// near-max ones (production prompt-length mixes).
+    BoundedPareto,
+};
+
+/** Distribution parameters of a synthetic arrival trace. */
 struct ArrivalTraceConfig
 {
     std::size_t num_requests = 64;
     /// Mean interarrival gap of the Poisson process (rate = 1/mean).
+    /// For OnOffBurst this is the in-burst gap mean.
     double mean_interarrival_s = 1e-3;
     std::uint64_t seed = kDefaultRequestSeed;
     ModelSpec model = ModelSpec::gpt2Small();
     PruningPolicy policy;         ///< Applied to every request.
-    std::size_t min_prompt = 64;  ///< Uniform prompt-length bounds.
+    std::size_t min_prompt = 64;  ///< Prompt-length bounds.
     std::size_t max_prompt = 384;
     std::size_t min_output = 4;   ///< Uniform output-length bounds.
     std::size_t max_output = 32;
+
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double burst_on_mean_s = 2e-3;  ///< Mean ON-period length.
+    double burst_off_mean_s = 10e-3; ///< Mean OFF-period length.
+
+    PromptLengthDist prompt_dist = PromptLengthDist::Uniform;
+    double pareto_alpha = 1.2; ///< Shape of the bounded Pareto tail.
+
+    /// Priorities are uniform draws in [0, priority_levels); 1 keeps
+    /// every request at priority 0 (and consumes no PRNG draws, so
+    /// default traces are bit-identical to pre-priority ones).
+    std::size_t priority_levels = 1;
 };
 
 /**
- * Generate a Poisson arrival trace: arrival times are the running sum of
- * exponential gaps, prompt and output lengths are uniform draws, and
- * each request gets a distinct derived seed. Deterministic: the same
- * config yields a bit-identical trace. Arrivals are non-decreasing and
- * ids run 0..n-1 in arrival order.
+ * Generate an arrival trace under @p cfg's process and distributions:
+ * arrival times are the running sum of (possibly burst-interrupted)
+ * exponential gaps, prompt/output lengths and priorities are seeded
+ * draws, and each request gets a distinct derived seed. Deterministic:
+ * the same config yields a bit-identical trace. Arrivals are
+ * non-decreasing and ids run 0..n-1 in arrival order.
  */
+std::vector<TracedRequest> generateArrivalTrace(
+    const ArrivalTraceConfig& cfg);
+
+/** Back-compat alias: generateArrivalTrace with cfg as given. */
 std::vector<TracedRequest> generatePoissonTrace(
     const ArrivalTraceConfig& cfg);
 

@@ -1,7 +1,9 @@
 /// Property tests for the continuous-batching serving stack: arrival
 /// traces, DecodeSession KV-carry semantics, the scheduler's determinism
 /// contract (thread-count and shard-count bit-identity), FIFO fairness,
-/// bounded queue delay, and metric coherence.
+/// bounded queue delay, metric coherence, and the KV-capacity layer
+/// (KvPool accounting, admission control, preemption-and-recompute,
+/// priority / shortest-prompt-first queue policies).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,6 +11,7 @@
 #include "accel/decode_session.hpp"
 #include "accel/spatten_accelerator.hpp"
 #include "serve/continuous_batch_scheduler.hpp"
+#include "serve/kv_pool.hpp"
 
 namespace spatten {
 namespace {
@@ -128,6 +131,10 @@ TEST(DecodeSession, KvMonotoneNonIncreasingUnderCascadePruning)
         EXPECT_LE(r.kv_lengths[i], r.kv_lengths[i - 1])
             << "KV must be non-increasing at step " << i;
     EXPECT_GE(r.kv_lengths.back(), 1u);
+    // Under pruning the resident peak is the un-pruned prompt KV held
+    // during prefill, not any post-prune survivor count.
+    EXPECT_EQ(r.peak_kv_bytes,
+              w.summarize_len * kvBytesPerToken(w.model));
 }
 
 TEST(DecodeSession, KvGrowsByExactlyOneWithoutPruning)
@@ -143,6 +150,9 @@ TEST(DecodeSession, KvGrowsByExactlyOneWithoutPruning)
     EXPECT_EQ(r.kv_lengths.front(), w.summarize_len);
     for (std::size_t i = 1; i < r.kv_lengths.size(); ++i)
         EXPECT_EQ(r.kv_lengths[i], r.kv_lengths[i - 1] + 1);
+    // Dense KV only grows, so the peak is the final grown cache.
+    EXPECT_EQ(r.peak_kv_bytes, (w.summarize_len + w.generate_len) *
+                                   kvBytesPerToken(w.model));
 }
 
 TEST(DecodeSession, LifecycleAndTokenAccounting)
@@ -425,6 +435,57 @@ TEST(ContinuousScheduler, MetricsAreCoherent)
     EXPECT_EQ(assigned, trace.size());
 }
 
+TEST(ContinuousScheduler, UtilizationExcludesIdleLeadInBeforeFirstArrival)
+{
+    // One request arriving after a long idle lead-in: utilization must
+    // be measured over [first arrival, makespan], not the full makespan
+    // (the old denominator reported ~0 for sparse traces).
+    TracedRequest req;
+    req.id = 0;
+    req.arrival_s = 10.0; // Seconds of idle before any demand exists.
+    req.workload.name = "sparse";
+    req.workload.model = tinyModel();
+    req.workload.summarize_len = 64;
+    req.workload.generate_len = 4;
+    const ServeReport r = serve({req}, ContinuousBatchConfig{});
+    ASSERT_EQ(r.requests.size(), 1u);
+    const double window = r.makespan_s - req.arrival_s;
+    ASSERT_GT(window, 0.0);
+    EXPECT_DOUBLE_EQ(r.accel_util[0], r.accel_busy_s[0] / window);
+    // The sole request is served back to back, so utilization is ~1,
+    // not service/makespan ~ 1e-5.
+    EXPECT_GT(r.accel_util[0], 0.99);
+    EXPECT_LE(r.accel_util[0], 1.0 + 1e-12);
+}
+
+TEST(ContinuousScheduler, UtilizationWindowIsPerAccelUnderRoundRobin)
+{
+    // Round-robin pins request 1 (arriving late) to accelerator 1: that
+    // accelerator's utilization window starts at ITS first demand, so
+    // serving its only request back to back reads as ~full utilization.
+    std::vector<TracedRequest> trace;
+    for (std::size_t i = 0; i < 2; ++i) {
+        TracedRequest req;
+        req.id = i;
+        req.arrival_s = i == 0 ? 1e-3 : 10.0;
+        req.workload.name = "rr-window-" + std::to_string(i);
+        req.workload.model = tinyModel();
+        req.workload.summarize_len = 64;
+        req.workload.generate_len = 4;
+        req.seed = 3 + i;
+        trace.push_back(req);
+    }
+    ContinuousBatchConfig sc;
+    sc.num_accelerators = 2;
+    sc.shard = ShardPolicy::RoundRobin;
+    const ServeReport r = serve(trace, sc);
+    ASSERT_EQ(r.requests[1].accel, 1);
+    EXPECT_GT(r.accel_util[1], 0.99)
+        << "accel 1's idle wait for its first pinned arrival is demand "
+           "absence, not idleness";
+    EXPECT_LE(r.accel_util[1], 1.0 + 1e-12);
+}
+
 TEST(ContinuousScheduler, GoodputCountsOnlySloMeetingRequests)
 {
     const auto trace = generatePoissonTrace(tinyTraceConfig(12));
@@ -449,6 +510,309 @@ TEST(ContinuousScheduler, EmptyTraceYieldsEmptyReport)
     EXPECT_EQ(r.makespan_s, 0.0);
     EXPECT_EQ(r.throughput_rps, 0.0);
     EXPECT_EQ(r.total_tokens, 0u);
+}
+
+// ---------------------------------------------------------------------
+// KvPool accounting
+// ---------------------------------------------------------------------
+
+TEST(KvPool, BlockGranularReservationAndRelease)
+{
+    const ModelSpec m = tinyModel(); // 2*4*4*64*2 = 4096 B per token.
+    ASSERT_EQ(kvBytesPerToken(m), 4096u);
+    KvPool pool({16 * 16 * 4096, 16}); // 16-block budget.
+    EXPECT_EQ(pool.bytesForTokens(m, 0), 0u);
+    EXPECT_EQ(pool.bytesForTokens(m, 1), 16u * 4096);  // 1 block.
+    EXPECT_EQ(pool.bytesForTokens(m, 16), 16u * 4096); // Still 1.
+    EXPECT_EQ(pool.bytesForTokens(m, 17), 2u * 16 * 4096);
+
+    EXPECT_TRUE(pool.tryReserve(0, m, 16 * 15)); // 15 blocks.
+    EXPECT_FALSE(pool.tryReserve(1, m, 17)) << "2 blocks > 1 free";
+    EXPECT_TRUE(pool.tryReserve(1, m, 16));
+    EXPECT_EQ(pool.usedBytes(), pool.capacityBytes());
+    EXPECT_EQ(pool.residentRequests(), 2u);
+
+    EXPECT_FALSE(pool.tryResize(1, m, 17)) << "full pool cannot grow";
+    EXPECT_TRUE(pool.tryResize(0, m, 16)) << "shrink always succeeds";
+    EXPECT_TRUE(pool.tryResize(1, m, 17)) << "freed blocks are reusable";
+    pool.release(0);
+    pool.release(1);
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.peakBytes(), pool.capacityBytes())
+        << "peak tracks the high-water mark";
+}
+
+TEST(KvPool, UnlimitedPoolNeverRejectsButStillAccounts)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({0, 16});
+    EXPECT_TRUE(pool.unlimited());
+    EXPECT_TRUE(pool.tryReserve(0, m, 1u << 20));
+    EXPECT_TRUE(pool.tryResize(0, m, 1u << 21));
+    EXPECT_EQ(pool.usedBytes(), pool.bytesForTokens(m, 1u << 21));
+    EXPECT_GT(pool.peakBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// KV capacity: admission control, preemption, pruning headroom
+// ---------------------------------------------------------------------
+
+/// A saturating trace (everyone arrives ~at once) with dense KV and
+/// long outputs so the caches only grow — the worst case for capacity.
+std::vector<TracedRequest>
+denseSaturatingTrace(std::size_t n = 16)
+{
+    auto tc = tinyTraceConfig(n);
+    tc.mean_interarrival_s = 1e-6;
+    tc.policy = PruningPolicy::disabled();
+    tc.min_output = 16;
+    tc.max_output = 32;
+    return generatePoissonTrace(tc);
+}
+
+/// Fine 4-token blocks + 1.25x-worst budget: admission packs the pool
+/// nearly full and decode growth crosses block boundaries often, so
+/// preemption pressure is guaranteed.
+ContinuousBatchConfig
+cappedConfig(const std::vector<TracedRequest>& trace)
+{
+    ContinuousBatchConfig sc;
+    sc.max_active = 8;
+    sc.kv_block_tokens = 4;
+    sc.kv_capacity_bytes = kvBudgetForWorstRequest(trace, 1.25, sc);
+    return sc;
+}
+
+TEST(ContinuousScheduler, MemoryCappedRunPreemptsAndFinishesEveryone)
+{
+    const auto trace = denseSaturatingTrace();
+    ContinuousBatchConfig sc = cappedConfig(trace);
+    const ServeReport r = serve(trace, sc);
+    EXPECT_GE(r.preemptions, 1u)
+        << "a 1.25x-worst-request budget must force preemption";
+    EXPECT_GE(r.recompute_tokens, 1u);
+    for (const ServedRequest& req : r.requests) {
+        EXPECT_EQ(req.phase, RequestPhase::Finished);
+        EXPECT_EQ(req.tokens, trace[req.id].workload.generate_len)
+            << "preempted requests must still complete in full";
+    }
+    std::size_t preempted = 0, recompute = 0;
+    for (const ServedRequest& req : r.requests) {
+        preempted += req.preemptions;
+        recompute += req.recompute_tokens;
+    }
+    EXPECT_EQ(preempted, r.preemptions);
+    EXPECT_EQ(recompute, r.recompute_tokens);
+    ASSERT_EQ(r.kv_peak_bytes.size(), 1u);
+    EXPECT_LE(r.kv_peak_bytes[0], sc.kv_capacity_bytes)
+        << "the pool must never exceed its budget";
+    EXPECT_GT(r.kv_peak_bytes[0], 0u);
+    EXPECT_GT(r.kv_mean_bytes[0], 0.0);
+    EXPECT_LE(r.kv_mean_bytes[0],
+              static_cast<double>(r.kv_peak_bytes[0]));
+    EXPECT_EQ(r.kv_capacity_bytes, sc.kv_capacity_bytes);
+}
+
+TEST(ContinuousScheduler, UncappedRunNeverPreempts)
+{
+    const auto trace = denseSaturatingTrace();
+    const ServeReport r = serve(trace, ContinuousBatchConfig{});
+    EXPECT_EQ(r.preemptions, 0u);
+    EXPECT_EQ(r.recompute_tokens, 0u);
+    for (const ServedRequest& req : r.requests)
+        EXPECT_EQ(req.preemptions, 0u);
+}
+
+TEST(ContinuousScheduler, CascadePruningAdmitsHigherConcurrency)
+{
+    // Same demand, same KV budget; the only difference is the policy.
+    // Pruned prompts shrink after prefill (and keep shrinking during
+    // decode), so strictly more requests fit the pool at once.
+    auto tc = tinyTraceConfig(16);
+    tc.mean_interarrival_s = 1e-6;
+    tc.policy = PruningPolicy::disabled();
+    const auto dense_trace = generatePoissonTrace(tc);
+    tc.policy = PruningPolicy{};
+    const auto pruned_trace = generatePoissonTrace(tc);
+
+    ContinuousBatchConfig sc;
+    sc.max_active = 8;
+    sc.kv_capacity_bytes = kvBudgetForWorstRequest(dense_trace, 2.0, sc);
+    const ServeReport dense = serve(dense_trace, sc);
+    const ServeReport pruned = serve(pruned_trace, sc);
+    EXPECT_GT(pruned.peak_concurrency, dense.peak_concurrency)
+        << "pruning must free KV blocks and admit more concurrency";
+    EXPECT_LE(pruned.preemptions, dense.preemptions);
+}
+
+TEST(ContinuousScheduler, MemoryCappedRunBitIdenticalAcrossThreads)
+{
+    const auto trace = denseSaturatingTrace();
+    ContinuousBatchConfig sc = cappedConfig(trace);
+    sc.num_threads = 1;
+    const ServeReport ref = serve(trace, sc);
+    ASSERT_GE(ref.preemptions, 1u) << "the scenario must have pressure";
+    for (const std::size_t threads : {2u, 8u}) {
+        sc.num_threads = threads;
+        const ServeReport r = serve(trace, sc);
+        EXPECT_EQ(r.preemptions, ref.preemptions);
+        EXPECT_EQ(r.recompute_tokens, ref.recompute_tokens);
+        EXPECT_EQ(r.peak_concurrency, ref.peak_concurrency);
+        EXPECT_EQ(r.kv_peak_bytes, ref.kv_peak_bytes);
+        EXPECT_EQ(r.kv_mean_bytes, ref.kv_mean_bytes);
+        EXPECT_EQ(r.makespan_s, ref.makespan_s);
+        for (std::size_t i = 0; i < r.requests.size(); ++i) {
+            EXPECT_EQ(r.requests[i].preemptions,
+                      ref.requests[i].preemptions);
+            EXPECT_EQ(r.requests[i].finish_s, ref.requests[i].finish_s);
+            EXPECT_EQ(r.requests[i].token_times_s,
+                      ref.requests[i].token_times_s);
+            EXPECT_EQ(r.requests[i].service_seconds,
+                      ref.requests[i].service_seconds);
+        }
+    }
+}
+
+TEST(ContinuousScheduler, PreemptedRequestsRespectCausalityAcrossAccels)
+{
+    // A preempted request re-enters the queue eligible from its
+    // *eviction* time, so an idle accelerator with a lagging clock can
+    // never re-admit it in the simulated past. The violated invariant
+    // was physical: busy service time cannot exceed wall-clock lifetime.
+    const auto trace = denseSaturatingTrace();
+    for (const std::size_t accels : {2u, 3u}) {
+        ContinuousBatchConfig sc = cappedConfig(trace);
+        sc.num_accelerators = accels;
+        sc.shard = ShardPolicy::LeastLoaded;
+        const ServeReport r = serve(trace, sc);
+        ASSERT_GE(r.preemptions, 1u) << "the scenario must have pressure";
+        for (const ServedRequest& req : r.requests) {
+            EXPECT_LE(req.service_seconds,
+                      req.finish_s - req.arrival_s + 1e-12)
+                << "request " << req.id << " on " << accels
+                << " accels served longer than it existed";
+            EXPECT_GE(req.admit_s, req.arrival_s);
+            EXPECT_GT(req.first_token_s, req.admit_s);
+            EXPECT_GE(req.finish_s, req.first_token_s);
+        }
+    }
+}
+
+TEST(ContinuousScheduler, MemoryCappedRepeatedRunsAreIdentical)
+{
+    const auto trace = denseSaturatingTrace(12);
+    ContinuousBatchConfig sc = cappedConfig(trace);
+    const ServeReport a = serve(trace, sc);
+    const ServeReport b = serve(trace, sc);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.kv_peak_bytes, b.kv_peak_bytes);
+    for (std::size_t i = 0; i < a.requests.size(); ++i)
+        EXPECT_EQ(a.requests[i].finish_s, b.requests[i].finish_s);
+}
+
+// ---------------------------------------------------------------------
+// Queue policies and preemption victim selection
+// ---------------------------------------------------------------------
+
+/// Four simultaneous arrivals with hand-set priorities and prompt
+/// lengths chosen so FIFO, Priority, and SPF all disagree.
+std::vector<TracedRequest>
+policyProbeTrace()
+{
+    std::vector<TracedRequest> trace;
+    const std::size_t prompts[] = {160, 48, 96, 64};
+    const int priorities[] = {0, 1, 3, 2};
+    for (std::size_t i = 0; i < 4; ++i) {
+        TracedRequest req;
+        req.id = i;
+        req.arrival_s = 1e-6; // Simultaneous (beyond id order).
+        req.workload.name = "probe-" + std::to_string(i);
+        req.workload.model = tinyModel();
+        req.workload.summarize_len = prompts[i];
+        req.workload.generate_len = 2;
+        req.priority = priorities[i];
+        req.seed = 7 + i;
+        trace.push_back(req);
+    }
+    return trace;
+}
+
+/// Trace order sorted by final admission time (max_active = 1 makes
+/// admissions strictly sequential).
+std::vector<std::size_t>
+admissionOrder(const ServeReport& r)
+{
+    std::vector<std::size_t> order(r.requests.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return r.requests[a].admit_s < r.requests[b].admit_s;
+              });
+    return order;
+}
+
+TEST(ContinuousScheduler, FifoPolicyAdmitsInArrivalIdOrder)
+{
+    ContinuousBatchConfig sc;
+    sc.max_active = 1;
+    const ServeReport r = serve(policyProbeTrace(), sc);
+    EXPECT_EQ(admissionOrder(r), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ContinuousScheduler, PriorityPolicyAdmitsHighestFirst)
+{
+    ContinuousBatchConfig sc;
+    sc.max_active = 1;
+    sc.queue = QueuePolicy::Priority;
+    const ServeReport r = serve(policyProbeTrace(), sc);
+    // Priorities {0,1,3,2} -> ids in descending priority: 2, 3, 1, 0.
+    EXPECT_EQ(admissionOrder(r), (std::vector<std::size_t>{2, 3, 1, 0}));
+}
+
+TEST(ContinuousScheduler, ShortestPromptFirstAdmitsByPromptLength)
+{
+    ContinuousBatchConfig sc;
+    sc.max_active = 1;
+    sc.queue = QueuePolicy::ShortestPromptFirst;
+    const ServeReport r = serve(policyProbeTrace(), sc);
+    // Prompts {160,48,96,64} -> ids by ascending prompt: 1, 3, 2, 0.
+    EXPECT_EQ(admissionOrder(r), (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(ContinuousScheduler, PreemptionEvictsTheLowestPriorityRequest)
+{
+    // Two dense simultaneous requests on a budget that admits both
+    // prompts but cannot hold both grown caches: the low-priority one
+    // must be the victim, and both must still finish.
+    std::vector<TracedRequest> trace;
+    for (std::size_t i = 0; i < 2; ++i) {
+        TracedRequest req;
+        req.id = i;
+        req.arrival_s = 1e-6;
+        req.workload.name = "victim-probe-" + std::to_string(i);
+        req.workload.model = tinyModel();
+        req.workload.summarize_len = 64;
+        req.workload.generate_len = 32;
+        req.policy = PruningPolicy::disabled();
+        req.priority = i == 0 ? 0 : 5;
+        req.seed = 11 + i;
+        trace.push_back(req);
+    }
+    ContinuousBatchConfig sc;
+    sc.max_active = 2;
+    sc.kv_capacity_bytes = kvBudgetForWorstRequest(trace, 1.5, sc);
+    const ServeReport r = serve(trace, sc);
+    ASSERT_GE(r.preemptions, 1u) << "the scenario must have pressure";
+    EXPECT_GE(r.requests[0].preemptions, 1u)
+        << "priority 0 must be the victim";
+    EXPECT_EQ(r.requests[1].preemptions, 0u)
+        << "priority 5 must never be evicted";
+    for (const ServedRequest& req : r.requests) {
+        EXPECT_EQ(req.phase, RequestPhase::Finished);
+        EXPECT_EQ(req.tokens, trace[req.id].workload.generate_len);
+    }
 }
 
 TEST(ContinuousScheduler, SingleIdleRequestMatchesRunDecodeFacade)

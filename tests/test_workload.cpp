@@ -1,9 +1,13 @@
-/// Tests for the benchmark suite definitions, synthetic attention traces
-/// and the synthetic task generators.
+/// Tests for the benchmark suite definitions, synthetic attention traces,
+/// the synthetic task generators, and the arrival-trace generator's edge
+/// cases (degenerate bounds, seed-stability goldens, burst/heavy-tail
+/// modes).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "workload/arrival_trace.hpp"
 #include "workload/attention_trace.hpp"
 #include "workload/benchmarks.hpp"
 #include "workload/synthetic_tasks.hpp"
@@ -165,6 +169,149 @@ TEST(CopyLmTask, DeterministicWithSeed)
     const auto eb = b.sample(5);
     for (std::size_t i = 0; i < 5; ++i)
         EXPECT_EQ(ea[i].ids, eb[i].ids);
+}
+
+// ---------------------------------------------------------------------
+// Arrival-trace generator: edge cases and distribution modes
+// ---------------------------------------------------------------------
+
+TEST(ArrivalTraceGen, DegenerateMinEqualsMaxBounds)
+{
+    ArrivalTraceConfig tc;
+    tc.num_requests = 24;
+    tc.min_prompt = tc.max_prompt = 96;
+    tc.min_output = tc.max_output = 7;
+    const auto trace = generatePoissonTrace(tc);
+    ASSERT_EQ(trace.size(), tc.num_requests);
+    for (const TracedRequest& r : trace) {
+        EXPECT_EQ(r.workload.summarize_len, 96u);
+        EXPECT_EQ(r.workload.generate_len, 7u);
+    }
+}
+
+TEST(ArrivalTraceGen, ZeroOutputBoundsAllowed)
+{
+    ArrivalTraceConfig tc;
+    tc.num_requests = 8;
+    tc.min_output = tc.max_output = 0; // BERT-style classification mix.
+    const auto trace = generatePoissonTrace(tc);
+    for (const TracedRequest& r : trace)
+        EXPECT_EQ(r.workload.generate_len, 0u);
+}
+
+TEST(ArrivalTraceGen, ArrivalsMonotoneNonDecreasingAndPositive)
+{
+    for (const std::uint64_t seed : {1ull, 42ull, 0x5eedull}) {
+        ArrivalTraceConfig tc;
+        tc.num_requests = 128;
+        tc.seed = seed;
+        const auto trace = generatePoissonTrace(tc);
+        double prev = 0.0;
+        for (const TracedRequest& r : trace) {
+            EXPECT_GE(r.arrival_s, prev) << "seed " << seed;
+            prev = r.arrival_s;
+        }
+        EXPECT_GT(trace.front().arrival_s, 0.0);
+    }
+}
+
+// Pinned golden: the default (Poisson, uniform, no priorities) stream
+// must replay bit-identically from a fixed seed across refactors of the
+// generator — any drift silently re-baselines every serving experiment.
+TEST(ArrivalTraceGen, SeedStabilityGolden)
+{
+    ArrivalTraceConfig tc;
+    tc.num_requests = 4;
+    tc.mean_interarrival_s = 1e-3;
+    tc.seed = 0x5eed;
+    const auto trace = generatePoissonTrace(tc);
+    ASSERT_EQ(trace.size(), 4u);
+    const struct
+    {
+        double arrival_s;
+        std::size_t prompt;
+        std::size_t output;
+        std::uint64_t seed;
+    } golden[] = {
+        {0.0027239713595298923, 251, 32, 0xf985e1f2fb897b03ULL},
+        {0.0038812628217176522, 299, 22, 0x6c13fd25a3155716ULL},
+        {0.0053748991525125883, 146, 30, 0xacaedbe9142e2838ULL},
+        {0.0061533030372219214, 155, 11, 0x3f4c13e909495775ULL},
+    };
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(trace[i].arrival_s, golden[i].arrival_s);
+        EXPECT_EQ(trace[i].workload.summarize_len, golden[i].prompt);
+        EXPECT_EQ(trace[i].workload.generate_len, golden[i].output);
+        EXPECT_EQ(trace[i].seed, golden[i].seed);
+        EXPECT_EQ(trace[i].priority, 0);
+    }
+}
+
+TEST(ArrivalTraceGen, OnOffBurstClustersArrivals)
+{
+    ArrivalTraceConfig tc;
+    tc.num_requests = 256;
+    tc.mean_interarrival_s = 0.1e-3;
+    tc.process = ArrivalProcess::OnOffBurst;
+    tc.burst_on_mean_s = 1e-3;   // ~10 arrivals per burst.
+    tc.burst_off_mean_s = 20e-3; // Long silences between bursts.
+    const auto trace = generateArrivalTrace(tc);
+
+    double prev = 0.0;
+    std::size_t long_gaps = 0;
+    for (const TracedRequest& r : trace) {
+        ASSERT_GE(r.arrival_s, prev);
+        if (r.arrival_s - prev > 5e-3) // >> any in-burst gap scale.
+            ++long_gaps;
+        prev = r.arrival_s;
+    }
+    EXPECT_GE(long_gaps, 5u)
+        << "OFF periods must show up as long inter-arrival silences";
+    // Deterministic replay.
+    const auto again = generateArrivalTrace(tc);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].arrival_s, again[i].arrival_s);
+}
+
+TEST(ArrivalTraceGen, BoundedParetoPromptsAreHeavyTailedWithinBounds)
+{
+    ArrivalTraceConfig tc;
+    tc.num_requests = 512;
+    tc.min_prompt = 32;
+    tc.max_prompt = 512;
+    tc.prompt_dist = PromptLengthDist::BoundedPareto;
+    tc.pareto_alpha = 1.1;
+    const auto trace = generateArrivalTrace(tc);
+
+    std::size_t below_mid = 0;
+    std::size_t near_max = 0;
+    for (const TracedRequest& r : trace) {
+        ASSERT_GE(r.workload.summarize_len, tc.min_prompt);
+        ASSERT_LE(r.workload.summarize_len, tc.max_prompt);
+        below_mid += r.workload.summarize_len < 272 ? 1 : 0; // Midpoint.
+        near_max += r.workload.summarize_len >= 384 ? 1 : 0;
+    }
+    EXPECT_GT(below_mid, trace.size() * 3 / 4)
+        << "Pareto mass must concentrate on short prompts";
+    EXPECT_GE(near_max, 1u) << "the heavy tail must still reach far";
+}
+
+TEST(ArrivalTraceGen, PriorityLevelsDrawnWithinRangeAndDeterministic)
+{
+    ArrivalTraceConfig tc;
+    tc.num_requests = 128;
+    tc.priority_levels = 4;
+    const auto trace = generateArrivalTrace(tc);
+    std::set<int> seen;
+    for (const TracedRequest& r : trace) {
+        ASSERT_GE(r.priority, 0);
+        ASSERT_LT(r.priority, 4);
+        seen.insert(r.priority);
+    }
+    EXPECT_EQ(seen.size(), 4u) << "all levels should appear in 128 draws";
+    const auto again = generateArrivalTrace(tc);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].priority, again[i].priority);
 }
 
 } // namespace
