@@ -52,12 +52,8 @@ main()
         }
         // Simulated totals (identical at every thread count), so the
         // JSON perf trajectory stays commensurable with other benches.
-        double total_cycles = 0;
-        for (const auto& res : r.results)
-            total_cycles += static_cast<double>(res.cycles);
-        records.push_back({"batch_t" + std::to_string(threads),
-                           total_cycles, r.total_seconds,
-                           r.aggregate_tflops, r.dram_reduction});
+        records.push_back(
+            recordFromBatch("batch_t" + std::to_string(threads), r));
     }
     rule();
     std::printf("p50 %.3f ms, p99 %.3f ms, %.0f requests/simulated-s; all "

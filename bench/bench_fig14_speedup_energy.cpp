@@ -39,9 +39,7 @@ main()
     std::vector<BenchRecord> records;
     for (const auto& b : paperBenchmarks()) {
         const RunResult sp = accel.run(b.workload, b.policy);
-        records.push_back({b.workload.name,
-                           static_cast<double>(sp.cycles), sp.seconds,
-                           sp.effectiveTflops(), sp.dramReduction()});
+        records.push_back(recordFromRun(b.workload.name, sp));
         std::printf("%-24s |", b.workload.name.c_str());
         double row_speed[4], row_eff[4];
         for (std::size_t p = 0; p < platforms.size(); ++p) {

@@ -29,9 +29,7 @@ main()
         } else {
             eff_bert.push_back(r.effectiveTflops());
         }
-        records.push_back({b.workload.name, static_cast<double>(r.cycles),
-                           r.seconds, r.effectiveTflops(),
-                           r.dramReduction()});
+        records.push_back(recordFromRun(b.workload.name, r));
     }
     writeBenchJson("headline_reductions", records);
 

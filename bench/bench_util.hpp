@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "accel/pipeline.hpp"
+#include "serve/batch_runner.hpp"
+#include "serve/continuous_batch_scheduler.hpp"
+
 namespace spatten {
 namespace bench {
 
@@ -66,6 +70,37 @@ struct BenchRecord
     double tflops = 0;         ///< Effective attention TFLOPS.
     double dram_reduction = 1; ///< Dense fp32 bytes / fetched bytes.
 };
+
+/** The BENCH_*.json record of a single-workload simulation result. */
+inline BenchRecord
+recordFromRun(const std::string& workload, const RunResult& r)
+{
+    return {workload, static_cast<double>(r.cycles), r.seconds,
+            r.effectiveTflops(), r.dramReduction()};
+}
+
+/** The BENCH_*.json record of one ContinuousBatchScheduler run:
+ *  makespan-based effective TFLOPS over the whole served trace. */
+inline BenchRecord
+recordFromServe(const std::string& workload, const ServeReport& r)
+{
+    return {workload, r.total_cycles, r.makespan_s,
+            r.makespan_s > 0 ? r.total_flops / r.makespan_s * 1e-12
+                             : 0.0,
+            r.dram_reduction};
+}
+
+/** The BENCH_*.json record of one BatchRunner batch (simulated totals,
+ *  identical at every thread count). */
+inline BenchRecord
+recordFromBatch(const std::string& workload, const BatchResult& b)
+{
+    double cycles = 0;
+    for (const RunResult& r : b.results)
+        cycles += static_cast<double>(r.cycles);
+    return {workload, cycles, b.total_seconds, b.aggregate_tflops,
+            b.dram_reduction};
+}
 
 /** Escape backslashes and double quotes for a JSON string literal. */
 inline std::string

@@ -17,6 +17,10 @@
  * A session is a pure function of (config, workload, policy, seed): its
  * step costs, KV trajectory, and finalized RunResult are bit-identical
  * regardless of which scheduler thread or accelerator shard drives it.
+ *
+ * DecodeSession implements the serving layer's BackendSession contract
+ * (serve/accelerator_backend.hpp), so a SpAtten device slots into the
+ * same heterogeneous scheduler fleet as the baseline adapter sessions.
  */
 #ifndef SPATTEN_ACCEL_DECODE_SESSION_HPP
 #define SPATTEN_ACCEL_DECODE_SESSION_HPP
@@ -26,6 +30,7 @@
 
 #include "accel/attention_graph.hpp"
 #include "accel/pipeline.hpp"
+#include "serve/accelerator_backend.hpp"
 
 namespace spatten {
 
@@ -47,7 +52,7 @@ struct DecodeResult
 };
 
 /** One in-flight generative request on one simulated accelerator. */
-class DecodeSession
+class DecodeSession : public BackendSession
 {
   public:
     DecodeSession(const SpAttenConfig& cfg, const WorkloadSpec& workload,
@@ -66,7 +71,7 @@ class DecodeSession
      * prefill time and enter decode with the full unpruned prompt KV.
      * @return simulated seconds of the pass.
      */
-    double prefill();
+    double prefill() override;
 
     /**
      * Generate one token: run a single-query generation pass against the
@@ -74,19 +79,19 @@ class DecodeSession
      * pruned survivor count as the next KV length.
      * @return simulated seconds of the step.
      */
-    double decodeStep();
+    double decodeStep() override;
 
-    bool prefilled() const { return prefilled_; }
+    bool prefilled() const override { return prefilled_; }
 
     /** All generate_len tokens emitted (a 0-token request is done at
      *  prefill). */
-    bool done() const
+    bool done() const override
     {
         return prefilled_ && tokens_ >= workload_.generate_len;
     }
 
     /** Current cascade-pruned KV length (survivors of the last pass). */
-    std::size_t kvLength() const { return kv_len_; }
+    std::size_t kvLength() const override { return kv_len_; }
 
     /** Bytes one token of this session's KV cache occupies. */
     std::size_t kvBytesPerToken() const
@@ -106,15 +111,18 @@ class DecodeSession
     std::size_t tokensTotal() const { return workload_.generate_len; }
 
     /** KV survivor count after prefill and after each decode step. */
-    const std::vector<std::size_t>& kvTrace() const { return kv_trace_; }
+    const std::vector<std::size_t>& kvTrace() const override
+    {
+        return kv_trace_;
+    }
 
-    const WorkloadSpec& workload() const { return workload_; }
+    const WorkloadSpec& workload() const override { return workload_; }
 
     /** Total simulated seconds consumed so far (prefill + steps). */
     double elapsedSeconds() const { return graph_.elapsedSeconds(); }
 
     /** Land the per-request totals; call once the session is done(). */
-    RunResult finalize() const;
+    RunResult finalize() const override;
 
   private:
     WorkloadSpec workload_;

@@ -56,6 +56,15 @@ SpAttenAccelerator::runDecode(const WorkloadSpec& workload,
     return out;
 }
 
+std::unique_ptr<BackendSession>
+SpAttenAccelerator::makeSession(const WorkloadSpec& workload,
+                                const PruningPolicy& policy,
+                                std::uint64_t request_seed) const
+{
+    return std::make_unique<DecodeSession>(cfg_, workload, policy,
+                                           request_seed);
+}
+
 std::vector<AreaEntry>
 SpAttenAccelerator::area() const
 {

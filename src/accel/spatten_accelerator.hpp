@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "accel/pipeline.hpp"
+#include "serve/accelerator_backend.hpp"
 
 namespace spatten {
 
@@ -35,8 +36,13 @@ struct DecodeResult;
  *   std::printf("%.3f ms, %.2fx DRAM reduction\n",
  *               r.seconds * 1e3, r.dramReduction());
  * @endcode
+ *
+ * The facade also implements the serving layer's AcceleratorBackend
+ * contract (serve/accelerator_backend.hpp): makeSession() opens a
+ * cascade-pruning DecodeSession, so a ContinuousBatchScheduler fleet
+ * can mix SpAtten devices with the baseline adapter backends.
  */
-class SpAttenAccelerator
+class SpAttenAccelerator : public AcceleratorBackend
 {
   public:
     explicit SpAttenAccelerator(SpAttenConfig cfg = SpAttenConfig{});
@@ -65,6 +71,25 @@ class SpAttenAccelerator
                            const PruningPolicy& policy,
                            std::uint64_t request_seed =
                                kDefaultRequestSeed) const;
+
+    // ---- AcceleratorBackend serving contract ----
+    std::string backendName() const override { return "spatten"; }
+    BackendCapabilities capabilities() const override
+    {
+        return {/*cascade_pruning=*/true, /*progressive_quant=*/true,
+                /*dram_savings=*/true};
+    }
+    /** KV byte budget = the HBM stack capacity of this configuration. */
+    std::uint64_t capacityBytes() const override
+    {
+        return cfg_.hbm.capacityBytes();
+    }
+    /** The fetcher streams quantized planes out of an fp16-equivalent
+     *  KV layout (see core/model_spec.hpp). */
+    std::size_t kvBytesPerElem() const override { return 2; }
+    std::unique_ptr<BackendSession>
+    makeSession(const WorkloadSpec& workload, const PruningPolicy& policy,
+                std::uint64_t request_seed) const override;
 
     /** Fig. 13 area breakdown for this configuration. */
     std::vector<AreaEntry> area() const;

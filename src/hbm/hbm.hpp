@@ -46,11 +46,22 @@ struct HbmConfig
     /// The serving layer's KV pool derives its byte budget from this.
     double capacity_gb = 8.0;
 
-    /** Total stack capacity in bytes. */
+    /**
+     * Total stack capacity in bytes. The whole-GiB part converts by
+     * exact integer shift and the sub-GiB remainder rounds to the
+     * nearest byte — the previous single double-multiply-and-cast
+     * truncated fractional capacities toward zero (0.7 GiB lost its
+     * last byte) and had no defined behavior once the product left
+     * uint64 range. Supports capacities below 2^34 whole GiB (16 EiB).
+     */
     std::uint64_t capacityBytes() const
     {
-        return static_cast<std::uint64_t>(capacity_gb *
-                                          (1024.0 * 1024.0 * 1024.0));
+        const auto whole_gb = static_cast<std::uint64_t>(capacity_gb);
+        const double frac_gb =
+            capacity_gb - static_cast<double>(whole_gb);
+        return (whole_gb << 30) +
+               static_cast<std::uint64_t>(
+                   frac_gb * static_cast<double>(1ull << 30) + 0.5);
     }
 
     // Energy constants (pJ), after O'Connor et al. fine-grained DRAM.

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The common serving contract every simulated accelerator implements.
+ *
+ * The paper's headline claims are comparative — SpAtten against A3,
+ * MNNFast, and the CPU/GPU platforms — but a comparison under real
+ * serving conditions (traffic, KV-memory pressure, preemption) needs
+ * every device to speak the same protocol the scheduler drives:
+ * admit a request, run its prefill, step its decode loop one token at
+ * a time, report its resident KV footprint, and finalize per-request
+ * stats. AcceleratorBackend is that protocol. SpAttenAccelerator
+ * implements it natively (sessions are cascade-pruning DecodeSessions);
+ * the baseline models implement it through dense-KV adapter sessions
+ * (baselines/baseline_backends.hpp) with their own cycle/energy models.
+ * ContinuousBatchScheduler owns a heterogeneous pool of backends and is
+ * oblivious to which device type sits behind each slot.
+ *
+ * Sessions must be pure functions of (backend config, workload, policy,
+ * seed): bit-identical regardless of which scheduler thread or fleet
+ * slot drives them. That is what keeps the scheduler's determinism
+ * contract (thread-count bit-identity, placement-independent service
+ * results) intact across heterogeneous fleets.
+ */
+#ifndef SPATTEN_SERVE_ACCELERATOR_BACKEND_HPP
+#define SPATTEN_SERVE_ACCELERATOR_BACKEND_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/pipeline.hpp"
+
+namespace spatten {
+
+/**
+ * Static capability description of one backend type. The scheduler's
+ * capability-aware placement and the README capability matrix both read
+ * these bits; they describe the *mechanism*, not a measured outcome.
+ */
+struct BackendCapabilities
+{
+    /// Cascade token/head pruning shrinks the resident KV cache across
+    /// passes (so a KvPool reservation keeps shrinking after prefill).
+    bool cascade_pruning = false;
+    /// Progressive MSB/LSB quantization trims DRAM traffic further.
+    bool progressive_quant = false;
+    /// Any DRAM-traffic savings at all (pruning decided before fetch).
+    bool dram_savings = false;
+};
+
+/**
+ * One in-flight generative request on one backend: prefill once, then
+ * one decodeStep() per generated token. The KV accessors feed the
+ * serving layer's KvPool; kvLength() is whatever the device actually
+ * keeps resident (cascade-pruned survivors on SpAtten, the full dense
+ * context on the baselines).
+ */
+class BackendSession
+{
+  public:
+    virtual ~BackendSession() = default;
+
+    /** Process the prompt; @return simulated seconds of the pass. */
+    virtual double prefill() = 0;
+
+    /** Generate one token; @return simulated seconds of the step. */
+    virtual double decodeStep() = 0;
+
+    virtual bool prefilled() const = 0;
+
+    /** All generate_len tokens emitted (a 0-token request is done at
+     *  prefill). */
+    virtual bool done() const = 0;
+
+    /** Resident KV length in tokens after the last pass. */
+    virtual std::size_t kvLength() const = 0;
+
+    /** KV length after prefill and after each decode step. */
+    virtual const std::vector<std::size_t>& kvTrace() const = 0;
+
+    virtual const WorkloadSpec& workload() const = 0;
+
+    /** Land the per-request totals; call once the session is done()
+     *  (or at eviction, to account the wasted incarnation). */
+    virtual RunResult finalize() const = 0;
+};
+
+/** One accelerator type a serving fleet can be built from. */
+class AcceleratorBackend
+{
+  public:
+    virtual ~AcceleratorBackend() = default;
+
+    /** Short identifier ("spatten", "a3", ...) for reports/benches. */
+    virtual std::string backendName() const = 0;
+
+    virtual BackendCapabilities capabilities() const = 0;
+
+    /** Device KV-memory capacity (the default KvPool byte budget). */
+    virtual std::uint64_t capacityBytes() const = 0;
+
+    /** Storage width of one KV element on this device (bytes). */
+    virtual std::size_t kvBytesPerElem() const = 0;
+
+    /** Bytes one token of @p model's KV occupies on this device — the
+     *  figure the serving layer's KvPool charges per resident token. */
+    std::size_t kvBytesPerToken(const ModelSpec& model) const
+    {
+        return spatten::kvBytesPerToken(model, kvBytesPerElem());
+    }
+
+    /**
+     * Open a serving session for one request. Deterministic: the
+     * session's behavior is a pure function of (backend config,
+     * workload, policy, seed).
+     */
+    virtual std::unique_ptr<BackendSession>
+    makeSession(const WorkloadSpec& workload, const PruningPolicy& policy,
+                std::uint64_t request_seed) const = 0;
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SERVE_ACCELERATOR_BACKEND_HPP

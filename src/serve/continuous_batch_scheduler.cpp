@@ -11,8 +11,9 @@
 #include <numeric>
 #include <thread>
 
-#include "accel/decode_session.hpp"
+#include "accel/spatten_accelerator.hpp"
 #include "common/logging.hpp"
+#include "serve/accelerator_backend.hpp"
 
 namespace spatten {
 
@@ -24,7 +25,7 @@ struct ActiveSession
     std::size_t idx = 0; ///< Position in the trace (report index).
     std::uint64_t admit_seq = 0; ///< Global admission order (preemption
                                  ///< tie-break: evict the latest).
-    std::unique_ptr<DecodeSession> session;
+    std::unique_ptr<BackendSession> session;
 };
 
 /** One simulated accelerator's private scheduling state. */
@@ -42,7 +43,7 @@ struct AccelState
 /** One session step to simulate this iteration. */
 struct StepJob
 {
-    DecodeSession* session = nullptr;
+    BackendSession* session = nullptr;
     bool do_prefill = false;
     double seconds = 0; ///< Output: simulated step cost.
 };
@@ -170,9 +171,10 @@ class StepPool
 std::uint64_t
 kvBudgetForWorstRequest(const std::vector<TracedRequest>& trace,
                         double headroom,
-                        const ContinuousBatchConfig& sched)
+                        const ContinuousBatchConfig& sched,
+                        std::size_t kv_bytes_per_elem)
 {
-    const KvPool probe({0, sched.kv_block_tokens});
+    const KvPool probe({0, sched.kv_block_tokens, kv_bytes_per_elem});
     std::uint64_t worst = 0;
     for (const TracedRequest& r : trace)
         worst = std::max(worst, probe.bytesForTokens(
@@ -183,15 +185,48 @@ kvBudgetForWorstRequest(const std::vector<TracedRequest>& trace,
                                       headroom);
 }
 
+namespace {
+
+/// The homogeneous pool of the legacy constructor: one shared SpAtten
+/// backend in every slot (sessions carry all per-request state).
+AcceleratorFleet
+spattenFleet(const SpAttenConfig& cfg, std::size_t num_accelerators)
+{
+    SPATTEN_ASSERT(num_accelerators >= 1, "empty accelerator pool");
+    return AcceleratorFleet(
+        num_accelerators, std::make_shared<const SpAttenAccelerator>(cfg));
+}
+
+} // namespace
+
 ContinuousBatchScheduler::ContinuousBatchScheduler(
     SpAttenConfig cfg, ContinuousBatchConfig sched)
-    : cfg_(cfg), sched_(sched)
+    : ContinuousBatchScheduler(spattenFleet(cfg, sched.num_accelerators),
+                               sched)
 {
-    SPATTEN_ASSERT(sched_.num_accelerators >= 1, "empty accelerator pool");
+}
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    AcceleratorFleet fleet, ContinuousBatchConfig sched)
+    : fleet_(std::move(fleet)), sched_(sched)
+{
+    SPATTEN_ASSERT(!fleet_.empty(), "empty accelerator pool");
+    for (const auto& backend : fleet_)
+        SPATTEN_ASSERT(backend != nullptr, "null backend in fleet");
+    sched_.num_accelerators = fleet_.size();
     SPATTEN_ASSERT(sched_.max_active >= 1, "batch width must be >= 1");
     SPATTEN_ASSERT(sched_.kv_block_tokens >= 1, "zero-token KV blocks");
-    if (sched_.kv_capacity_bytes == 0)
-        sched_.kv_capacity_bytes = cfg_.hbm.capacityBytes();
+    if (sched_.kv_capacity_bytes == 0) {
+        // A fleet of equal-capacity devices keeps the uniform-budget
+        // report field meaningful; heterogeneous capacities stay
+        // per-slot (ServeReport::accel_kv_capacity_bytes).
+        const std::uint64_t first = fleet_.front()->capacityBytes();
+        bool uniform = true;
+        for (const auto& backend : fleet_)
+            uniform = uniform && backend->capacityBytes() == first;
+        if (uniform)
+            sched_.kv_capacity_bytes = first;
+    }
     if (sched_.num_threads == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         sched_.num_threads = hw > 0 ? hw : 1;
@@ -207,12 +242,26 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     const std::size_t n = trace.size();
     const std::size_t num_accels = sched_.num_accelerators;
 
+    // Effective per-slot KV budget: the uniform override when set,
+    // otherwise each backend's own device capacity.
+    const auto slotBudget = [&](std::size_t a) {
+        return sched_.kv_capacity_bytes != 0
+                   ? sched_.kv_capacity_bytes
+                   : fleet_[a]->capacityBytes();
+    };
+
     ServeReport rep;
     rep.requests.resize(n);
     rep.accel_busy_s.assign(num_accels, 0.0);
     rep.accel_util.assign(num_accels, 0.0);
     rep.accel_requests.assign(num_accels, 0);
     rep.kv_capacity_bytes = sched_.kv_capacity_bytes;
+    rep.accel_names.resize(num_accels);
+    rep.accel_kv_capacity_bytes.resize(num_accels);
+    for (std::size_t a = 0; a < num_accels; ++a) {
+        rep.accel_names[a] = fleet_[a]->backendName();
+        rep.accel_kv_capacity_bytes[a] = slotBudget(a);
+    }
     rep.kv_peak_bytes.assign(num_accels, 0);
     rep.kv_mean_bytes.assign(num_accels, 0.0);
     if (n == 0)
@@ -248,48 +297,111 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), queuedBefore);
 
-    const KvPoolConfig pool_cfg{sched_.kv_capacity_bytes,
-                                sched_.kv_block_tokens};
     std::vector<AccelState> accels(num_accels);
-    for (auto& a : accels)
-        a.pool = KvPool(pool_cfg);
+    for (std::size_t a = 0; a < num_accels; ++a)
+        accels[a].pool = KvPool({slotBudget(a), sched_.kv_block_tokens,
+                                 fleet_[a]->kvBytesPerElem()});
+
+    // ---- Routing classes ----
+    // CapabilityAware keeps two shared queues: long prompts wait in a
+    // queue only cascade-pruning backends pull from, short prompts in a
+    // queue every backend pulls from. With no pruning backend in the
+    // fleet every request is short-class (plain LeastLoaded).
+    const bool cap_aware = sched_.shard == ShardPolicy::CapabilityAware;
+    std::vector<char> slot_prunes(num_accels, 0);
+    bool fleet_has_pruner = false;
+    for (std::size_t a = 0; a < num_accels; ++a) {
+        slot_prunes[a] = fleet_[a]->capabilities().cascade_pruning;
+        fleet_has_pruner |= slot_prunes[a] != 0;
+    }
+    const auto isLongClass = [&](std::size_t idx) {
+        return cap_aware && fleet_has_pruner &&
+               trace[idx].workload.summarize_len >=
+                   sched_.long_prompt_threshold;
+    };
+    // Round-robin pin of each request (by canonical arrival position).
+    std::vector<std::size_t> pinned(n, 0);
+    for (std::size_t k = 0; k < n; ++k)
+        pinned[order[k]] = k % num_accels;
+    // Whether accelerator a can ever serve request idx.
+    const auto routable = [&](std::size_t a, std::size_t idx) {
+        if (sched_.shard == ShardPolicy::RoundRobin)
+            return pinned[idx] == a;
+        return !isLongClass(idx) || slot_prunes[a] != 0;
+    };
+
     // Forward-progress precondition: a sole resident request can always
-    // grow to its worst-case (unpruned) KV, so preemption never cascades
-    // into a stall.
-    for (const TracedRequest& req : trace) {
-        const std::uint64_t worst = accels[0].pool.bytesForTokens(
-            req.workload.model,
-            req.workload.summarize_len + req.workload.generate_len);
-        SPATTEN_ASSERT(worst <= sched_.kv_capacity_bytes,
-                       "request %zu needs %llu KV bytes, budget is %llu",
-                       req.id, static_cast<unsigned long long>(worst),
-                       static_cast<unsigned long long>(
-                           sched_.kv_capacity_bytes));
+    // grow to its worst-case (unpruned) KV on every accelerator that
+    // might host it, so preemption never cascades into a stall.
+    for (std::size_t a = 0; a < num_accels; ++a) {
+        // i is the trace *position* — the index every queue, pin, and
+        // class function speaks — not TracedRequest::id, which a
+        // filtered or reordered trace need not keep dense.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!routable(a, i))
+                continue;
+            const TracedRequest& req = trace[i];
+            const std::uint64_t worst = accels[a].pool.bytesForTokens(
+                req.workload.model,
+                req.workload.summarize_len + req.workload.generate_len);
+            SPATTEN_ASSERT(
+                worst <= slotBudget(a),
+                "request %zu needs %llu KV bytes, accel %zu (%s) budget "
+                "is %llu",
+                req.id, static_cast<unsigned long long>(worst), a,
+                fleet_[a]->backendName().c_str(),
+                static_cast<unsigned long long>(slotBudget(a)));
+        }
     }
 
     constexpr double kInf = std::numeric_limits<double>::infinity();
     // When demand first exists *for each accelerator*: under
-    // RoundRobin an accelerator only ever sees its pinned requests, so
-    // its utilization window starts at their earliest arrival; under
-    // LeastLoaded every accelerator could pull the first arrival of
-    // the trace (order[] is arrival-sorted, so that is order[0]'s).
-    std::vector<double> first_demand(
-        num_accels, sched_.shard == ShardPolicy::LeastLoaded
-                        ? trace[order[0]].arrival_s
-                        : kInf);
-    std::deque<std::size_t> shared; // Least-loaded shared queue.
+    // RoundRobin an accelerator only ever sees its pinned requests, and
+    // under CapabilityAware a non-pruning backend only ever sees
+    // short-class requests, so each utilization window starts at the
+    // earliest arrival routable to that accelerator; under LeastLoaded
+    // every accelerator could pull the first arrival of the trace.
+    std::vector<double> first_demand(num_accels, kInf);
+    std::deque<std::size_t> shared;      ///< Short / default class.
+    std::deque<std::size_t> shared_long; ///< CapabilityAware long class.
     for (std::size_t k = 0; k < n; ++k) {
-        if (sched_.shard == ShardPolicy::RoundRobin) {
-            accels[k % num_accels].queue.push_back(order[k]);
-            first_demand[k % num_accels] =
-                std::min(first_demand[k % num_accels],
-                         trace[order[k]].arrival_s);
-        } else {
-            shared.push_back(order[k]);
-        }
+        const std::size_t idx = order[k];
+        if (sched_.shard == ShardPolicy::RoundRobin)
+            accels[k % num_accels].queue.push_back(idx);
+        else if (isLongClass(idx))
+            shared_long.push_back(idx);
+        else
+            shared.push_back(idx);
+        for (std::size_t a = 0; a < num_accels; ++a)
+            if (routable(a, idx))
+                first_demand[a] =
+                    std::min(first_demand[a], trace[idx].arrival_s);
     }
-    const auto feedQueue = [&](AccelState& a) -> std::deque<std::size_t>& {
-        return sched_.shard == ShardPolicy::RoundRobin ? a.queue : shared;
+    // The feed queues an accelerator pulls from, in preference order
+    // (ties in eligibility resolve toward the earlier queue). At most
+    // two and queried on every event-loop iteration, so a fixed-size
+    // view — never an allocation.
+    struct QueueList
+    {
+        std::deque<std::size_t>* q[2];
+        std::size_t count;
+        std::deque<std::size_t>** begin() { return q; }
+        std::deque<std::size_t>** end() { return q + count; }
+    };
+    const auto feedQueues = [&](std::size_t a) -> QueueList {
+        if (sched_.shard == ShardPolicy::RoundRobin)
+            return {{&accels[a].queue, nullptr}, 1};
+        if (cap_aware && slot_prunes[a] != 0)
+            return {{&shared_long, &shared}, 2};
+        return {{&shared, nullptr}, 1};
+    };
+    // The class queue a (preempted) request re-enters.
+    const auto homeQueue =
+        [&](std::size_t accel_index,
+            std::size_t idx) -> std::deque<std::size_t>& {
+        if (sched_.shard == ShardPolicy::RoundRobin)
+            return accels[accel_index].queue;
+        return isLongClass(idx) ? shared_long : shared;
     };
 
     // Queue-policy admission key: lexicographic (policy primary,
@@ -317,17 +429,20 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     };
 
     // The earliest simulated time at which an accelerator can do work:
-    // now if it has an active batch, the head eligibility of its feed
-    // queue if it is idle, +inf if it has nothing left to do. (Queue
-    // policies reorder admission among *eligible* requests only, never
-    // the wake-up time.)
-    const auto nextEventTime = [&](AccelState& a) {
-        if (!a.active.empty())
-            return a.clock_s;
-        const auto& q = feedQueue(a);
-        if (q.empty())
+    // now if it has an active batch, the earliest head eligibility of
+    // its feed queues if it is idle, +inf if it has nothing left to do.
+    // (Queue policies reorder admission among *eligible* requests only,
+    // never the wake-up time.)
+    const auto nextEventTime = [&](std::size_t a) {
+        if (!accels[a].active.empty())
+            return accels[a].clock_s;
+        double head = kInf;
+        for (const auto* q : feedQueues(a))
+            if (!q->empty())
+                head = std::min(head, eligible[q->front()]);
+        if (head == kInf)
             return kInf;
-        return std::max(a.clock_s, eligible[q.front()]);
+        return std::max(accels[a].clock_s, head);
     };
 
     std::size_t finished = 0;
@@ -349,7 +464,8 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
 
     // Evict active[v] vLLM-recompute-style: KV blocks released, emitted
     // tokens discarded, request re-queued for a fresh admission.
-    const auto preempt = [&](AccelState& accel, std::size_t v) {
+    const auto preempt = [&](std::size_t accel_index, std::size_t v) {
+        AccelState& accel = accels[accel_index];
         const std::size_t idx = accel.active[v].idx;
         accel.pool.release(idx);
         // Every victim is prefilled: a session admitted in iteration k
@@ -375,9 +491,10 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         // Eligible again only from the eviction onward — never before,
         // so no accelerator can re-admit it in the simulated past.
         eligible[idx] = accel.clock_s;
-        // Sorted re-insert preserves the queues' (eligibility, id)
-        // order, keeping nextEventTime's head-is-earliest invariant.
-        auto& q = feedQueue(accel);
+        // Sorted re-insert into the request's class queue preserves the
+        // queues' (eligibility, id) order, keeping nextEventTime's
+        // head-is-earliest invariant.
+        auto& q = homeQueue(accel_index, idx);
         q.insert(std::upper_bound(q.begin(), q.end(), idx, queuedBefore),
                  idx);
         accel.active.erase(accel.active.begin() +
@@ -411,7 +528,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         std::size_t best = num_accels;
         double best_t = kInf;
         for (std::size_t a = 0; a < num_accels; ++a) {
-            const double t = nextEventTime(accels[a]);
+            const double t = nextEventTime(a);
             if (t < best_t) {
                 best_t = t;
                 best = a;
@@ -447,7 +564,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                                idx);
                 const std::size_t v = pickVictim(accel);
                 self_preempted = v == i;
-                preempt(accel, v);
+                preempt(best, v);
                 if (self_preempted)
                     break;
                 if (v < i)
@@ -457,39 +574,52 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 ++i;
         }
 
-        // ---- Admit eligible requests into free batch slots, best
-        // queue-policy key first; admission blocks (head-of-line) when
-        // the prompt KV does not fit the pool ----
-        auto& queue = feedQueue(accel);
-        while (accel.active.size() < sched_.max_active) {
-            constexpr auto npos = std::numeric_limits<std::size_t>::max();
-            std::size_t best_pos = npos;
-            for (std::size_t p = 0; p < queue.size(); ++p) {
-                // Sorted by eligibility: everything past the first
-                // not-yet-eligible entry is ineligible too.
-                if (eligible[queue[p]] > accel.clock_s)
-                    break;
-                if (best_pos == npos ||
-                    admitBefore(queue[p], queue[best_pos]))
-                    best_pos = p;
-            }
-            if (best_pos == npos)
+        // ---- Admit eligible requests into free batch slots, feed
+        // queues in preference order, best queue-policy key first;
+        // admission blocks (head-of-line, per class queue) when the
+        // prompt KV does not fit the pool. A blocked preferred queue
+        // also blocks the lower-preference queues, so short-class
+        // requests can never starve a blocked long-class head ----
+        bool admission_blocked = false;
+        for (auto* queue_ptr : feedQueues(best)) {
+            if (admission_blocked)
                 break;
-            const std::size_t idx = queue[best_pos];
-            if (!accel.pool.tryReserve(idx, trace[idx].workload.model,
-                                       trace[idx].workload.summarize_len))
-                break; // Pool full: prefill blocked until blocks free up.
-            queue.erase(queue.begin() +
-                        static_cast<std::ptrdiff_t>(best_pos));
-            ServedRequest& r = rep.requests[idx];
-            r.accel = static_cast<int>(best);
-            r.admit_s = accel.clock_s;
-            r.phase = RequestPhase::Prefill;
-            accel.active.push_back(
-                {idx, admit_seq++,
-                 std::make_unique<DecodeSession>(
-                     cfg_, trace[idx].workload, trace[idx].policy,
-                     trace[idx].seed)});
+            auto& queue = *queue_ptr;
+            while (accel.active.size() < sched_.max_active) {
+                constexpr auto npos =
+                    std::numeric_limits<std::size_t>::max();
+                std::size_t best_pos = npos;
+                for (std::size_t p = 0; p < queue.size(); ++p) {
+                    // Sorted by eligibility: everything past the first
+                    // not-yet-eligible entry is ineligible too.
+                    if (eligible[queue[p]] > accel.clock_s)
+                        break;
+                    if (best_pos == npos ||
+                        admitBefore(queue[p], queue[best_pos]))
+                        best_pos = p;
+                }
+                if (best_pos == npos)
+                    break; // Nothing eligible here: try the next queue.
+                const std::size_t idx = queue[best_pos];
+                if (!accel.pool.tryReserve(
+                        idx, trace[idx].workload.model,
+                        trace[idx].workload.summarize_len)) {
+                    // Pool full: prefill blocked until blocks free up.
+                    admission_blocked = true;
+                    break;
+                }
+                queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(best_pos));
+                ServedRequest& r = rep.requests[idx];
+                r.accel = static_cast<int>(best);
+                r.admit_s = accel.clock_s;
+                r.phase = RequestPhase::Prefill;
+                accel.active.push_back(
+                    {idx, admit_seq++,
+                     fleet_[best]->makeSession(trace[idx].workload,
+                                               trace[idx].policy,
+                                               trace[idx].seed)});
+            }
         }
         SPATTEN_ASSERT(!accel.active.empty(),
                        "selected an accelerator with no admissible work");

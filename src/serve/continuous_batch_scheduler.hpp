@@ -5,14 +5,22 @@
  *
  * The scheduler consumes an arrival trace (workload/arrival_trace.hpp)
  * and serves it the way a production LLM endpoint does: requests arrive
- * over simulated time, are sharded onto N simulated SpAtten accelerators
- * (round-robin or least-loaded), and each accelerator runs iterations
- * that interleave prefill passes of newly admitted requests with one
- * decode step of every in-flight request — tokens leave the batch one
- * iteration at a time, and finished requests free their slot for queued
- * arrivals (continuous batching, not one-shot batches). Each request's
- * decode loop runs in a DecodeSession, so its KV working set carries the
- * cascade-pruned survivor count across steps.
+ * over simulated time, are sharded onto a pool of simulated accelerators
+ * (round-robin, least-loaded, or capability-aware), and each accelerator
+ * runs iterations that interleave prefill passes of newly admitted
+ * requests with one decode step of every in-flight request — tokens
+ * leave the batch one iteration at a time, and finished requests free
+ * their slot for queued arrivals (continuous batching, not one-shot
+ * batches).
+ *
+ * The pool is *heterogeneous*: each slot is an AcceleratorBackend
+ * (serve/accelerator_backend.hpp) — a SpAttenAccelerator whose sessions
+ * carry the cascade-pruned KV survivor count across steps, or one of
+ * the baseline adapters (A3, MNNFast, CPU/GPU platforms;
+ * baselines/baseline_backends.hpp) whose dense KV grows one token per
+ * step. The legacy (SpAttenConfig, ContinuousBatchConfig) constructor
+ * builds an all-SpAtten fleet and is bit-identical to the
+ * pre-abstraction scheduler at every thread count.
  *
  * Scheduling is KV-capacity-aware: every accelerator owns a KvPool
  * (serve/kv_pool.hpp) whose byte budget derives from the HBM capacity
@@ -44,9 +52,11 @@
 #define SPATTEN_SERVE_CONTINUOUS_BATCH_SCHEDULER_HPP
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "accel/pipeline.hpp"
+#include "serve/accelerator_backend.hpp"
 #include "serve/kv_pool.hpp"
 #include "serve/request_state.hpp"
 #include "workload/arrival_trace.hpp"
@@ -63,6 +73,14 @@ enum class ShardPolicy
     /// entry under the queue policy (classic least-loaded /
     /// join-idle-queue dispatch).
     LeastLoaded,
+    /// Least-loaded with capability affinity for heterogeneous fleets:
+    /// long prompts (summarize_len >= long_prompt_threshold) wait in a
+    /// queue only cascade-pruning backends (SpAtten) pull from — their
+    /// pruned KV makes heavy prompts cheap to keep resident — while
+    /// short prompts wait in a queue every backend pulls from; pruning
+    /// backends drain their long queue first. With no pruning backend
+    /// in the fleet this degrades to LeastLoaded.
+    CapabilityAware,
 };
 
 /** Order in which queued requests are admitted. */
@@ -94,13 +112,19 @@ struct ContinuousBatchConfig
     double slo_ttft_s = 50e-3;
     double slo_itl_s = 2e-3;
 
-    /// Per-accelerator KV byte budget; 0 derives it from the HBM stack
-    /// capacity (SpAttenConfig::hbm.capacityBytes()), which for these
-    /// model sizes never binds — set a small explicit budget to study
-    /// the memory-pressure regime.
+    /// Per-accelerator KV byte budget; 0 derives each accelerator's
+    /// budget from its backend's capacityBytes() (the HBM stack
+    /// capacity for SpAtten), which for these model sizes never binds —
+    /// set a small explicit budget to study the memory-pressure regime.
+    /// A non-zero value applies uniformly to every fleet slot (the
+    /// "same KV budget" comparison the paper's Table III implies).
     std::uint64_t kv_capacity_bytes = 0;
     /// KV allocation granularity in tokens (paged-KV block size).
     std::size_t kv_block_tokens = 16;
+
+    /// CapabilityAware only: prompts at least this long are routed to
+    /// cascade-pruning backends.
+    std::size_t long_prompt_threshold = 256;
 };
 
 /** Aggregated outcome of serving one trace. */
@@ -131,6 +155,11 @@ struct ServeReport
     /// preempted incarnations whose outputs were discarded — the
     /// accelerator burned them, so they exceed the sum over
     /// requests[i].sim on memory-capped runs with preemptions.
+    /// Heterogeneous-fleet caveat: each backend counts cycles in its
+    /// own clock domain (every stock backend is 1 GHz-equivalent —
+    /// SpAtten's default core clock, A3/MNNFast's freq_ghz, and the
+    /// platforms' ns-as-cycles — but a reconfigured fleet can mix
+    /// units; the seconds-based metrics are always commensurable).
     double total_cycles = 0;
     double total_energy_j = 0; ///< Includes preempted work, as above.
     double total_flops = 0;    ///< Includes preempted work, as above.
@@ -138,6 +167,10 @@ struct ServeReport
     /// preempted incarnations' traffic with no dense counterpart, so
     /// preemption overhead lowers the effective reduction.
     double dram_reduction = 1;
+
+    // ---- Fleet composition ----
+    /// Backend name of each fleet slot ("spatten", "a3", ...).
+    std::vector<std::string> accel_names;
 
     // ---- KV-capacity / preemption accounting ----
     std::size_t preemptions = 0;      ///< Total evictions across the run.
@@ -147,7 +180,11 @@ struct ServeReport
                                       ///< the whole pool (preempted
                                       ///< incarnations count while they
                                       ///< were resident).
-    std::uint64_t kv_capacity_bytes = 0;  ///< Effective per-accel budget.
+    /// The uniform per-accel budget (0 when each slot derives its own
+    /// from the backend; see accel_kv_capacity_bytes for the per-slot
+    /// effective budgets).
+    std::uint64_t kv_capacity_bytes = 0;
+    std::vector<std::uint64_t> accel_kv_capacity_bytes; ///< Per slot.
     std::vector<std::uint64_t> kv_peak_bytes; ///< Peak pool occupancy.
     std::vector<double> kv_mean_bytes; ///< Time-weighted mean occupancy
                                        ///< over each accel's busy time.
@@ -162,32 +199,56 @@ struct ServeReport
  * must fit alone); small multiples like 1.25-2.0 dial in the
  * memory-pressure regime the preemption machinery serves — the single
  * definition the bench and the property tests both use.
+ *
+ * @p kv_bytes_per_elem is the KV storage width the budget must cover;
+ * fleets mixing backends with different widths (PlatformBackend keeps
+ * fp32 KV) must size the budget at the widest element of the fleet or
+ * the widest slot cannot guarantee forward progress.
  */
 std::uint64_t kvBudgetForWorstRequest(
     const std::vector<TracedRequest>& trace, double headroom,
-    const ContinuousBatchConfig& sched = ContinuousBatchConfig{});
+    const ContinuousBatchConfig& sched = ContinuousBatchConfig{},
+    std::size_t kv_bytes_per_elem = 2);
+
+/** A heterogeneous accelerator fleet: one backend per slot. */
+using AcceleratorFleet =
+    std::vector<std::shared_ptr<const AcceleratorBackend>>;
 
 /** The continuous-batching scheduler. */
 class ContinuousBatchScheduler
 {
   public:
+    /**
+     * The homogeneous-SpAtten pool: sched.num_accelerators slots, all
+     * running @p cfg. Bit-identical to the pre-backend-abstraction
+     * scheduler (pinned by the PR 3 goldens).
+     */
     explicit ContinuousBatchScheduler(
         SpAttenConfig cfg = SpAttenConfig{},
         ContinuousBatchConfig sched = ContinuousBatchConfig{});
 
     /**
+     * A heterogeneous pool: one slot per @p fleet entry (overriding
+     * sched.num_accelerators). Backends may be shared between slots —
+     * sessions carry all per-request state.
+     */
+    ContinuousBatchScheduler(AcceleratorFleet fleet,
+                             ContinuousBatchConfig sched);
+
+    /**
      * Serve every request of @p trace to completion and aggregate.
-     * Deterministic: a pure function of (config, trace), independent of
-     * num_threads; per-request service results are also independent of
-     * num_accelerators and shard policy.
+     * Deterministic: a pure function of (fleet configs, sched config,
+     * trace), independent of num_threads; per-request service results
+     * on a homogeneous fleet are also independent of the slot count and
+     * shard policy.
      */
     ServeReport run(const std::vector<TracedRequest>& trace);
 
     const ContinuousBatchConfig& schedulerConfig() const { return sched_; }
-    const SpAttenConfig& config() const { return cfg_; }
+    const AcceleratorFleet& fleet() const { return fleet_; }
 
   private:
-    SpAttenConfig cfg_;
+    AcceleratorFleet fleet_;
     ContinuousBatchConfig sched_;
 };
 

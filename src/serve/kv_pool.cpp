@@ -10,6 +10,7 @@ namespace spatten {
 KvPool::KvPool(KvPoolConfig cfg) : cfg_(cfg)
 {
     SPATTEN_ASSERT(cfg_.block_tokens >= 1, "zero-token KV blocks");
+    SPATTEN_ASSERT(cfg_.bytes_per_elem >= 1, "zero-byte KV elements");
 }
 
 std::uint64_t
@@ -19,7 +20,8 @@ KvPool::bytesForTokens(const ModelSpec& model, std::size_t tokens) const
         return 0;
     const std::uint64_t blocks =
         ceilDiv<std::uint64_t>(tokens, cfg_.block_tokens);
-    return blocks * cfg_.block_tokens * kvBytesPerToken(model);
+    return blocks * cfg_.block_tokens *
+           kvBytesPerToken(model, cfg_.bytes_per_elem);
 }
 
 bool

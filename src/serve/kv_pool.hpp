@@ -37,6 +37,11 @@ struct KvPoolConfig
     /// Allocation granularity in tokens (vLLM-style paged blocks): a
     /// request holding t tokens reserves ceil(t / block_tokens) blocks.
     std::size_t block_tokens = 16;
+    /// Storage width of one KV element on the owning device (bytes):
+    /// 2 for SpAtten's fp16-equivalent plane layout (the default), 4
+    /// for the fp32 platform baselines (AcceleratorBackend::
+    /// kvBytesPerElem()).
+    std::size_t bytes_per_elem = 2;
 };
 
 /** Per-accelerator KV block allocator. */

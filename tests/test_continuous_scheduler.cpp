@@ -553,6 +553,81 @@ TEST(KvPool, UnlimitedPoolNeverRejectsButStillAccounts)
     EXPECT_GT(pool.peakBytes(), 0u);
 }
 
+TEST(KvPool, SubBlockCapacityAdmitsNothingButZeroTokenReservations)
+{
+    // capacity_bytes == 0 means *unlimited* by convention, so the true
+    // zero-capacity regime is a budget smaller than one block: every
+    // non-empty reservation must bounce, and a bounced reserve must
+    // leave the pool untouched.
+    const ModelSpec m = tinyModel();
+    KvPool pool({1, 16}); // 1-byte budget < any whole block.
+    EXPECT_FALSE(pool.unlimited());
+    EXPECT_FALSE(pool.tryReserve(0, m, 1));
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.peakBytes(), 0u);
+    EXPECT_EQ(pool.residentRequests(), 0u);
+    // A 0-token reservation needs no blocks and must still be allowed
+    // (a request can exist with its cache fully pruned away).
+    EXPECT_TRUE(pool.tryReserve(0, m, 0));
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.residentRequests(), 1u);
+    pool.release(0);
+    EXPECT_EQ(pool.residentRequests(), 0u);
+}
+
+TEST(KvPool, ReservationShrinksToZeroAfterFullPruneAndRegrows)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({16 * 16 * 4096, 16});
+    ASSERT_TRUE(pool.tryReserve(7, m, 32));
+    const std::uint64_t before = pool.usedBytes();
+    EXPECT_GT(before, 0u);
+    // Cascade pruning can leave zero survivors: the reservation must
+    // shrink to zero bytes yet stay resident (the request still owns
+    // its slot and will grow again next decode step).
+    EXPECT_TRUE(pool.tryResize(7, m, 0));
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.residentRequests(), 1u);
+    EXPECT_EQ(pool.peakBytes(), before) << "peak is a high-water mark";
+    EXPECT_TRUE(pool.tryResize(7, m, 1)) << "regrowth from zero";
+    EXPECT_EQ(pool.usedBytes(), pool.bytesForTokens(m, 1));
+    pool.release(7);
+    EXPECT_EQ(pool.usedBytes(), 0u);
+}
+
+TEST(KvPool, SingleRequestExceedingWholeBudgetBouncesCleanly)
+{
+    const ModelSpec m = tinyModel(); // 4096 B per token.
+    KvPool pool({4 * 16 * 4096, 16}); // 4-block budget.
+    // 5 blocks > the whole budget: rejected with no side effects, and
+    // the pool must remain fully usable for requests that do fit.
+    EXPECT_FALSE(pool.tryReserve(0, m, 16 * 5));
+    EXPECT_EQ(pool.usedBytes(), 0u);
+    EXPECT_EQ(pool.peakBytes(), 0u);
+    EXPECT_EQ(pool.residentRequests(), 0u);
+    EXPECT_TRUE(pool.tryReserve(0, m, 16 * 4))
+        << "an exactly-budget-sized request must fit";
+    EXPECT_EQ(pool.usedBytes(), pool.capacityBytes());
+    // And a resident request can never grow past the whole budget.
+    EXPECT_FALSE(pool.tryResize(0, m, 16 * 5));
+    EXPECT_EQ(pool.usedBytes(), pool.capacityBytes());
+}
+
+TEST(KvPool, WiderKvElementsChargeProportionallyMoreBytes)
+{
+    // The fp32 platform backends reserve at bytes_per_elem = 4: the
+    // same token count must charge exactly twice the fp16-equivalent
+    // bytes, halving how many requests a shared budget admits.
+    const ModelSpec m = tinyModel();
+    const KvPool fp16({0, 16, 2});
+    const KvPool fp32({0, 16, 4});
+    EXPECT_EQ(fp32.bytesForTokens(m, 16), 2 * fp16.bytesForTokens(m, 16));
+    KvPool pool({2 * 16 * 4096 * 2, 16, 4}); // 2 fp32 blocks.
+    EXPECT_TRUE(pool.tryReserve(0, m, 16));
+    EXPECT_FALSE(pool.tryReserve(1, m, 32))
+        << "fp32 blocks are twice as expensive";
+}
+
 // ---------------------------------------------------------------------
 // KV capacity: admission control, preemption, pruning headroom
 // ---------------------------------------------------------------------

@@ -128,5 +128,38 @@ TEST(Hbm, LaterReadyDelaysCompletion)
     EXPECT_EQ(t1, t0 + 5000);
 }
 
+TEST(Hbm, CapacityBytesIsExactForWholeAndFractionalGib)
+{
+    HbmConfig cfg;
+    EXPECT_EQ(cfg.capacityBytes(), 8ull << 30) << "Table I default";
+
+    cfg.capacity_gb = 0.5;
+    EXPECT_EQ(cfg.capacityBytes(), 512ull << 20);
+    cfg.capacity_gb = 7.25;
+    EXPECT_EQ(cfg.capacityBytes(), (7ull << 30) + (256ull << 20));
+    cfg.capacity_gb = 16.0;
+    EXPECT_EQ(cfg.capacityBytes(), 16ull << 30);
+
+    // Large capacities stay exact: the whole-GiB part converts by
+    // integer shift, so a 1 EiB + 0.5 GiB stack lands on the byte.
+    cfg.capacity_gb = 1024.0 * 1024.0 * 1024.0 + 0.5; // 2^30 GiB.
+    EXPECT_EQ(cfg.capacityBytes(), (1ull << 60) + (512ull << 20));
+
+    // The regression the split fixes: fractions round to the nearest
+    // byte instead of truncating toward zero. 0.7 GiB is
+    // 751619276.8 B; the old cast dropped the .8 to ...276.
+    cfg.capacity_gb = 0.7;
+    EXPECT_EQ(cfg.capacityBytes(), 751619277u);
+    EXPECT_NE(cfg.capacityBytes(),
+              static_cast<std::uint64_t>(cfg.capacity_gb *
+                                         (1024.0 * 1024.0 * 1024.0)))
+        << "the old truncating conversion loses the final byte";
+
+    // Irrational fractions land within half a byte of exact.
+    cfg.capacity_gb = 1.0 / 3.0;
+    const double exact = (1024.0 * 1024.0 * 1024.0) / 3.0;
+    EXPECT_NEAR(static_cast<double>(cfg.capacityBytes()), exact, 0.5);
+}
+
 } // namespace
 } // namespace spatten
