@@ -8,7 +8,11 @@
 /// SpAtten-1/8 and A3 slots behind one scheduler (the paper's Table III
 /// comparison pair) serving the same bursty bounded-Pareto demand under
 /// the same per-accelerator KV budget — the first end-to-end serving
-/// reproduction of the cross-accelerator comparison. Reports TTFT / ITL
+/// reproduction of the cross-accelerator comparison — and the
+/// shared-prefix caching scenarios: a system-prompt + multi-turn trace
+/// served with and without the paged ref-counted KV block cache at the
+/// same budget (cache hits shrink both prefill compute and charged
+/// admission bytes). Reports TTFT / ITL
 /// percentiles, goodput under the SLO, per-accelerator utilization,
 /// preemption/recompute overhead, and KV occupancy, and verifies the
 /// determinism contract on the spot: per-request results are
@@ -319,6 +323,88 @@ main()
     records.push_back(recordFromServe("fleet-2xsp8+2xa3-ll", f_mixed_ll));
     records.push_back(
         recordFromServe("fleet-2xsp8+2xa3-cap", f_mixed_cap));
+
+    // ---- Shared-prefix caching: system-prompt pools + multi-turn
+    // follow-ups served with and without the paged prefix cache, same
+    // KV budget (1.25x the worst request) — the regime where thousands
+    // of requests re-send the same context and paged ref-counted
+    // blocks turn it into admission headroom and skipped prefill ----
+    std::printf("\nShared-prefix caching (2 system prompts x 192 tok, "
+                "60%% follow-up turns, KV budget = 1.25x worst)\n");
+    std::printf("%-18s %9s %9s %10s %8s %8s %10s %10s\n", "scenario",
+                "ttft p50", "ttft p99", "peak conc", "hits",
+                "cached", "shared", "preempt");
+    std::printf("%-18s %9s %9s %10s %8s %8s %10s %10s\n", "", "(ms)",
+                "(ms)", "(reqs)", "", "(tok)", "(MiB)", "");
+    rule();
+
+    SharedPrefixTraceConfig sp;
+    sp.base = tc;
+    sp.base.policy = PruningPolicy::disabled();
+    sp.base.mean_interarrival_s = 0.2e-3;
+    sp.base.min_output = 16;
+    sp.base.max_output = 32;
+    sp.num_system_prompts = 2;
+    sp.system_prompt_tokens = 192;
+    sp.followup_prob = 0.6;
+    const auto sp_trace = generateSharedPrefixTrace(sp);
+
+    ContinuousBatchConfig cache_sc;
+    cache_sc.max_active = 16;
+    cache_sc.slo_ttft_s = 25e-3;
+    cache_sc.kv_block_tokens = 16;
+    cache_sc.kv_capacity_bytes =
+        kvBudgetForWorstRequest(sp_trace, 1.25, cache_sc);
+
+    const auto runCache = [&](bool enabled) {
+        ContinuousBatchConfig sc = cache_sc;
+        sc.enable_prefix_caching = enabled;
+        return ContinuousBatchScheduler(SpAttenConfig{}, sc)
+            .run(sp_trace);
+    };
+    const auto showCache = [&](const char* name, const ServeReport& r) {
+        std::printf("%-18s %9.2f %9.2f %10zu %8zu %8zu %10.1f %10zu\n",
+                    name, r.ttft_p50_s * 1e3, r.ttft_p99_s * 1e3,
+                    r.peak_concurrency, r.prefix_cache_hits,
+                    r.prefix_cached_tokens,
+                    static_cast<double>(r.prefix_shared_bytes) /
+                        (1024.0 * 1024.0),
+                    r.preemptions);
+    };
+    const ServeReport cache_off = runCache(false);
+    const ServeReport cache_on = runCache(true);
+    showCache("prefix-cache-off", cache_off);
+    showCache("prefix-cache-on", cache_on);
+    rule();
+
+    // The acceptance claims this section exists to pin: at the same
+    // KV budget, prefix caching strictly improves TTFT p50 and
+    // admissible concurrency.
+    if (cache_on.prefix_cache_hits == 0) {
+        std::printf("FAIL: the shared-prefix trace must produce cache "
+                    "hits\n");
+        return 1;
+    }
+    if (cache_on.ttft_p50_s >= cache_off.ttft_p50_s) {
+        std::printf("FAIL: prefix caching must strictly improve TTFT "
+                    "p50 at equal KV budget\n");
+        return 1;
+    }
+    if (cache_on.peak_concurrency <= cache_off.peak_concurrency) {
+        std::printf("FAIL: prefix caching must strictly raise "
+                    "admissible concurrency at equal KV budget\n");
+        return 1;
+    }
+    std::printf("prefix caching: ttft p50 %.2f -> %.2f ms, admissible "
+                "concurrency %zu -> %zu, %zu/%zu admissions hit, "
+                "%.1f MiB KV mapped copy-free.\n",
+                cache_off.ttft_p50_s * 1e3, cache_on.ttft_p50_s * 1e3,
+                cache_off.peak_concurrency, cache_on.peak_concurrency,
+                cache_on.prefix_cache_hits, sp_trace.size(),
+                static_cast<double>(cache_on.prefix_shared_bytes) /
+                    (1024.0 * 1024.0));
+    records.push_back(recordFromServe("prefix-cache-off", cache_off));
+    records.push_back(recordFromServe("prefix-cache-on", cache_on));
 
     writeBenchJson("serving", records);
     return 0;

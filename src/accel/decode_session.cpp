@@ -1,5 +1,7 @@
 #include "accel/decode_session.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace spatten {
@@ -23,6 +25,12 @@ DecodeSession::DecodeSession(const SpAttenConfig& cfg,
 double
 DecodeSession::prefill()
 {
+    return prefillWithCachedPrefix(0);
+}
+
+double
+DecodeSession::prefillWithCachedPrefix(std::size_t cached_prefix_tokens)
+{
     SPATTEN_ASSERT(!prefilled_, "prefill() called twice");
     prefilled_ = true;
     if (workload_.skip_summarization) {
@@ -32,8 +40,12 @@ DecodeSession::prefill()
         kv_trace_.push_back(kv_len_);
         return 0.0;
     }
-    graph_.runPass(workload_.summarize_len, workload_.summarize_len,
-                   false);
+    // Always recompute at least the last prompt token (vLLM semantics:
+    // a fully cached prompt still needs a pass to emit first logits).
+    const std::size_t cached =
+        std::min(cached_prefix_tokens, workload_.summarize_len - 1);
+    graph_.runPass(workload_.summarize_len - cached,
+                   workload_.summarize_len, false);
     prefill_seconds_ = graph_.elapsedSeconds();
     kv_len_ = graph_.context().alive_tokens;
     kv_trace_.push_back(kv_len_);

@@ -74,6 +74,21 @@ class DecodeSession : public BackendSession
     double prefill() override;
 
     /**
+     * Prefill with the first @p cached_prefix_tokens tokens' KV already
+     * resident (mapped copy-free by the serving layer's shared-prefix
+     * cache): only the remaining suffix queries run through the stage
+     * graph, against the full prompt context. Cascade pruning depends
+     * only on the entering context length and the schedule — never on
+     * the query count — so the pruned KV trajectory (and with it every
+     * decode step) is bit-identical to a cold-cache prefill; only the
+     * prefill compute shrinks. The hint is capped at summarize_len - 1:
+     * like vLLM, the last prompt token is always recomputed so a fully
+     * cached prompt still produces its first logits.
+     */
+    double prefillWithCachedPrefix(std::size_t cached_prefix_tokens)
+        override;
+
+    /**
      * Generate one token: run a single-query generation pass against the
      * carried KV plus the previous step's token, then adopt the pass's
      * pruned survivor count as the next KV length.

@@ -18,6 +18,21 @@ namespace spatten {
 constexpr std::uint64_t kDefaultRequestSeed = 0x5eed;
 
 /**
+ * splitmix64 finalizer: the one 64-bit mixing step behind seed
+ * derivation, KV prefix chain hashes, and synthetic token-content ids.
+ * A single definition so golden-pinned values (block identities, trace
+ * tokens) can never drift between private copies.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
  * xoshiro256** PRNG. Satisfies the UniformRandomBitGenerator concept so it
  * can be used with <random> distributions, but the helpers below are
  * preferred because their output is stable across standard libraries.

@@ -64,6 +64,22 @@ class BackendSession
     /** Process the prompt; @return simulated seconds of the pass. */
     virtual double prefill() = 0;
 
+    /**
+     * Process the prompt when the serving layer's KvPool mapped the
+     * first @p cached_prefix_tokens tokens' KV from its shared-prefix
+     * cache: the device skips those tokens' prefill compute (their K/V
+     * is already resident) and computes only the suffix queries against
+     * the full context. Must behave exactly like prefill() when
+     * @p cached_prefix_tokens is 0. The default ignores the hint — a
+     * backend without prefix-caching support still serves correctly,
+     * it just re-computes the shared tokens.
+     */
+    virtual double prefillWithCachedPrefix(std::size_t cached_prefix_tokens)
+    {
+        (void)cached_prefix_tokens;
+        return prefill();
+    }
+
     /** Generate one token; @return simulated seconds of the step. */
     virtual double decodeStep() = 0;
 

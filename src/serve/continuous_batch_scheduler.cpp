@@ -25,6 +25,8 @@ struct ActiveSession
     std::size_t idx = 0; ///< Position in the trace (report index).
     std::uint64_t admit_seq = 0; ///< Global admission order (preemption
                                  ///< tie-break: evict the latest).
+    std::size_t cached_prefix = 0; ///< Prompt tokens whose prefill the
+                                   ///< shared-prefix cache skips.
     std::unique_ptr<BackendSession> session;
 };
 
@@ -45,6 +47,7 @@ struct StepJob
 {
     BackendSession* session = nullptr;
     bool do_prefill = false;
+    std::size_t cached_prefix = 0; ///< Prefill-only: cached tokens.
     double seconds = 0; ///< Output: simulated step cost.
 };
 
@@ -118,8 +121,10 @@ class StepPool
   private:
     static void step(StepJob& job)
     {
-        job.seconds = job.do_prefill ? job.session->prefill()
-                                     : job.session->decodeStep();
+        job.seconds =
+            job.do_prefill
+                ? job.session->prefillWithCachedPrefix(job.cached_prefix)
+                : job.session->decodeStep();
     }
 
     void drain(std::vector<StepJob>& jobs)
@@ -485,8 +490,13 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         r.tokens = 0;
         r.token_times_s.clear();
         r.kv_trace.clear();
+        // The timing trail must come from the final incarnation alone:
+        // clearing first_token_s here is what makes a re-admitted
+        // request's TTFT measure its *served* first token, not the
+        // discarded one (pinned by the preemption-TTFT golden test).
         r.first_token_s = -1;
         r.admit_s = -1;
+        r.cached_prefix_tokens = 0;
         r.phase = RequestPhase::Queued;
         // Eligible again only from the eviction onward — never before,
         // so no accelerator can re-admit it in the simulated past.
@@ -516,6 +526,33 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 victim = i;
         }
         return victim;
+    };
+
+    // Resize active[i]'s reservation to @p target tokens, preempting
+    // victims until it fits — the shared machinery of the pre-iteration
+    // growth phase and the post-step trim (whose copy-on-write can also
+    // need bytes). Keeps @p i valid across mid-loop erasures; @return
+    // false when active[i] itself was the victim (caller must not ++i).
+    // A sole resident always fits: its worst-case KV passes the budget
+    // precondition and cold cached blocks are evicted on demand.
+    const auto resizeOrPreempt = [&](std::size_t accel_index,
+                                     std::size_t& i, std::size_t target,
+                                     const char* action) {
+        AccelState& accel = accels[accel_index];
+        const std::size_t idx = accel.active[i].idx;
+        while (!accel.pool.tryResize(idx, trace[idx].workload.model,
+                                     target)) {
+            SPATTEN_ASSERT(accel.active.size() > 1,
+                           "sole request %zu cannot %s", idx, action);
+            const std::size_t v = pickVictim(accel);
+            const bool self = v == i;
+            preempt(accel_index, v);
+            if (self)
+                return false;
+            if (v < i)
+                --i;
+        }
+        return true;
     };
 
     std::vector<StepJob> jobs;
@@ -551,26 +588,9 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
             // admission iteration, before this iteration started.
             SPATTEN_ASSERT(accel.active[i].session->prefilled(),
                            "un-prefilled resident at iteration start");
-            const std::size_t idx = accel.active[i].idx;
-            const std::size_t grown =
-                accel.active[i].session->kvLength() + 1;
-            bool self_preempted = false;
-            while (!accel.pool.tryResize(
-                idx, trace[idx].workload.model, grown)) {
-                // A sole resident request always fits (asserted above),
-                // so there is always a victim and progress is made.
-                SPATTEN_ASSERT(accel.active.size() > 1,
-                               "sole request %zu cannot grow its KV",
-                               idx);
-                const std::size_t v = pickVictim(accel);
-                self_preempted = v == i;
-                preempt(best, v);
-                if (self_preempted)
-                    break;
-                if (v < i)
-                    --i;
-            }
-            if (!self_preempted)
+            if (resizeOrPreempt(best, i,
+                                accel.active[i].session->kvLength() + 1,
+                                "grow its KV"))
                 ++i;
         }
 
@@ -601,9 +621,38 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 if (best_pos == npos)
                     break; // Nothing eligible here: try the next queue.
                 const std::size_t idx = queue[best_pos];
-                if (!accel.pool.tryReserve(
-                        idx, trace[idx].workload.model,
-                        trace[idx].workload.summarize_len)) {
+                const WorkloadSpec& w = trace[idx].workload;
+                std::size_t cached_prefix = 0;
+                bool reserved;
+                if (sched_.enable_prefix_caching &&
+                    !trace[idx].prompt_tokens.empty()) {
+                    SPATTEN_ASSERT(trace[idx].prompt_tokens.size() ==
+                                       w.summarize_len,
+                                   "request %zu prompt content (%zu "
+                                   "tokens) disagrees with its length "
+                                   "%zu",
+                                   trace[idx].id,
+                                   trace[idx].prompt_tokens.size(),
+                                   w.summarize_len);
+                    const KvPool::PrefixReservation pr =
+                        accel.pool.tryReservePrefix(
+                            idx, w.model, trace[idx].prompt_tokens);
+                    reserved = pr.ok;
+                    if (pr.ok && pr.cached_tokens > 0) {
+                        // The last prompt token is always recomputed
+                        // (vLLM semantics), so the compute skip caps
+                        // one token short of the prompt.
+                        cached_prefix = std::min(pr.cached_tokens,
+                                                 w.summarize_len - 1);
+                        ++rep.prefix_cache_hits;
+                        rep.prefix_cached_tokens += cached_prefix;
+                        rep.prefix_shared_bytes += pr.shared_bytes;
+                    }
+                } else {
+                    reserved = accel.pool.tryReserve(idx, w.model,
+                                                     w.summarize_len);
+                }
+                if (!reserved) {
                     // Pool full: prefill blocked until blocks free up.
                     admission_blocked = true;
                     break;
@@ -613,9 +662,10 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 ServedRequest& r = rep.requests[idx];
                 r.accel = static_cast<int>(best);
                 r.admit_s = accel.clock_s;
+                r.cached_prefix_tokens = cached_prefix;
                 r.phase = RequestPhase::Prefill;
                 accel.active.push_back(
-                    {idx, admit_seq++,
+                    {idx, admit_seq++, cached_prefix,
                      fleet_[best]->makeSession(trace[idx].workload,
                                                trace[idx].policy,
                                                trace[idx].seed)});
@@ -630,8 +680,8 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         jobs.clear();
         jobs.reserve(accel.active.size());
         for (auto& m : accel.active)
-            jobs.push_back(
-                {m.session.get(), !m.session->prefilled(), 0.0});
+            jobs.push_back({m.session.get(), !m.session->prefilled(),
+                            m.cached_prefix, 0.0});
         pool.run(jobs);
 
         double t = accel.clock_s;
@@ -660,15 +710,6 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 accel.pool.release(m.idx);
                 residency.emplace_back(r.admit_s, r.finish_s);
                 ++finished;
-            } else {
-                // Trim the reservation to the pass's cascade-pruned
-                // survivor count — this is where pruning frees blocks
-                // and raises admissible concurrency. Shrink-or-equal by
-                // construction, so it can never fail.
-                const bool ok = accel.pool.tryResize(
-                    m.idx, trace[m.idx].workload.model,
-                    m.session->kvLength());
-                SPATTEN_ASSERT(ok, "post-step KV trim failed");
             }
         }
         const double iter_s = t - accel.clock_s;
@@ -682,6 +723,21 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                                return m.session->done();
                            }),
             accel.active.end());
+
+        // ---- Trim the survivors' reservations to the pass's
+        // cascade-pruned count — this is where pruning frees blocks
+        // and raises admissible concurrency. A fully private trim is
+        // shrink-or-equal and never fails; a trim that shrinks below
+        // a shared prefix copy-on-writes the still-needed blocks
+        // (serve/kv_pool.hpp), which under pressure needs bytes other
+        // residents hold — preempt-and-recompute until it fits, like
+        // the pre-iteration growth path. ----
+        for (std::size_t i = 0; i < accel.active.size();) {
+            if (resizeOrPreempt(best, i,
+                                accel.active[i].session->kvLength(),
+                                "copy-on-write its KV"))
+                ++i;
+        }
     }
 
     // ---- Aggregate ----
@@ -735,6 +791,19 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     rep.ttft_p99_s = sortedQuantile(ttfts, 0.99);
     rep.itl_p50_s = sortedQuantile(itls, 0.50);
     rep.itl_p99_s = sortedQuantile(itls, 0.99);
+    // Per-request ITL tails with equal weight per request — the
+    // pooled percentiles above weight every gap equally, so a single
+    // long request dominates them (see ServeReport).
+    {
+        std::vector<double> req_p99s;
+        req_p99s.reserve(n);
+        for (const ServedRequest& r : rep.requests)
+            if (r.tokens >= 2)
+                req_p99s.push_back(r.itlP99Seconds());
+        std::sort(req_p99s.begin(), req_p99s.end());
+        rep.req_itl_p99_p50_s = sortedQuantile(req_p99s, 0.50);
+        rep.req_itl_p99_p99_s = sortedQuantile(req_p99s, 0.99);
+    }
     if (rep.makespan_s > 0) {
         rep.throughput_rps = static_cast<double>(n) / rep.makespan_s;
         rep.goodput_rps =
@@ -757,6 +826,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                                    ? accels[a].kv_weighted_bytes_s /
                                          accels[a].busy_s
                                    : 0.0;
+        rep.cow_copied_blocks += accels[a].pool.cowCopiedBlocks();
     }
     rep.dram_reduction =
         dram_bytes > 0 ? dram_bytes_dense / dram_bytes : 1.0;

@@ -108,9 +108,23 @@ struct ContinuousBatchConfig
     /// hardware thread. Never affects simulated results.
     std::size_t num_threads = 0;
     /// SLO for goodput accounting: a finished request counts as good
-    /// when TTFT <= slo_ttft_s and its mean ITL <= slo_itl_s.
+    /// when its TTFT <= slo_ttft_s and its *per-request mean* ITL
+    /// (ServedRequest::avgItlSeconds, not the pooled percentiles) is
+    /// <= slo_itl_s. Requests with fewer than two tokens have no
+    /// inter-token gaps and therefore auto-pass the ITL half of the
+    /// SLO — a deliberate semantic (there is no ITL to violate), made
+    /// explicit here and pinned by test_continuous_scheduler.cpp.
     double slo_ttft_s = 50e-3;
     double slo_itl_s = 2e-3;
+
+    /// Shared-prefix KV caching (serve/kv_pool.hpp): admissions whose
+    /// prompt_tokens share a cached block prefix map those blocks
+    /// copy-free, are charged only for their non-shared tail, and skip
+    /// the shared tokens' prefill compute
+    /// (BackendSession::prefillWithCachedPrefix). Off by default:
+    /// legacy configs and traces without prompt content stay
+    /// bit-identical to the pre-caching scheduler.
+    bool enable_prefix_caching = false;
 
     /// Per-accelerator KV byte budget; 0 derives each accelerator's
     /// budget from its backend's capacityBytes() (the HBM stack
@@ -135,8 +149,22 @@ struct ServeReport
     double makespan_s = 0;    ///< Last token emission time.
     double ttft_p50_s = 0;
     double ttft_p99_s = 0;
-    double itl_p50_s = 0;     ///< Over all inter-token gaps of all requests.
+    /// Pooled ITL percentiles: over the concatenated inter-token gaps
+    /// of every request. A 128-token request contributes 64x the gaps
+    /// of a 2-token one, so these over-weight long requests — they
+    /// answer "how late is a typical *token*", not "how bad is a
+    /// typical *request*'s tail". The req_itl_p99_* fields below
+    /// aggregate per-request tails with equal weight per request. The
+    /// SLO goodput check uses neither: it tests each request's own
+    /// mean ITL (see ContinuousBatchConfig::slo_itl_s).
+    double itl_p50_s = 0;
     double itl_p99_s = 0;
+    /// Distribution, across requests with >= 2 tokens, of each
+    /// request's own ITL p99 (ServedRequest::itlP99Seconds): the
+    /// per-request tail aggregate the pooled percentiles cannot
+    /// express (equal weight per request, not per token).
+    double req_itl_p99_p50_s = 0;
+    double req_itl_p99_p99_s = 0;
     double throughput_rps = 0; ///< Finished requests per simulated second.
     double goodput_rps = 0;    ///< SLO-meeting requests per simulated second.
     std::size_t slo_met = 0;   ///< Requests that met both SLOs.
@@ -185,9 +213,25 @@ struct ServeReport
     /// effective budgets).
     std::uint64_t kv_capacity_bytes = 0;
     std::vector<std::uint64_t> accel_kv_capacity_bytes; ///< Per slot.
-    std::vector<std::uint64_t> kv_peak_bytes; ///< Peak pool occupancy.
+    /// Peak pool occupancy. With prefix caching on this includes cold
+    /// cached blocks (resident but reclaimable), matching what the
+    /// device actually holds.
+    std::vector<std::uint64_t> kv_peak_bytes;
     std::vector<double> kv_mean_bytes; ///< Time-weighted mean occupancy
                                        ///< over each accel's busy time.
+
+    // ---- Shared-prefix cache accounting (enable_prefix_caching) ----
+    std::size_t prefix_cache_hits = 0; ///< Admissions that mapped >= 1
+                                       ///< cached block copy-free.
+    /// Prompt tokens whose prefill compute was skipped (after the
+    /// recompute-last-token cap), across all admissions.
+    std::size_t prefix_cached_tokens = 0;
+    /// KV bytes mapped copy-free at admission — bytes the pool did NOT
+    /// charge again thanks to sharing (block-rounded).
+    std::uint64_t prefix_shared_bytes = 0;
+    std::size_t cow_copied_blocks = 0; ///< Blocks copied when cascade
+                                       ///< pruning diverged a shared
+                                       ///< prefix (summed over pools).
 };
 
 /**

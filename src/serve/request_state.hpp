@@ -22,10 +22,12 @@
 #ifndef SPATTEN_SERVE_REQUEST_STATE_HPP
 #define SPATTEN_SERVE_REQUEST_STATE_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
 #include "accel/pipeline.hpp"
+#include "sim/stats.hpp"
 
 namespace spatten {
 
@@ -58,6 +60,10 @@ struct ServedRequest
     std::size_t preemptions = 0; ///< Times this request was evicted.
     std::size_t recompute_tokens = 0; ///< Tokens discarded by preemption
                                       ///< and generated again.
+    /// Prompt tokens whose prefill compute the shared-prefix cache
+    /// skipped at the final admission (0 with caching off or on a
+    /// cache miss).
+    std::size_t cached_prefix_tokens = 0;
 
     std::size_t tokens = 0;             ///< Tokens emitted.
     std::vector<double> token_times_s;  ///< Emission time of each token.
@@ -83,7 +89,22 @@ struct ServedRequest
         return gaps;
     }
 
-    /** Mean inter-token latency (0 when fewer than two tokens). */
+    /** This request's own ITL p99 (interpolated quantile over its
+     *  gaps; 0 when fewer than two tokens) — the per-request tail the
+     *  pooled ServeReport percentiles over-weight long requests on. */
+    double itlP99Seconds() const
+    {
+        auto gaps = interTokenGaps();
+        if (gaps.empty())
+            return 0.0;
+        std::sort(gaps.begin(), gaps.end());
+        return sortedQuantile(gaps, 0.99);
+    }
+
+    /** Mean inter-token latency (0 when fewer than two tokens).
+     *  This — not a percentile — is what the scheduler's ITL SLO
+     *  tests; below two tokens there are no gaps, so such requests
+     *  auto-pass the ITL half of the SLO. */
     double avgItlSeconds() const
     {
         const auto gaps = interTokenGaps();

@@ -116,4 +116,90 @@ generatePoissonTrace(const ArrivalTraceConfig& cfg)
     return generateArrivalTrace(cfg);
 }
 
+namespace {
+
+/** Append @p n tokens of the content stream @p stream_seed
+ *  (common/prng.hpp's mix64 keeps the ids golden-stable). */
+void
+appendTokens(std::vector<std::uint64_t>& out, std::uint64_t stream_seed,
+             std::size_t n)
+{
+    const std::size_t base = out.size();
+    for (std::size_t j = 0; j < n; ++j)
+        out.push_back(mix64(stream_seed ^ (base + j)));
+}
+
+} // namespace
+
+std::vector<TracedRequest>
+generateSharedPrefixTrace(const SharedPrefixTraceConfig& cfg)
+{
+    SPATTEN_ASSERT(cfg.num_system_prompts >= 1, "no system prompts");
+    SPATTEN_ASSERT(cfg.system_prompt_tokens >= 1,
+                   "empty system prompts");
+    SPATTEN_ASSERT(cfg.user_turn_min >= 1 &&
+                       cfg.user_turn_min <= cfg.user_turn_max,
+                   "bad user-turn bounds [%zu, %zu]", cfg.user_turn_min,
+                   cfg.user_turn_max);
+    SPATTEN_ASSERT(cfg.followup_prob >= 0.0 && cfg.followup_prob <= 1.0,
+                   "follow-up probability %f outside [0, 1]",
+                   cfg.followup_prob);
+    SPATTEN_ASSERT(cfg.system_prompt_tokens + cfg.user_turn_max <=
+                       cfg.max_prompt_tokens,
+                   "a single opening turn cannot fit max_prompt_tokens");
+
+    // Arrivals / outputs / priorities / seeds: the exact base streams.
+    std::vector<TracedRequest> trace = generateArrivalTrace(cfg.base);
+    // Content composition runs on its own stream so the base demand
+    // shape never shifts when the sharing knobs change.
+    Prng content(mix64(cfg.base.seed ^ 0x70726566697865ULL)); // "prefixe"
+
+    // Full re-sendable context (prompt + generated reply) of each open
+    // conversation.
+    std::vector<std::vector<std::uint64_t>> conversations;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        TracedRequest& req = trace[i];
+        const std::size_t turn =
+            cfg.user_turn_min +
+            content.below(cfg.user_turn_max - cfg.user_turn_min + 1);
+
+        std::vector<std::uint64_t> prompt;
+        std::size_t conv = conversations.size(); // npos = fresh.
+        if (!conversations.empty() && content.chance(cfg.followup_prob)) {
+            const std::size_t pick = content.below(conversations.size());
+            // A history that can no longer grow a turn + reply within
+            // the prompt cap retires; the request opens fresh instead.
+            if (conversations[pick].size() + turn <= cfg.max_prompt_tokens)
+                conv = pick;
+        }
+        if (conv < conversations.size()) {
+            prompt = conversations[conv]; // Re-sent multi-turn context.
+        } else {
+            const std::size_t sys = content.below(cfg.num_system_prompts);
+            appendTokens(prompt,
+                         mix64(cfg.base.seed ^ (0x5953ULL + sys)),
+                         cfg.system_prompt_tokens);
+        }
+        // Fresh user turn: content unique to this request.
+        appendTokens(prompt, mix64(req.seed ^ 0x7475726eULL), turn);
+
+        req.workload.summarize_len = prompt.size();
+        req.workload.name = "prefix-" + std::to_string(i) + "-p" +
+                            std::to_string(prompt.size()) + "-g" +
+                            std::to_string(req.workload.generate_len);
+        req.prompt_tokens = prompt;
+
+        // The conversation's next re-sendable context includes the
+        // (synthetic) generated reply.
+        std::vector<std::uint64_t> history = std::move(prompt);
+        appendTokens(history, mix64(req.seed ^ 0x7265706cULL),
+                     req.workload.generate_len);
+        if (conv < conversations.size())
+            conversations[conv] = std::move(history);
+        else
+            conversations.push_back(std::move(history));
+    }
+    return trace;
+}
+
 } // namespace spatten

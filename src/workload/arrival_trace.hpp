@@ -36,6 +36,13 @@ struct TracedRequest
     PruningPolicy policy;
     std::uint64_t seed = kDefaultRequestSeed; ///< Per-request PRNG seed.
     int priority = 0; ///< Scheduling priority; higher is more urgent.
+    /// Prompt *content* identity, one synthetic token id per prompt
+    /// token (size == workload.summarize_len when present). Empty for
+    /// legacy traces: every prompt is unique content, so the serving
+    /// layer's shared-prefix cache can never match it. Filled by
+    /// generateSharedPrefixTrace so requests sharing a system prompt
+    /// or conversation history share a literal token prefix.
+    std::vector<std::uint64_t> prompt_tokens;
 };
 
 /** How arrival times are generated. */
@@ -102,6 +109,50 @@ std::vector<TracedRequest> generateArrivalTrace(
 /** Back-compat alias: generateArrivalTrace with cfg as given. */
 std::vector<TracedRequest> generatePoissonTrace(
     const ArrivalTraceConfig& cfg);
+
+/**
+ * Demand with shared prompt prefixes — the regime prefix caching
+ * serves: a pool of system prompts every conversation opens with, and
+ * multi-turn follow-ups that re-send a growing conversation history.
+ */
+struct SharedPrefixTraceConfig
+{
+    /// Arrival process, output lengths, model/policy, and the base
+    /// seed. The base prompt-length draws are consumed (stream
+    /// compatibility) but overridden by the composition below.
+    ArrivalTraceConfig base;
+    /// Distinct system prompts; each request's conversation opens with
+    /// one drawn uniformly.
+    std::size_t num_system_prompts = 4;
+    /// Tokens of every system prompt (block-aligned values maximize
+    /// cache hits; misaligned ones exercise partial-block fallback).
+    std::size_t system_prompt_tokens = 128;
+    /// Probability a request is a follow-up turn: it re-sends a prior
+    /// conversation's full context (prompt + generated reply) plus a
+    /// fresh user turn, instead of opening a new conversation.
+    double followup_prob = 0.5;
+    /// Fresh user-turn length bounds (uniform draw per request).
+    std::size_t user_turn_min = 16;
+    std::size_t user_turn_max = 64;
+    /// Conversations whose re-sent context would exceed this many
+    /// prompt tokens start over instead (bounds the context under
+    /// SpAttenConfig::max_context).
+    std::size_t max_prompt_tokens = 768;
+};
+
+/**
+ * Generate a shared-prefix trace: arrivals, output lengths, priorities,
+ * and per-request seeds come from generateArrivalTrace(cfg.base)
+ * (bit-identical streams — a legacy consumer ignoring prompt_tokens
+ * sees the same demand shape), then a *separate* content PRNG stream
+ * (derived from base.seed) composes each prompt: system prompt or
+ * re-sent conversation history, plus fresh user-turn tokens. Every
+ * request carries its full prompt token ids; workload.summarize_len is
+ * overridden to match. Deterministic: the same config yields a
+ * bit-identical trace.
+ */
+std::vector<TracedRequest> generateSharedPrefixTrace(
+    const SharedPrefixTraceConfig& cfg);
 
 } // namespace spatten
 

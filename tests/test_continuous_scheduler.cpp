@@ -926,5 +926,248 @@ TEST(ContinuousScheduler, SingleIdleRequestMatchesRunDecodeFacade)
     EXPECT_NEAR(s.service_seconds, direct.result.seconds, 1e-15);
 }
 
+// ---------------------------------------------------------------------
+// Serving metrics: preemption TTFT semantics, ITL SLO and aggregates
+// ---------------------------------------------------------------------
+
+TEST(ContinuousScheduler, PreemptedRequestTimingComesFromFinalIncarnation)
+{
+    // The intended TTFT/ITL semantics across recompute preemptions,
+    // pinned: the discarded incarnation's tokens leave no trace — the
+    // timing trail (first token, per-token times, gaps) comes from the
+    // final admission alone, while preemptions/recompute_tokens keep
+    // the overhead visible.
+    const auto trace = denseSaturatingTrace();
+    ContinuousBatchConfig sc = cappedConfig(trace);
+    const ServeReport r = serve(trace, sc);
+    ASSERT_GE(r.preemptions, 1u) << "the scenario must have pressure";
+    bool saw_preempted_with_tokens = false;
+    for (const ServedRequest& req : r.requests) {
+        // admit_s is the *final* admission: every surviving token was
+        // emitted after it. A TTFT leaking from a discarded
+        // incarnation would show first_token_s < admit_s.
+        EXPECT_GE(req.first_token_s, req.admit_s);
+        EXPECT_GE(req.admit_s, req.arrival_s);
+        EXPECT_EQ(req.tokens, req.token_times_s.size());
+        for (const double tok_s : req.token_times_s)
+            EXPECT_GT(tok_s, req.admit_s);
+        if (req.preemptions > 0 && req.tokens >= 1) {
+            saw_preempted_with_tokens = true;
+            EXPECT_EQ(req.first_token_s, req.token_times_s.front());
+            // Gaps span only the final incarnation's tokens.
+            EXPECT_EQ(req.interTokenGaps().size(), req.tokens - 1);
+        }
+    }
+    EXPECT_TRUE(saw_preempted_with_tokens);
+}
+
+TEST(ContinuousScheduler, SingleTokenRequestsAutoPassItlSlo)
+{
+    // Requests below two tokens have no inter-token gaps, so the ITL
+    // half of the SLO cannot be violated — made explicit in the config
+    // docs and pinned here with an impossible ITL SLO.
+    auto tc = tinyTraceConfig(8);
+    tc.min_output = 0;
+    tc.max_output = 1;
+    const auto trace = generatePoissonTrace(tc);
+    ContinuousBatchConfig sc;
+    sc.slo_ttft_s = 1e9;  // TTFT side always met.
+    sc.slo_itl_s = 0.0;   // ITL side unmeetable when gaps exist.
+    const ServeReport r = serve(trace, sc);
+    EXPECT_EQ(r.slo_met, trace.size())
+        << "0/1-token requests must auto-pass the ITL SLO";
+}
+
+TEST(ContinuousScheduler, PerRequestItlAggregatesWeightRequestsEqually)
+{
+    const auto trace = generatePoissonTrace(tinyTraceConfig(24));
+    const ServeReport r = serve(trace, ContinuousBatchConfig{});
+    EXPECT_GT(r.req_itl_p99_p50_s, 0.0);
+    EXPECT_GE(r.req_itl_p99_p99_s, r.req_itl_p99_p50_s);
+    // Cross-check against a direct computation from the trail.
+    std::vector<double> p99s;
+    for (const ServedRequest& req : r.requests)
+        if (req.tokens >= 2)
+            p99s.push_back(req.itlP99Seconds());
+    ASSERT_FALSE(p99s.empty());
+    std::sort(p99s.begin(), p99s.end());
+    EXPECT_EQ(r.req_itl_p99_p50_s, sortedQuantile(p99s, 0.50));
+    EXPECT_EQ(r.req_itl_p99_p99_s, sortedQuantile(p99s, 0.99));
+    // Every per-request p99 is bounded by that request's own extremes,
+    // independent of how many gaps other requests contributed.
+    for (const ServedRequest& req : r.requests) {
+        const auto gaps = req.interTokenGaps();
+        if (gaps.empty())
+            continue;
+        const auto [lo, hi] =
+            std::minmax_element(gaps.begin(), gaps.end());
+        EXPECT_GE(req.itlP99Seconds(), *lo);
+        EXPECT_LE(req.itlP99Seconds(), *hi);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared-prefix caching through the scheduler
+// ---------------------------------------------------------------------
+
+SharedPrefixTraceConfig
+tinySharedPrefixConfig(std::size_t n = 16, std::uint64_t seed = 0x5eed)
+{
+    SharedPrefixTraceConfig sp;
+    sp.base = tinyTraceConfig(n, seed);
+    sp.base.mean_interarrival_s = 0.1e-3;
+    sp.num_system_prompts = 2;
+    sp.system_prompt_tokens = 96;
+    sp.followup_prob = 0.5;
+    sp.user_turn_min = 8;
+    sp.user_turn_max = 32;
+    sp.max_prompt_tokens = 512;
+    return sp;
+}
+
+TEST(PrefixCaching, DisabledSchedulerIgnoresPromptContent)
+{
+    // A shared-prefix trace served with caching off must be
+    // indistinguishable from the pre-caching scheduler — and a legacy
+    // trace (no prompt content) served with caching ON must be
+    // indistinguishable from caching off. Together: legacy behavior is
+    // bit-identical unless both the flag and the content are present.
+    const auto sp_trace =
+        generateSharedPrefixTrace(tinySharedPrefixConfig());
+    ContinuousBatchConfig sc;
+    sc.enable_prefix_caching = false;
+    const ServeReport off = serve(sp_trace, sc);
+    EXPECT_EQ(off.prefix_cache_hits, 0u);
+    EXPECT_EQ(off.prefix_cached_tokens, 0u);
+    EXPECT_EQ(off.cow_copied_blocks, 0u);
+
+    const auto legacy = generatePoissonTrace(tinyTraceConfig());
+    sc.enable_prefix_caching = false;
+    const ServeReport legacy_off = serve(legacy, sc);
+    sc.enable_prefix_caching = true;
+    const ServeReport legacy_on = serve(legacy, sc);
+    EXPECT_EQ(legacy_on.prefix_cache_hits, 0u);
+    EXPECT_EQ(legacy_on.makespan_s, legacy_off.makespan_s);
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(legacy_on.requests[i].token_times_s,
+                  legacy_off.requests[i].token_times_s);
+        EXPECT_EQ(legacy_on.requests[i].first_token_s,
+                  legacy_off.requests[i].first_token_s);
+        EXPECT_EQ(legacy_on.requests[i].kv_trace,
+                  legacy_off.requests[i].kv_trace);
+    }
+}
+
+TEST(PrefixCaching, CachedPrefillPreservesDecodeBitIdentity)
+{
+    // The copy-on-write/sharing machinery is pure accounting, and a
+    // cached-prefix prefill changes only the *query* count of the
+    // prompt pass — cascade pruning depends on the entering context
+    // length alone — so the pruned KV trajectory and every decode
+    // output must be bit-identical to a cold-cache run. Cached
+    // prefills may only get *cheaper*, never different.
+    WorkloadSpec w;
+    w.name = "cached-vs-cold";
+    w.model = tinyModel();
+    w.summarize_len = 128;
+    w.generate_len = 8;
+
+    const SpAttenConfig cfg;
+    DecodeSession cold(cfg, w, PruningPolicy{}, 99);
+    DecodeSession warm(cfg, w, PruningPolicy{}, 99);
+    const double cold_prefill = cold.prefill();
+    const double warm_prefill = warm.prefillWithCachedPrefix(96);
+    EXPECT_LT(warm_prefill, cold_prefill)
+        << "96 of 128 prompt tokens skipped must shrink the prefill";
+    EXPECT_EQ(cold.kvLength(), warm.kvLength())
+        << "pruning trajectory must not depend on the query count";
+    while (!cold.done()) {
+        const double a = cold.decodeStep();
+        const double b = warm.decodeStep();
+        // Step costs are differences of the session's accumulated
+        // elapsed time, so the shorter prefill offset perturbs the
+        // last ulps of the subtraction; the *work* is identical.
+        EXPECT_NEAR(a, b, 1e-12 * a) << "decode steps must match";
+        EXPECT_EQ(cold.kvLength(), warm.kvLength());
+    }
+    EXPECT_TRUE(warm.done());
+    EXPECT_EQ(cold.kvTrace(), warm.kvTrace());
+
+    // End to end through the scheduler (pruning ON, so shared blocks
+    // diverge and exercise copy-on-write): the per-request KV
+    // trajectories of a cache-on run match the cache-off run exactly.
+    const auto sp_trace =
+        generateSharedPrefixTrace(tinySharedPrefixConfig());
+    ContinuousBatchConfig sc;
+    sc.max_active = 8;
+    const ServeReport off = serve(sp_trace, sc);
+    sc.enable_prefix_caching = true;
+    const ServeReport on = serve(sp_trace, sc);
+    EXPECT_GE(on.prefix_cache_hits, 1u);
+    for (std::size_t i = 0; i < sp_trace.size(); ++i) {
+        EXPECT_EQ(on.requests[i].kv_trace, off.requests[i].kv_trace);
+        EXPECT_EQ(on.requests[i].tokens, off.requests[i].tokens);
+        EXPECT_EQ(on.requests[i].phase, RequestPhase::Finished);
+    }
+}
+
+TEST(PrefixCaching, SharingRaisesConcurrencyUnderSameBudget)
+{
+    // The admission-control claim: at the same KV budget, mapping
+    // shared blocks copy-free admits strictly more concurrent
+    // residents and improves median TTFT. Dense policy keeps blocks
+    // shared for whole residencies (no pruning divergence).
+    auto sp = tinySharedPrefixConfig(24);
+    sp.base.policy = PruningPolicy::disabled();
+    sp.base.mean_interarrival_s = 0.02e-3;
+    const auto trace = generateSharedPrefixTrace(sp);
+    ContinuousBatchConfig sc;
+    sc.max_active = 12;
+    sc.kv_capacity_bytes = kvBudgetForWorstRequest(trace, 1.25, sc);
+    const ServeReport off = serve(trace, sc);
+    sc.enable_prefix_caching = true;
+    const ServeReport on = serve(trace, sc);
+    EXPECT_GE(on.prefix_cache_hits, 1u);
+    EXPECT_GT(on.prefix_shared_bytes, 0u);
+    EXPECT_GT(on.peak_concurrency, off.peak_concurrency);
+    EXPECT_LT(on.ttft_p50_s, off.ttft_p50_s);
+    for (const ServedRequest& req : on.requests)
+        EXPECT_EQ(req.phase, RequestPhase::Finished);
+}
+
+TEST(PrefixCaching, CacheOnRunIsBitIdenticalAcrossThreadCounts)
+{
+    // The determinism contract extends to caching + copy-on-write
+    // preemption: the full report is a pure function of (config,
+    // trace) at any host thread count.
+    auto sp = tinySharedPrefixConfig(16);
+    sp.base.mean_interarrival_s = 0.02e-3;
+    const auto trace = generateSharedPrefixTrace(sp);
+    ContinuousBatchConfig sc;
+    sc.max_active = 8;
+    sc.kv_block_tokens = 4;
+    sc.kv_capacity_bytes = kvBudgetForWorstRequest(trace, 1.25, sc);
+    sc.enable_prefix_caching = true;
+    sc.num_threads = 1;
+    const ServeReport ref = serve(trace, sc);
+    for (const std::size_t threads : {2u, 8u}) {
+        sc.num_threads = threads;
+        const ServeReport r = serve(trace, sc);
+        EXPECT_EQ(r.makespan_s, ref.makespan_s);
+        EXPECT_EQ(r.preemptions, ref.preemptions);
+        EXPECT_EQ(r.prefix_cache_hits, ref.prefix_cache_hits);
+        EXPECT_EQ(r.prefix_cached_tokens, ref.prefix_cached_tokens);
+        EXPECT_EQ(r.cow_copied_blocks, ref.cow_copied_blocks);
+        for (std::size_t i = 0; i < r.requests.size(); ++i) {
+            EXPECT_EQ(r.requests[i].token_times_s,
+                      ref.requests[i].token_times_s);
+            EXPECT_EQ(r.requests[i].first_token_s,
+                      ref.requests[i].first_token_s);
+            EXPECT_EQ(r.requests[i].cached_prefix_tokens,
+                      ref.requests[i].cached_prefix_tokens);
+        }
+    }
+}
+
 } // namespace
 } // namespace spatten

@@ -1,0 +1,314 @@
+/// Property tests for the paged ref-counted KV block allocator
+/// (serve/kv_pool.hpp): shared-prefix mapping charges shared blocks
+/// once, refcounts never underflow, hash collisions fall back to
+/// private blocks, copy-on-write keeps the cached originals intact,
+/// cold-cache eviction is LRU and never lets usage exceed the budget,
+/// release/double-release and byte-size overflow assert instead of
+/// silently corrupting the ledger.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "serve/kv_pool.hpp"
+
+namespace spatten {
+namespace {
+
+/// 4-layer, 4-head, 64-dim model: kvBytesPerToken = 2*4*4*64*2 = 4096,
+/// so a 16-token block is 64 KiB — easy mental math for the budgets.
+ModelSpec
+tinyModel()
+{
+    return {"tiny", 4, 4, 64, 4};
+}
+
+constexpr std::uint64_t kBlockBytes = 16ull * 4096; // 16-token block.
+
+/// Distinct deterministic prompt content per (stream, length).
+std::vector<std::uint64_t>
+prompt(std::uint64_t stream, std::size_t tokens)
+{
+    std::vector<std::uint64_t> p;
+    p.reserve(tokens);
+    for (std::size_t i = 0; i < tokens; ++i)
+        p.push_back(stream * 0x100000001ULL + i);
+    return p;
+}
+
+TEST(KvPoolPrefix, SharedBlocksChargedOnceAndRefCounted)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({0, 16});
+    const auto a = prompt(1, 64); // 4 complete blocks.
+
+    const auto r0 = pool.tryReservePrefix(0, m, a);
+    ASSERT_TRUE(r0.ok);
+    EXPECT_EQ(r0.cached_tokens, 0u) << "cold cache: nothing to map";
+    EXPECT_EQ(pool.usedBytes(), 4 * kBlockBytes);
+    EXPECT_EQ(pool.sharedBlockRefs(0),
+              (std::vector<std::uint32_t>{1, 1, 1, 1}));
+
+    const auto r1 = pool.tryReservePrefix(1, m, a);
+    ASSERT_TRUE(r1.ok);
+    EXPECT_EQ(r1.cached_tokens, 64u);
+    EXPECT_EQ(r1.shared_bytes, 4 * kBlockBytes);
+    EXPECT_EQ(pool.usedBytes(), 4 * kBlockBytes)
+        << "a full prefix hit charges no new bytes";
+    EXPECT_EQ(pool.sharedBlockRefs(0),
+              (std::vector<std::uint32_t>{2, 2, 2, 2}));
+
+    pool.release(0);
+    EXPECT_EQ(pool.sharedBlockRefs(1),
+              (std::vector<std::uint32_t>{1, 1, 1, 1}));
+    EXPECT_EQ(pool.usedBytes(), 4 * kBlockBytes);
+    pool.release(1);
+    // Last holder gone: blocks stay resident as reclaimable cold cache.
+    EXPECT_EQ(pool.usedBytes(), 4 * kBlockBytes);
+    EXPECT_EQ(pool.coldBytes(), 4 * kBlockBytes);
+    EXPECT_EQ(pool.residentRequests(), 0u);
+}
+
+TEST(KvPoolPrefix, PartialTailBlockStaysPrivate)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({0, 16});
+    const auto a = prompt(2, 40); // 2 complete blocks + 8-token tail.
+
+    ASSERT_TRUE(pool.tryReservePrefix(0, m, a).ok);
+    EXPECT_EQ(pool.usedBytes(), 3 * kBlockBytes);
+    EXPECT_EQ(pool.cachedBlocks(), 2u) << "only complete blocks cached";
+
+    const auto r1 = pool.tryReservePrefix(1, m, a);
+    ASSERT_TRUE(r1.ok);
+    EXPECT_EQ(r1.cached_tokens, 32u) << "tail recomputed privately";
+    EXPECT_EQ(pool.usedBytes(), 4 * kBlockBytes)
+        << "shared 2 + two private tails";
+    pool.release(0);
+    pool.release(1);
+}
+
+TEST(KvPoolPrefix, ColdCacheHitThenLruEviction)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({6 * kBlockBytes, 16});
+    const auto a = prompt(3, 64); // 4 blocks.
+
+    ASSERT_TRUE(pool.tryReservePrefix(0, m, a).ok);
+    pool.release(0);
+    EXPECT_EQ(pool.coldBytes(), 4 * kBlockBytes);
+
+    // A cold hit revives the blocks instead of re-prefilling.
+    const auto r1 = pool.tryReservePrefix(1, m, a);
+    ASSERT_TRUE(r1.ok);
+    EXPECT_EQ(r1.cached_tokens, 64u);
+    EXPECT_EQ(pool.coldBytes(), 0u);
+    pool.release(1);
+
+    // A 6-block private reservation needs the cold blocks' bytes:
+    // they are evicted (LRU) rather than blocking the admission.
+    EXPECT_TRUE(pool.tryReserve(2, m, 96));
+    EXPECT_EQ(pool.usedBytes(), 6 * kBlockBytes);
+    EXPECT_EQ(pool.evictedBlocks(), 4u);
+    EXPECT_EQ(pool.cachedBlocks(), 0u);
+    // The prefix is gone from the cache: a re-reservation is cold.
+    pool.release(2);
+    const auto r3 = pool.tryReservePrefix(3, m, a);
+    ASSERT_TRUE(r3.ok);
+    EXPECT_EQ(r3.cached_tokens, 0u);
+    pool.release(3);
+}
+
+TEST(KvPoolPrefix, HashCollisionsFallBackToPrivateBlocks)
+{
+    const ModelSpec m = tinyModel();
+    // A 1-bit chain hash: at most two distinct index keys can ever
+    // exist, so among any three distinct single-block prompts at
+    // least one collides at registration and must fall back private.
+    KvPool pool({0, 16, 2, 1});
+    std::size_t id = 0;
+    std::size_t fallbacks = 0;
+    for (std::uint64_t stream = 10; stream < 13; ++stream) {
+        const auto p = prompt(stream, 16);
+        const std::size_t cached_before = pool.cachedBlocks();
+        const auto r = pool.tryReservePrefix(id++, m, p);
+        ASSERT_TRUE(r.ok);
+        EXPECT_EQ(r.cached_tokens, 0u)
+            << "distinct content must never map cached blocks, even "
+               "under a colliding chain hash";
+        if (pool.cachedBlocks() == cached_before)
+            ++fallbacks; // Key occupied: block stayed anonymous.
+    }
+    EXPECT_GE(fallbacks, 1u) << "pigeonhole: 3 prompts, 2 hash keys";
+    EXPECT_LE(pool.cachedBlocks(), 2u);
+    // Every reservation is fully served regardless of the collisions.
+    EXPECT_EQ(pool.usedBytes(), 3 * kBlockBytes);
+    for (std::size_t i = 0; i < id; ++i)
+        pool.release(i);
+}
+
+TEST(KvPoolPrefix, CopyOnWriteLeavesCachedOriginalsIntact)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({0, 16});
+    const auto a = prompt(4, 64); // 4 blocks.
+
+    ASSERT_TRUE(pool.tryReservePrefix(0, m, a).ok);
+    ASSERT_TRUE(pool.tryReservePrefix(1, m, a).ok);
+    EXPECT_EQ(pool.usedBytes(), 4 * kBlockBytes);
+
+    // Cascade pruning shrinks request 1 to 40 tokens: its content
+    // diverges from the cached prefix, so the 3 still-needed blocks
+    // are copied private and the references dropped.
+    EXPECT_TRUE(pool.tryResize(1, m, 40));
+    EXPECT_EQ(pool.cowCopiedBlocks(), 3u);
+    EXPECT_TRUE(pool.sharedBlockRefs(1).empty());
+    EXPECT_EQ(pool.sharedBlockRefs(0),
+              (std::vector<std::uint32_t>{1, 1, 1, 1}));
+    EXPECT_EQ(pool.usedBytes(), 7 * kBlockBytes)
+        << "4 shared originals + 3 private copies";
+
+    // The originals remain matchable by a fresh admission.
+    const auto r2 = pool.tryReservePrefix(2, m, a);
+    ASSERT_TRUE(r2.ok);
+    EXPECT_EQ(r2.cached_tokens, 64u);
+    pool.release(0);
+    pool.release(1);
+    pool.release(2);
+}
+
+TEST(KvPoolPrefix, CopyOnWriteUnderPressureFailsCleanlyThenSucceeds)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({5 * kBlockBytes, 16});
+    const auto a = prompt(5, 64); // 4 blocks.
+
+    ASSERT_TRUE(pool.tryReservePrefix(0, m, a).ok);
+    ASSERT_TRUE(pool.tryReservePrefix(1, m, a).ok);
+
+    // Request 0 still references every shared block, so the 3 COW
+    // copies cannot fit a 5-block budget: the resize must fail and
+    // roll the references back untouched.
+    EXPECT_FALSE(pool.tryResize(1, m, 48));
+    EXPECT_EQ(pool.sharedBlockRefs(1),
+              (std::vector<std::uint32_t>{2, 2, 2, 2}));
+    EXPECT_EQ(pool.usedBytes(), 4 * kBlockBytes);
+
+    // Once request 0 leaves, the dereferenced originals go cold and
+    // the same copy-on-write succeeds by reclaiming them.
+    pool.release(0);
+    EXPECT_TRUE(pool.tryResize(1, m, 48));
+    EXPECT_EQ(pool.cowCopiedBlocks(), 3u);
+    EXPECT_LE(pool.usedBytes(), 5 * kBlockBytes);
+    pool.release(1);
+}
+
+TEST(KvPoolPrefix, GrowthAfterPrefixKeepsPrefixShared)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({0, 16});
+    const auto a = prompt(6, 64);
+
+    ASSERT_TRUE(pool.tryReservePrefix(0, m, a).ok);
+    ASSERT_TRUE(pool.tryReservePrefix(1, m, a).ok);
+    // Decode appends tokens: append-only growth never diverges.
+    EXPECT_TRUE(pool.tryResize(1, m, 80));
+    EXPECT_EQ(pool.cowCopiedBlocks(), 0u);
+    EXPECT_EQ(pool.sharedBlockRefs(1),
+              (std::vector<std::uint32_t>{2, 2, 2, 2}));
+    EXPECT_EQ(pool.usedBytes(), 5 * kBlockBytes);
+    pool.release(0);
+    pool.release(1);
+}
+
+TEST(KvPoolPrefix, SubBlockPromptIsFullyPrivate)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({0, 16});
+    const auto a = prompt(7, 9); // Shorter than one block.
+    const auto r0 = pool.tryReservePrefix(0, m, a);
+    ASSERT_TRUE(r0.ok);
+    EXPECT_EQ(r0.cached_tokens, 0u);
+    EXPECT_EQ(pool.cachedBlocks(), 0u);
+    const auto r1 = pool.tryReservePrefix(1, m, a);
+    ASSERT_TRUE(r1.ok);
+    EXPECT_EQ(r1.cached_tokens, 0u) << "no complete block to share";
+    pool.release(0);
+    pool.release(1);
+}
+
+TEST(KvPoolPrefix, RandomOpsNeverUnderflowOrExceedBudget)
+{
+    const ModelSpec m = tinyModel();
+    const std::uint64_t cap = 24 * kBlockBytes;
+    KvPool pool({cap, 16});
+    Prng prng(0x5eedb10c);
+    // Four recurring prompt contents drive real sharing; per-id state
+    // tracks what a correct ledger must still hold.
+    std::vector<bool> held(8, false);
+    std::vector<std::size_t> tokens(8, 0);
+    for (int op = 0; op < 4000; ++op) {
+        const std::size_t id = prng.below(8);
+        if (!held[id]) {
+            const auto p =
+                prompt(100 + prng.below(4), 16 + prng.below(120));
+            if (pool.tryReservePrefix(id, m, p).ok) {
+                held[id] = true;
+                tokens[id] = p.size();
+            }
+        } else if (prng.chance(0.3)) {
+            pool.release(id);
+            held[id] = false;
+        } else {
+            // Mix growth (decode) and shrink (pruning divergence).
+            const std::size_t target =
+                prng.chance(0.5) ? tokens[id] + prng.below(24)
+                                 : prng.below(tokens[id] + 1);
+            if (pool.tryResize(id, m, target))
+                tokens[id] = target;
+        }
+        // The ledger invariants a refcount underflow or double charge
+        // would break (underflow itself aborts via SPATTEN_ASSERT):
+        ASSERT_LE(pool.usedBytes(), cap);
+        ASSERT_LE(pool.coldBytes(), pool.usedBytes());
+        for (std::size_t i = 0; i < held.size(); ++i) {
+            if (!held[i])
+                continue;
+            for (const std::uint32_t r : pool.sharedBlockRefs(i))
+                ASSERT_GE(r, 1u);
+        }
+    }
+    for (std::size_t i = 0; i < held.size(); ++i)
+        if (held[i])
+            pool.release(i);
+    EXPECT_EQ(pool.usedBytes(), pool.coldBytes())
+        << "only reclaimable cold cache may remain";
+}
+
+TEST(KvPoolDeath, ReleaseOfUnknownIdAsserts)
+{
+    const ModelSpec m = tinyModel();
+    KvPool pool({0, 16});
+    EXPECT_DEATH(pool.release(42), "released without");
+    // Double release is the same bug with extra steps.
+    ASSERT_TRUE(pool.tryReserve(0, m, 16));
+    pool.release(0);
+    EXPECT_DEATH(pool.release(0), "released without");
+}
+
+TEST(KvPoolDeath, ByteSizeOverflowAsserts)
+{
+    const ModelSpec m = tinyModel();
+    const KvPool pool({0, 16});
+    // ~2^60 blocks x 2^16 B/block overflows uint64: the guard must
+    // abort instead of wrapping into a small admissible size.
+    EXPECT_DEATH(
+        (void)pool.bytesForTokens(
+            m, std::numeric_limits<std::size_t>::max()),
+        "overflows");
+}
+
+} // namespace
+} // namespace spatten

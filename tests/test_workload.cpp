@@ -314,5 +314,129 @@ TEST(ArrivalTraceGen, PriorityLevelsDrawnWithinRangeAndDeterministic)
         EXPECT_EQ(trace[i].priority, again[i].priority);
 }
 
+// ---------------------------------------------------------------------
+// Shared-prefix traces (system-prompt pools + multi-turn follow-ups)
+// ---------------------------------------------------------------------
+
+SharedPrefixTraceConfig
+sharedPrefixConfig(std::size_t n = 32, std::uint64_t seed = 0x5eed)
+{
+    SharedPrefixTraceConfig sp;
+    sp.base.num_requests = n;
+    sp.base.seed = seed;
+    sp.num_system_prompts = 2;
+    sp.system_prompt_tokens = 64;
+    sp.followup_prob = 0.5;
+    sp.user_turn_min = 8;
+    sp.user_turn_max = 24;
+    sp.max_prompt_tokens = 512;
+    return sp;
+}
+
+TEST(SharedPrefixTrace, BaseStreamsUnchanged)
+{
+    // Arrivals, outputs, priorities, and per-request seeds must come
+    // from the exact base generator streams: a consumer ignoring
+    // prompt_tokens sees the same demand, and the content knobs can
+    // never shift the arrival process.
+    const auto sp = sharedPrefixConfig();
+    const auto shared = generateSharedPrefixTrace(sp);
+    const auto base = generateArrivalTrace(sp.base);
+    ASSERT_EQ(shared.size(), base.size());
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        EXPECT_EQ(shared[i].arrival_s, base[i].arrival_s);
+        EXPECT_EQ(shared[i].workload.generate_len,
+                  base[i].workload.generate_len);
+        EXPECT_EQ(shared[i].seed, base[i].seed);
+        EXPECT_EQ(shared[i].priority, base[i].priority);
+    }
+}
+
+TEST(SharedPrefixTrace, PromptContentWellFormedAndShared)
+{
+    const auto sp = sharedPrefixConfig(64);
+    const auto trace = generateSharedPrefixTrace(sp);
+    // Content length always matches the declared prompt length, and
+    // every prompt opens with one of num_system_prompts pools (fresh)
+    // or extends another request's prompt (follow-up).
+    std::size_t openers = 0, followups = 0;
+    std::set<std::uint64_t> first_tokens;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto& p = trace[i].prompt_tokens;
+        ASSERT_EQ(p.size(), trace[i].workload.summarize_len);
+        ASSERT_LE(p.size(), sp.max_prompt_tokens);
+        first_tokens.insert(p.front());
+        bool is_followup = false;
+        for (std::size_t j = 0; j < i && !is_followup; ++j) {
+            const auto& q = trace[j].prompt_tokens;
+            if (p.size() > q.size() &&
+                std::equal(q.begin(), q.end(), p.begin()))
+                is_followup = true;
+        }
+        if (is_followup)
+            ++followups;
+        else
+            ++openers;
+    }
+    EXPECT_LE(first_tokens.size(), sp.num_system_prompts)
+        << "every conversation opens from the system-prompt pool";
+    EXPECT_GE(followups, 1u) << "50% follow-up prob over 64 requests";
+    EXPECT_GE(openers, 1u);
+    // Deterministic: same config, bit-identical content.
+    const auto again = generateSharedPrefixTrace(sp);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].prompt_tokens, again[i].prompt_tokens);
+}
+
+TEST(SharedPrefixTrace, FollowupsReuseConversationHistory)
+{
+    auto sp = sharedPrefixConfig(48);
+    sp.followup_prob = 1.0; // After the opener, every request follows up.
+    const auto trace = generateSharedPrefixTrace(sp);
+    std::size_t extending = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        const auto& p = trace[i].prompt_tokens;
+        for (std::size_t j = 0; j < i; ++j) {
+            const auto& q = trace[j].prompt_tokens;
+            // A follow-up re-sends a prior prompt *plus its reply*,
+            // then appends a fresh turn: strict prefix extension.
+            if (p.size() > q.size() &&
+                std::equal(q.begin(), q.end(), p.begin())) {
+                ++extending;
+                break;
+            }
+        }
+    }
+    EXPECT_GE(extending, trace.size() / 2)
+        << "forced follow-ups must extend earlier conversations "
+           "(fresh restarts only at the prompt cap)";
+}
+
+TEST(SharedPrefixTrace, SeedStabilityGolden)
+{
+    // Pinned content values: any change to the composition streams is
+    // a conscious re-baseline, because checked-in BENCH trajectories
+    // and the scheduler cache tests replay these exact prompts.
+    const auto trace = generateSharedPrefixTrace(sharedPrefixConfig());
+    ASSERT_EQ(trace.size(), 32u);
+    const struct
+    {
+        std::size_t idx;
+        std::size_t prompt_len;
+        std::uint64_t first_token;
+        std::uint64_t last_token;
+    } golden[] = {
+        {0, 79, 0xec343d7abf34fb5ULL, 0x7501a4e7fb63e40ULL},
+        {1, 76, 0x55df428ea21fba22ULL, 0x682bc3f08e9f1c78ULL},
+        {7, 76, 0x55df428ea21fba22ULL, 0xc54cec6ce118e90eULL},
+        {31, 105, 0x55df428ea21fba22ULL, 0x703168ee8276906eULL},
+    };
+    for (const auto& g : golden) {
+        EXPECT_EQ(trace[g.idx].prompt_tokens.size(), g.prompt_len);
+        EXPECT_EQ(trace[g.idx].prompt_tokens.front(), g.first_token);
+        EXPECT_EQ(trace[g.idx].prompt_tokens.back(), g.last_token);
+    }
+}
+
 } // namespace
 } // namespace spatten
