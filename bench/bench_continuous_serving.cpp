@@ -20,6 +20,7 @@
 /// *service* results (cycles, energy, KV trajectory) are bit-identical
 /// across shard counts.
 #include <cstdio>
+#include <limits>
 #include <memory>
 
 #include "accel/spatten_accelerator.hpp"
@@ -200,6 +201,64 @@ main()
             .run(burst_trace);
     showMem("burst-priority", burst);
     records.push_back(recordFromServe("burst-priority", burst));
+
+    // ---- Chunked prefill: the same bursty bounded-Pareto demand at
+    // the same 1.25x-worst KV budget, with the prompt pass split into
+    // scheduler-visible chunks (Sarathi-style stall-free batching).
+    // The monolithic run is the chunk-size = infinity endpoint of the
+    // curve and is bit-identical to burst-priority above (the knobs
+    // default off). Smaller chunks cap how long one admission stalls
+    // every resident decoder's next token, so the ITL tail tightens
+    // as the chunk shrinks. ----
+    std::printf("\nChunked prefill sweep (burst-priority demand, same "
+                "1.25x KV budget)\n");
+    std::printf("%-18s %9s %9s %9s %9s %10s %10s\n", "chunk (tok)",
+                "itl p50", "itl p99", "ttft p50", "ttft p99",
+                "qdelay p99", "makespan");
+    std::printf("%-18s %9s %9s %9s %9s %10s %10s\n", "", "(us)", "(us)",
+                "(ms)", "(ms)", "(ms)", "(ms)");
+    rule();
+
+    const auto runChunked = [&](std::size_t chunk_tokens) {
+        ContinuousBatchConfig sc = burst_sc;
+        sc.prefill_chunk_tokens = chunk_tokens;
+        return ContinuousBatchScheduler(SpAttenConfig{}, sc)
+            .run(burst_trace);
+    };
+    const auto showChunk = [&](const char* name, const ServeReport& r) {
+        std::printf("%-18s %9.1f %9.1f %9.2f %9.2f %10.2f %10.2f\n",
+                    name, r.itl_p50_s * 1e6, r.itl_p99_s * 1e6,
+                    r.ttft_p50_s * 1e3, r.ttft_p99_s * 1e3,
+                    r.queue_delay_p99_s * 1e3, r.makespan_s * 1e3);
+    };
+    showChunk("monolithic", burst);
+    records.push_back(recordFromServe("chunked-prefill-mono", burst));
+    double best_chunked_itl_p99 =
+        std::numeric_limits<double>::infinity();
+    for (const std::size_t chunk : {256u, 128u, 64u, 32u}) {
+        const ServeReport r = runChunked(chunk);
+        showChunk(std::to_string(chunk).c_str(), r);
+        records.push_back(recordFromServe(
+            "chunked-prefill-" + std::to_string(chunk), r));
+        best_chunked_itl_p99 = std::min(best_chunked_itl_p99,
+                                        r.itl_p99_s);
+        if (r.total_tokens != burst.total_tokens) {
+            std::printf("FAIL: chunked prefill must serve the same "
+                        "tokens as the monolithic run\n");
+            return 1;
+        }
+    }
+    rule();
+    // The claim this sweep exists to pin: splitting prefill improves
+    // the ITL tail at equal KV budget under bursty demand.
+    if (best_chunked_itl_p99 >= burst.itl_p99_s) {
+        std::printf("FAIL: chunked prefill must improve ITL p99 vs "
+                    "monolithic prefill at equal KV budget\n");
+        return 1;
+    }
+    std::printf("chunked prefill tightened ITL p99 %.1f -> %.1f us at "
+                "the same KV budget (best chunk size of the sweep).\n",
+                burst.itl_p99_s * 1e6, best_chunked_itl_p99 * 1e6);
 
     // ---- Heterogeneous fleets: SpAtten-1/8 and A3 slots (the paper's
     // normalized Table III pair: 128 multipliers, 64 GB/s each) behind

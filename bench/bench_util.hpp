@@ -69,6 +69,18 @@ struct BenchRecord
     double seconds = 0;
     double tflops = 0;         ///< Effective attention TFLOPS.
     double dram_reduction = 1; ///< Dense fp32 bytes / fetched bytes.
+
+    /// Serving-only tail metrics (recordFromServe): emitted as extra
+    /// JSON fields so BENCH_serving.json carries the latency story —
+    /// chunk-size sweeps read as an ITL-p99 curve, and queue-delay
+    /// percentiles make admission latency visible, not just TTFT.
+    /// Single-workload records (recordFromRun/recordFromBatch) keep
+    /// the legacy five-field schema.
+    bool has_serving = false;
+    double ttft_p99_s = 0;
+    double itl_p99_s = 0;
+    double queue_delay_p50_s = 0;
+    double queue_delay_p99_s = 0;
 };
 
 /** The BENCH_*.json record of a single-workload simulation result. */
@@ -84,10 +96,17 @@ recordFromRun(const std::string& workload, const RunResult& r)
 inline BenchRecord
 recordFromServe(const std::string& workload, const ServeReport& r)
 {
-    return {workload, r.total_cycles, r.makespan_s,
-            r.makespan_s > 0 ? r.total_flops / r.makespan_s * 1e-12
-                             : 0.0,
-            r.dram_reduction};
+    BenchRecord rec{workload, r.total_cycles, r.makespan_s,
+                    r.makespan_s > 0
+                        ? r.total_flops / r.makespan_s * 1e-12
+                        : 0.0,
+                    r.dram_reduction};
+    rec.has_serving = true;
+    rec.ttft_p99_s = r.ttft_p99_s;
+    rec.itl_p99_s = r.itl_p99_s;
+    rec.queue_delay_p50_s = r.queue_delay_p50_s;
+    rec.queue_delay_p99_s = r.queue_delay_p99_s;
+    return rec;
 }
 
 /** The BENCH_*.json record of one BatchRunner batch (simulated totals,
@@ -138,10 +157,17 @@ writeBenchJson(const std::string& name,
         std::fprintf(f,
                      "    {\"workload\": \"%s\", \"cycles\": %.0f, "
                      "\"seconds\": %.9g, \"tflops\": %.6g, "
-                     "\"dram_reduction\": %.6g}%s\n",
+                     "\"dram_reduction\": %.6g",
                      jsonEscape(r.workload).c_str(), r.cycles, r.seconds,
-                     r.tflops,
-                     r.dram_reduction, i + 1 < records.size() ? "," : "");
+                     r.tflops, r.dram_reduction);
+        if (r.has_serving)
+            std::fprintf(f,
+                         ", \"ttft_p99_s\": %.9g, \"itl_p99_s\": %.9g, "
+                         "\"queue_delay_p50_s\": %.9g, "
+                         "\"queue_delay_p99_s\": %.9g",
+                         r.ttft_p99_s, r.itl_p99_s, r.queue_delay_p50_s,
+                         r.queue_delay_p99_s);
+        std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

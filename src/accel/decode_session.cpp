@@ -32,24 +32,53 @@ double
 DecodeSession::prefillWithCachedPrefix(std::size_t cached_prefix_tokens)
 {
     SPATTEN_ASSERT(!prefilled_, "prefill() called twice");
-    prefilled_ = true;
-    if (workload_.skip_summarization) {
-        // Pre-summarized prompt: the KV cache exists but no prefill
-        // compute is charged, matching SpAttenPipeline's methodology.
-        kv_len_ = workload_.summarize_len;
-        kv_trace_.push_back(kv_len_);
-        return 0.0;
-    }
+    if (workload_.skip_summarization)
+        return prefillChunk(0, workload_.summarize_len);
     // Always recompute at least the last prompt token (vLLM semantics:
     // a fully cached prompt still needs a pass to emit first logits).
     const std::size_t cached =
         std::min(cached_prefix_tokens, workload_.summarize_len - 1);
-    graph_.runPass(workload_.summarize_len - cached,
-                   workload_.summarize_len, false);
+    return prefillChunk(cached, workload_.summarize_len - cached);
+}
+
+double
+DecodeSession::prefillChunk(std::size_t offset, std::size_t len)
+{
+    SPATTEN_ASSERT(!prefilled_, "prefillChunk() after prefill completed");
+    const std::size_t prompt = workload_.summarize_len;
+    SPATTEN_ASSERT(len >= 1 && offset + len <= prompt,
+                   "chunk [%zu, %zu) outside the %zu-token prompt",
+                   offset, offset + len, prompt);
+    SPATTEN_ASSERT(prefill_pos_ == 0 || offset == prefill_pos_,
+                   "non-contiguous chunk at %zu (expected %zu)", offset,
+                   prefill_pos_);
+    if (workload_.skip_summarization) {
+        // Pre-summarized prompt: the KV cache exists but no prefill
+        // compute is charged, matching SpAttenPipeline's methodology.
+        prefilled_ = true;
+        prefill_pos_ = prompt;
+        kv_len_ = prompt;
+        kv_trace_.push_back(kv_len_);
+        return 0.0;
+    }
+    const double before = graph_.elapsedSeconds();
+    // The chunk's queries attend to the causal context they close
+    // (tokens [0, offset + len)). beginPass resets the cascade state,
+    // so each chunk prunes from its own entering context — intermediate
+    // survivor counts are transient, and the final chunk (entering with
+    // the full prompt) reproduces the monolithic prefill's KV exactly.
+    graph_.runPass(len, offset + len, false);
+    prefill_pos_ = offset + len;
+    // Cumulative: nothing but prefill chunks has run on the graph yet,
+    // so the graph's elapsed time *is* the prefill share — and it is
+    // already correct at a mid-prefill eviction's finalize().
     prefill_seconds_ = graph_.elapsedSeconds();
-    kv_len_ = graph_.context().alive_tokens;
-    kv_trace_.push_back(kv_len_);
-    return prefill_seconds_;
+    if (prefill_pos_ == prompt) {
+        prefilled_ = true;
+        kv_len_ = graph_.context().alive_tokens;
+        kv_trace_.push_back(kv_len_);
+    }
+    return graph_.elapsedSeconds() - before;
 }
 
 double
@@ -69,7 +98,8 @@ DecodeSession::decodeStep()
 RunResult
 DecodeSession::finalize() const
 {
-    SPATTEN_ASSERT(prefilled_, "finalize() before prefill()");
+    // No prefilled_ assert: a session evicted mid-prefill (between
+    // chunks) finalizes too, accounting the wasted partial pass.
     RunResult res;
     res.workload = workload_.name;
     res.summarize_seconds = prefill_seconds_;

@@ -89,6 +89,21 @@ class DecodeSession : public BackendSession
         override;
 
     /**
+     * One chunk of a split prefill: run prompt tokens
+     * [offset, offset + len) as the pass's queries against the causal
+     * context offset + len. ExecutionContext::beginPass resets the
+     * cascade state fresh per pass, so pruning is a function of the
+     * *entering context length* alone — the final chunk enters with the
+     * full prompt context and therefore leaves exactly the KV state a
+     * monolithic prefill would, making every subsequent decode step
+     * bit-identical to the unchunked run (pinned by
+     * tests/test_chunked_prefill.cpp); only the prefill compute is
+     * spread (and shrunk — earlier chunks attend to shorter contexts)
+     * across iterations. prefilled() flips at the final chunk.
+     */
+    double prefillChunk(std::size_t offset, std::size_t len) override;
+
+    /**
      * Generate one token: run a single-query generation pass against the
      * carried KV plus the previous step's token, then adopt the pass's
      * pruned survivor count as the next KV length.
@@ -136,7 +151,10 @@ class DecodeSession : public BackendSession
     /** Total simulated seconds consumed so far (prefill + steps). */
     double elapsedSeconds() const { return graph_.elapsedSeconds(); }
 
-    /** Land the per-request totals; call once the session is done(). */
+    /** Land the per-request totals; call once the session is done() —
+     *  or at eviction, possibly mid-prefill, to account the wasted
+     *  incarnation (recompute-style preemption can strike between
+     *  chunks of a split prefill). */
     RunResult finalize() const override;
 
   private:
@@ -145,6 +163,7 @@ class DecodeSession : public BackendSession
     std::size_t kv_len_ = 0;
     std::size_t tokens_ = 0;
     bool prefilled_ = false;
+    std::size_t prefill_pos_ = 0; ///< Prompt tokens processed by chunks.
     double prefill_seconds_ = 0;
     std::vector<std::size_t> kv_trace_;
 };

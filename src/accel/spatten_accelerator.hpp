@@ -77,7 +77,7 @@ class SpAttenAccelerator : public AcceleratorBackend
     BackendCapabilities capabilities() const override
     {
         return {/*cascade_pruning=*/true, /*progressive_quant=*/true,
-                /*dram_savings=*/true};
+                /*dram_savings=*/true, /*chunked_prefill=*/true};
     }
     /** KV byte budget = the HBM stack capacity of this configuration. */
     std::uint64_t capacityBytes() const override

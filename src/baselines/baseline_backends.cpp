@@ -44,27 +44,67 @@ class DenseKvSession : public BackendSession
     double prefillWithCachedPrefix(std::size_t cached) override
     {
         SPATTEN_ASSERT(!prefilled_, "prefill() called twice");
-        prefilled_ = true;
-        kv_len_ = workload_.summarize_len;
+        if (workload_.skip_summarization)
+            return prefillChunk(0, workload_.summarize_len);
+        cached = std::min(cached, workload_.summarize_len - 1);
+        return prefillChunk(cached, workload_.summarize_len - cached);
+    }
+
+    /**
+     * One chunk of a split prefill: prompt tokens [offset, offset+len)
+     * attend to the causal context they close. The one-shot baseline
+     * models price a full prompt x prompt pass; attention work is
+     * proportional to the query x context product, so the chunk's
+     * executed share (time, fetched bytes, energy) scales by
+     * len/prompt x (offset+len)/prompt — which for a chunk reaching
+     * the end of the prompt reduces to the suffix fraction
+     * prefillWithCachedPrefix has always charged (bit-identical in
+     * the one-chunk case). The *dense* FLOP reference keeps the full
+     * prompt: skipped/cheapened work is a compute reduction, not a
+     * redefinition of the workload.
+     */
+    double prefillChunk(std::size_t offset, std::size_t len) override
+    {
+        SPATTEN_ASSERT(!prefilled_,
+                       "prefillChunk() after prefill completed");
+        const std::size_t prompt = workload_.summarize_len;
+        SPATTEN_ASSERT(len >= 1 && offset + len <= prompt,
+                       "chunk [%zu, %zu) outside the %zu-token prompt",
+                       offset, offset + len, prompt);
+        SPATTEN_ASSERT(prefill_pos_ == 0 || offset == prefill_pos_,
+                       "non-contiguous chunk at %zu (expected %zu)",
+                       offset, prefill_pos_);
         double s = 0.0;
         // Pre-summarized prompts charge nothing, matching the SpAtten
         // methodology (the KV cache exists but no pass runs).
         if (!workload_.skip_summarization) {
-            cached = std::min(cached, workload_.summarize_len - 1);
-            const double frac =
-                static_cast<double>(workload_.summarize_len - cached) /
-                static_cast<double>(workload_.summarize_len);
+            const double whole = static_cast<double>(prompt);
+            double scale = static_cast<double>(len) / whole;
+            if (offset + len < prompt)
+                scale *= static_cast<double>(offset + len) / whole;
             const double f0 = flops_, b0 = dram_bytes_;
             const double cj0 = compute_j_, dj0 = dram_j_;
-            s = prefillPass() * frac;
-            flops_ = f0 + (flops_ - f0) * frac;
-            dram_bytes_ = b0 + (dram_bytes_ - b0) * frac;
-            compute_j_ = cj0 + (compute_j_ - cj0) * frac;
-            dram_j_ = dj0 + (dram_j_ - dj0) * frac;
+            const double d0 = dense_flops_;
+            s = prefillPass() * scale;
+            flops_ = f0 + (flops_ - f0) * scale;
+            dram_bytes_ = b0 + (dram_bytes_ - b0) * scale;
+            compute_j_ = cj0 + (compute_j_ - cj0) * scale;
+            dram_j_ = dj0 + (dram_j_ - dj0) * scale;
+            // The full-prompt dense reference lands exactly once, with
+            // the chunk that completes the prompt — partial chunks must
+            // not re-add it every pass (executed totals above are the
+            // per-chunk shares; the dense reference is per prompt).
+            if (offset + len < prompt)
+                dense_flops_ = d0;
         }
-        prefill_seconds_ = s;
+        prefill_pos_ = offset + len;
+        prefill_seconds_ += s;
         elapsed_ += s;
-        kv_trace_.push_back(kv_len_);
+        if (prefill_pos_ == prompt || workload_.skip_summarization) {
+            prefilled_ = true;
+            kv_len_ = prompt;
+            kv_trace_.push_back(kv_len_);
+        }
         return s;
     }
 
@@ -95,7 +135,8 @@ class DenseKvSession : public BackendSession
 
     RunResult finalize() const override
     {
-        SPATTEN_ASSERT(prefilled_, "finalize() before prefill()");
+        // No prefilled_ assert: a session evicted mid-prefill (between
+        // chunks) finalizes too, accounting the wasted partial pass.
         RunResult res;
         res.workload = workload_.name;
         res.seconds = elapsed_;
@@ -132,6 +173,7 @@ class DenseKvSession : public BackendSession
     std::size_t kv_len_ = 0;
     std::size_t tokens_ = 0;
     bool prefilled_ = false;
+    std::size_t prefill_pos_ = 0; ///< Prompt tokens processed by chunks.
     double prefill_seconds_ = 0;
     double elapsed_ = 0;
     std::vector<std::size_t> kv_trace_;

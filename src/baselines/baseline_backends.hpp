@@ -61,8 +61,10 @@ class A3Backend : public AcceleratorBackend
     BackendCapabilities capabilities() const override
     {
         // Local (post-fetch) key pruning only: no KV shrink, no DRAM
-        // savings, no quantization support.
-        return {false, false, false};
+        // savings, no quantization support. Its one-shot prefill model
+        // scales linearly with the query x context product, so split
+        // prefill chunks price cleanly.
+        return {false, false, false, /*chunked_prefill=*/true};
     }
     std::uint64_t capacityBytes() const override
     {
@@ -97,7 +99,7 @@ class MnnFastBackend : public AcceleratorBackend
     BackendCapabilities capabilities() const override
     {
         // Local value pruning after fetch: compute-only savings.
-        return {false, false, false};
+        return {false, false, false, /*chunked_prefill=*/true};
     }
     std::uint64_t capacityBytes() const override
     {
@@ -130,7 +132,7 @@ class PlatformBackend : public AcceleratorBackend
     BackendCapabilities capabilities() const override
     {
         // Dense fp32 PyTorch-style attention: no sparsity at all.
-        return {false, false, false};
+        return {false, false, false, /*chunked_prefill=*/true};
     }
     std::uint64_t capacityBytes() const override
     {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "accel/pipeline.hpp"
+#include "common/logging.hpp"
 
 namespace spatten {
 
@@ -47,6 +48,11 @@ struct BackendCapabilities
     bool progressive_quant = false;
     /// Any DRAM-traffic savings at all (pruning decided before fetch).
     bool dram_savings = false;
+    /// Sessions support prefillChunk(): the prompt pass can be split
+    /// into scheduler-visible chunks (Sarathi-style chunked prefill).
+    /// Backends without it always prefill monolithically, even when
+    /// the scheduler's chunking knobs are on.
+    bool chunked_prefill = false;
 };
 
 /**
@@ -78,6 +84,31 @@ class BackendSession
     {
         (void)cached_prefix_tokens;
         return prefill();
+    }
+
+    /**
+     * Process prompt tokens [offset, offset + len) as one chunk of a
+     * split prefill (Sarathi-style chunked prefill). Chunks arrive
+     * contiguously in order; the session completes its prefill (and
+     * flips prefilled()) when the final chunk reaches the end of the
+     * prompt. A first chunk at offset > 0 means the serving layer's
+     * shared-prefix cache already holds the leading tokens' KV, so the
+     * chunk stream starts at the cached boundary — composing with
+     * prefillWithCachedPrefix(), which is exactly the one-chunk case.
+     * @return simulated seconds of the chunk's pass.
+     *
+     * The default supports only the degenerate single full chunk
+     * (delegating to prefillWithCachedPrefix) and asserts on a partial
+     * one; the scheduler only splits prefills on backends whose
+     * BackendCapabilities::chunked_prefill bit is set.
+     */
+    virtual double prefillChunk(std::size_t offset, std::size_t len)
+    {
+        SPATTEN_ASSERT(offset + len == workload().summarize_len,
+                       "backend without chunked_prefill support was "
+                       "handed a partial prefill chunk [%zu, %zu)",
+                       offset, offset + len);
+        return prefillWithCachedPrefix(offset);
     }
 
     /** Generate one token; @return simulated seconds of the step. */

@@ -27,6 +27,10 @@ struct ActiveSession
                                  ///< tie-break: evict the latest).
     std::size_t cached_prefix = 0; ///< Prompt tokens whose prefill the
                                    ///< shared-prefix cache skips.
+    std::size_t prefill_pos = 0;   ///< Prompt tokens processed so far
+                                   ///< (starts at cached_prefix; the
+                                   ///< chunk stream begins at the
+                                   ///< cached-prefix boundary).
     std::unique_ptr<BackendSession> session;
 };
 
@@ -46,8 +50,16 @@ struct AccelState
 struct StepJob
 {
     BackendSession* session = nullptr;
+    std::size_t member = 0; ///< Index into AccelState::active. Not every
+                            ///< member gets a job every iteration once
+                            ///< chunked prefill defers prompt work, so
+                            ///< jobs are no longer parallel to active[].
     bool do_prefill = false;
-    std::size_t cached_prefix = 0; ///< Prefill-only: cached tokens.
+    bool chunked = false; ///< prefillChunk(offset, len) instead of the
+                          ///< monolithic prefillWithCachedPrefix path.
+    std::size_t offset = 0; ///< Chunk-only: first prompt token.
+    std::size_t len = 0;    ///< Chunk-only: chunk length.
+    std::size_t cached_prefix = 0; ///< Monolithic-prefill-only.
     double seconds = 0; ///< Output: simulated step cost.
 };
 
@@ -121,10 +133,13 @@ class StepPool
   private:
     static void step(StepJob& job)
     {
-        job.seconds =
-            job.do_prefill
-                ? job.session->prefillWithCachedPrefix(job.cached_prefix)
-                : job.session->decodeStep();
+        if (!job.do_prefill)
+            job.seconds = job.session->decodeStep();
+        else if (job.chunked)
+            job.seconds = job.session->prefillChunk(job.offset, job.len);
+        else
+            job.seconds =
+                job.session->prefillWithCachedPrefix(job.cached_prefix);
     }
 
     void drain(std::vector<StepJob>& jobs)
@@ -314,11 +329,18 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     // fleet every request is short-class (plain LeastLoaded).
     const bool cap_aware = sched_.shard == ShardPolicy::CapabilityAware;
     std::vector<char> slot_prunes(num_accels, 0);
+    std::vector<char> slot_chunks(num_accels, 0);
     bool fleet_has_pruner = false;
     for (std::size_t a = 0; a < num_accels; ++a) {
         slot_prunes[a] = fleet_[a]->capabilities().cascade_pruning;
+        slot_chunks[a] = fleet_[a]->capabilities().chunked_prefill;
         fleet_has_pruner |= slot_prunes[a] != 0;
     }
+    // Chunked prefill is engaged by either knob; with both at their
+    // 0 defaults the iteration loop is the legacy monolithic-prefill
+    // scheduler, bit for bit.
+    const bool chunking_on = sched_.prefill_chunk_tokens > 0 ||
+                             sched_.iteration_token_budget > 0;
     const auto isLongClass = [&](std::size_t idx) {
         return cap_aware && fleet_has_pruner &&
                trace[idx].workload.summarize_len >=
@@ -473,9 +495,11 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         AccelState& accel = accels[accel_index];
         const std::size_t idx = accel.active[v].idx;
         accel.pool.release(idx);
-        // Every victim is prefilled: a session admitted in iteration k
-        // runs its prefill step in iteration k, and preemption only
-        // happens at the start of a later iteration.
+        // The victim may be mid-prefill: chunked prefill spreads the
+        // prompt over iterations, so preemption can strike between
+        // chunks. finalize() still accounts the partial pass as wasted
+        // work; on re-admission the request recomputes from whatever
+        // cached-prefix boundary the KV pool then offers.
         const RunResult w = accel.active[v].session->finalize();
         wasted_cycles += static_cast<double>(w.cycles);
         wasted_energy_j += w.energy.totalJ();
@@ -497,6 +521,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         r.first_token_s = -1;
         r.admit_s = -1;
         r.cached_prefix_tokens = 0;
+        r.prefill_chunks = 0;
         r.phase = RequestPhase::Queued;
         // Eligible again only from the eviction onward — never before,
         // so no accelerator can re-admit it in the simulated past.
@@ -584,10 +609,16 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         // into blocks the residents do not need this iteration — never
         // admitted and then evicted untouched in the same breath ----
         for (std::size_t i = 0; i < accel.active.size();) {
-            // Residents are always prefilled here: prefill ran in the
-            // admission iteration, before this iteration started.
-            SPATTEN_ASSERT(accel.active[i].session->prefilled(),
-                           "un-prefilled resident at iteration start");
+            // Mid-prefill residents (chunked prefill defers prompt
+            // work across iterations) keep their full-prompt admission
+            // reservation untouched until their final chunk lands —
+            // they neither grow nor trim here. With chunking off every
+            // resident is prefilled: prefill ran in its admission
+            // iteration, before this iteration started.
+            if (!accel.active[i].session->prefilled()) {
+                ++i;
+                continue;
+            }
             if (resizeOrPreempt(best, i,
                                 accel.active[i].session->kvLength() + 1,
                                 "grow its KV"))
@@ -601,6 +632,15 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         // also blocks the lower-preference queues, so short-class
         // requests can never starve a blocked long-class head ----
         bool admission_blocked = false;
+        // Candidates whose KV reservation failed this iteration. The
+        // non-FIFO policies may skip past up to admission_skip_ahead of
+        // them to the next-best eligible candidate (a huge head must
+        // not starve small requests that would fit); FIFO admission is
+        // strict arrival order, so its head-of-line always blocks.
+        const std::size_t skip_allowance =
+            sched_.queue == QueuePolicy::Fifo ? 0
+                                              : sched_.admission_skip_ahead;
+        std::vector<std::size_t> failed;
         for (auto* queue_ptr : feedQueues(best)) {
             if (admission_blocked)
                 break;
@@ -614,6 +654,9 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                     // not-yet-eligible entry is ineligible too.
                     if (eligible[queue[p]] > accel.clock_s)
                         break;
+                    if (std::find(failed.begin(), failed.end(),
+                                  queue[p]) != failed.end())
+                        continue; // Already failed this iteration.
                     if (best_pos == npos ||
                         admitBefore(queue[p], queue[best_pos]))
                         best_pos = p;
@@ -653,9 +696,14 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                                                      w.summarize_len);
                 }
                 if (!reserved) {
-                    // Pool full: prefill blocked until blocks free up.
-                    admission_blocked = true;
-                    break;
+                    failed.push_back(idx);
+                    if (failed.size() > skip_allowance) {
+                        // Pool full and the skip-ahead bound exhausted:
+                        // admission blocked until blocks free up.
+                        admission_blocked = true;
+                        break;
+                    }
+                    continue; // Try the next-best eligible candidate.
                 }
                 queue.erase(queue.begin() +
                             static_cast<std::ptrdiff_t>(best_pos));
@@ -666,6 +714,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 r.phase = RequestPhase::Prefill;
                 accel.active.push_back(
                     {idx, admit_seq++, cached_prefix,
+                     /*prefill_pos=*/cached_prefix,
                      fleet_[best]->makeSession(trace[idx].workload,
                                                trace[idx].policy,
                                                trace[idx].seed)});
@@ -675,23 +724,96 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                        "selected an accelerator with no admissible work");
         const std::uint64_t kv_used = accel.pool.usedBytes();
 
-        // ---- One iteration: a step per member, in parallel on the
-        // host, applied in admission order ----
+        // ---- One iteration: decode steps for every prefilled
+        // resident, plus prompt work for the un-prefilled ones under
+        // the chunking knobs — in parallel on the host, applied in
+        // admission order. Prefilled residents form a prefix of
+        // active[] (admission appends, and prompt passes are granted
+        // in admission order), so "decodes first, then prompt work"
+        // IS admission order — with chunking off the job list is
+        // exactly the legacy one-job-per-member iteration. ----
         jobs.clear();
         jobs.reserve(accel.active.size());
-        for (auto& m : accel.active)
-            jobs.push_back({m.session.get(), !m.session->prefilled(),
-                            m.cached_prefix, 0.0});
+        std::size_t decode_count = 0;
+        for (std::size_t i = 0; i < accel.active.size(); ++i) {
+            ActiveSession& m = accel.active[i];
+            if (!m.session->prefilled())
+                continue;
+            jobs.push_back({m.session.get(), i, /*do_prefill=*/false,
+                            false, 0, 0, 0, 0.0});
+            ++decode_count;
+        }
+        // Prompt-work grants, in admission order. Each resident decode
+        // step above costs one budget token; whole prompts that fit
+        // the remainder run as ordinary monolithic prefills, and at
+        // most one *partial* chunk is issued per iteration — the
+        // Sarathi-style mixed iteration. Budget exhaustion defers the
+        // remaining un-prefilled members (their full-prompt KV
+        // reservations stay put); decode steps are never deferred, so
+        // the batch always advances and prefill work drains as
+        // residents finish.
+        std::size_t budget_left =
+            sched_.iteration_token_budget > 0
+                ? (sched_.iteration_token_budget > decode_count
+                       ? sched_.iteration_token_budget - decode_count
+                       : 0)
+                : std::numeric_limits<std::size_t>::max();
+        for (std::size_t i = 0; i < accel.active.size(); ++i) {
+            ActiveSession& m = accel.active[i];
+            if (m.session->prefilled())
+                continue;
+            const WorkloadSpec& w = trace[m.idx].workload;
+            if (w.skip_summarization) {
+                // Pre-summarized prompt: the pass is free, so it
+                // neither draws budget nor counts as the chunk.
+                jobs.push_back({m.session.get(), i, /*do_prefill=*/true,
+                                false, 0, 0, m.cached_prefix, 0.0});
+                continue;
+            }
+            const std::size_t remaining = w.summarize_len - m.prefill_pos;
+            if (budget_left == 0)
+                break;
+            std::size_t len = remaining;
+            if (chunking_on && slot_chunks[best] &&
+                sched_.prefill_chunk_tokens > 0)
+                len = std::min(len, sched_.prefill_chunk_tokens);
+            if (chunking_on && slot_chunks[best])
+                len = std::min(len, budget_left);
+            if (len == remaining && m.prefill_pos == m.cached_prefix) {
+                // First and only pass: the legacy monolithic path —
+                // also what chunk sizes >= the prompt reduce to, and
+                // the only shape a non-chunking backend supports.
+                jobs.push_back({m.session.get(), i, /*do_prefill=*/true,
+                                false, 0, 0, m.cached_prefix, 0.0});
+            } else {
+                jobs.push_back({m.session.get(), i, /*do_prefill=*/true,
+                                /*chunked=*/true, m.prefill_pos, len, 0,
+                                0.0});
+            }
+            budget_left -= std::min(len, budget_left);
+            if (len < remaining)
+                break; // At most one partial chunk per iteration.
+        }
+        SPATTEN_ASSERT(!jobs.empty(),
+                       "iteration with no work on accelerator %zu", best);
         pool.run(jobs);
 
         double t = accel.clock_s;
-        for (std::size_t i = 0; i < accel.active.size(); ++i) {
-            ActiveSession& m = accel.active[i];
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            ActiveSession& m = accel.active[jobs[j].member];
             ServedRequest& r = rep.requests[m.idx];
-            t += jobs[i].seconds;
-            r.service_seconds += jobs[i].seconds;
-            if (jobs[i].do_prefill) {
-                r.phase = RequestPhase::Decoding;
+            t += jobs[j].seconds;
+            r.service_seconds += jobs[j].seconds;
+            if (jobs[j].do_prefill) {
+                m.prefill_pos = jobs[j].chunked
+                                    ? jobs[j].offset + jobs[j].len
+                                    : trace[m.idx].workload.summarize_len;
+                ++r.prefill_chunks;
+                // TTFT semantics under chunking: the request stays in
+                // Prefill until its final chunk lands; its first token
+                // is the first decode completion after that.
+                if (m.session->prefilled())
+                    r.phase = RequestPhase::Decoding;
             } else {
                 r.token_times_s.push_back(t);
                 ++r.tokens;
@@ -712,6 +834,15 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 ++finished;
             }
         }
+        // Per-member charging audit (mixed prefill/decode iterations):
+        // iter_s is the serialized sum of the steps that actually ran —
+        // members granted no work this iteration (deferred prefills)
+        // contribute nothing, so busy_s equals the sum of the
+        // service_seconds it produced, chunked or not (pinned by
+        // tests/test_chunked_prefill.cpp). The KV integral charges the
+        // full pool occupancy over that span: a deferred member's
+        // reservation is resident whether or not it stepped, so
+        // occupancy-seconds are *not* per-member prorated.
         const double iter_s = t - accel.clock_s;
         accel.busy_s += iter_s;
         accel.kv_weighted_bytes_s +=
@@ -733,6 +864,14 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         // residents hold — preempt-and-recompute until it fits, like
         // the pre-iteration growth path. ----
         for (std::size_t i = 0; i < accel.active.size();) {
+            // Mid-prefill members hold their full-prompt reservation
+            // until the final chunk; the first trim to the pruned
+            // survivor count happens right after it (this iteration if
+            // the prefill just completed, via prefilled() flipping).
+            if (!accel.active[i].session->prefilled()) {
+                ++i;
+                continue;
+            }
             if (resizeOrPreempt(best, i,
                                 accel.active[i].session->kvLength(),
                                 "copy-on-write its KV"))
@@ -761,8 +900,9 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         rep.peak_concurrency = static_cast<std::size_t>(peak);
     }
 
-    std::vector<double> ttfts, itls;
+    std::vector<double> ttfts, itls, qdelays;
     ttfts.reserve(n);
+    qdelays.reserve(n);
     rep.total_cycles = wasted_cycles;
     rep.total_energy_j = wasted_energy_j;
     rep.total_flops = wasted_flops;
@@ -771,6 +911,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         rep.makespan_s = std::max(rep.makespan_s, r.finish_s);
         rep.total_tokens += r.tokens;
         ttfts.push_back(r.ttftSeconds());
+        qdelays.push_back(r.queueDelaySeconds());
         for (double g : r.interTokenGaps())
             itls.push_back(g);
         rep.total_cycles += static_cast<double>(r.sim.cycles);
@@ -787,8 +928,11 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     }
     std::sort(ttfts.begin(), ttfts.end());
     std::sort(itls.begin(), itls.end());
+    std::sort(qdelays.begin(), qdelays.end());
     rep.ttft_p50_s = sortedQuantile(ttfts, 0.50);
     rep.ttft_p99_s = sortedQuantile(ttfts, 0.99);
+    rep.queue_delay_p50_s = sortedQuantile(qdelays, 0.50);
+    rep.queue_delay_p99_s = sortedQuantile(qdelays, 0.99);
     rep.itl_p50_s = sortedQuantile(itls, 0.50);
     rep.itl_p99_s = sortedQuantile(itls, 0.99);
     // Per-request ITL tails with equal weight per request — the

@@ -11,7 +11,13 @@
  * requests with one decode step of every in-flight request — tokens
  * leave the batch one iteration at a time, and finished requests free
  * their slot for queued arrivals (continuous batching, not one-shot
- * batches).
+ * batches). The chunking knobs (prefill_chunk_tokens,
+ * iteration_token_budget) split long prompt passes into
+ * scheduler-visible chunks mixed with the resident decode steps
+ * (Sarathi-style stall-free batching), so one huge admission no longer
+ * stalls every resident's next token for a whole monolithic prefill;
+ * with both at their 0 defaults the iteration loop is bit-identical to
+ * the monolithic-prefill scheduler.
  *
  * The pool is *heterogeneous*: each slot is an AcceleratorBackend
  * (serve/accelerator_backend.hpp) — a SpAttenAccelerator whose sessions
@@ -139,6 +145,40 @@ struct ContinuousBatchConfig
     /// CapabilityAware only: prompts at least this long are routed to
     /// cascade-pruning backends.
     std::size_t long_prompt_threshold = 256;
+
+    // ---- Chunked prefill (Sarathi-style stall-free batching) ----
+    /// Max prompt tokens one prefill chunk processes per iteration.
+    /// 0 = no per-chunk cap. With both chunking knobs 0 prefill is
+    /// monolithic — one whole-prompt pass in the admission iteration,
+    /// bit-identical to the pre-chunking scheduler (and chunk sizes
+    /// >= every prompt are bit-identical too: a chunk covering the
+    /// whole remaining prompt takes the legacy prefill path exactly).
+    /// Splitting caps how long one admission can stall every resident
+    /// decoder's next token, trading a later TTFT for the prefilling
+    /// request against a tighter ITL tail for everyone else.
+    std::size_t prefill_chunk_tokens = 0;
+    /// Per-iteration token budget across one accelerator's batch: each
+    /// resident decode step costs one token, and prefill work is capped
+    /// at the remainder (decode steps are never skipped — residents
+    /// always advance, which is what keeps the ITL tail flat). Prompt
+    /// passes are granted to un-prefilled residents in admission order:
+    /// whole prompts that fit the remaining budget run as ordinary
+    /// prefills, and at most one *partial* chunk is issued per
+    /// iteration. 0 = unlimited. Backends without the chunked_prefill
+    /// capability always prefill whole prompts; the budget only defers
+    /// when they start.
+    std::size_t iteration_token_budget = 0;
+
+    /// Admission skip-ahead bound for the non-FIFO queue policies: when
+    /// the best eligible candidate's prompt KV does not fit the pool,
+    /// try up to this many next-best eligible candidates before
+    /// declaring admission blocked for the iteration — a huge
+    /// high-priority head no longer starves small requests that would
+    /// fit beside the residents. 0 = strict head-of-line blocking (the
+    /// legacy behavior). FIFO never skips regardless of this knob:
+    /// strict arrival-order admission is its contract (pinned by
+    /// tests/test_chunked_prefill.cpp).
+    std::size_t admission_skip_ahead = 0;
 };
 
 /** Aggregated outcome of serving one trace. */
@@ -165,6 +205,12 @@ struct ServeReport
     /// express (equal weight per request, not per token).
     double req_itl_p99_p50_s = 0;
     double req_itl_p99_p99_s = 0;
+    /// Queueing-delay percentiles over all requests (admit_s −
+    /// arrival_s, the *final* admission after any preemptions):
+    /// chunked prefill changes when prompts run, so its effect on
+    /// admission latency is visible here, not just in TTFT.
+    double queue_delay_p50_s = 0;
+    double queue_delay_p99_s = 0;
     double throughput_rps = 0; ///< Finished requests per simulated second.
     double goodput_rps = 0;    ///< SLO-meeting requests per simulated second.
     std::size_t slo_met = 0;   ///< Requests that met both SLOs.

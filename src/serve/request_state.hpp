@@ -64,6 +64,10 @@ struct ServedRequest
     /// skipped at the final admission (0 with caching off or on a
     /// cache miss).
     std::size_t cached_prefix_tokens = 0;
+    /// Prompt passes of the final incarnation: 1 for a monolithic
+    /// prefill, the chunk count under chunked prefill (a cached prefix
+    /// shortens the chunk stream — it starts at the cached boundary).
+    std::size_t prefill_chunks = 0;
 
     std::size_t tokens = 0;             ///< Tokens emitted.
     std::vector<double> token_times_s;  ///< Emission time of each token.
