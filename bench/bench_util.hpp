@@ -81,6 +81,16 @@ struct BenchRecord
     double itl_p99_s = 0;
     double queue_delay_p50_s = 0;
     double queue_delay_p99_s = 0;
+    /// Prefix-cache / tiered-KV accounting (serving records only):
+    /// hit-rate numerators plus the cache-churn counters, so the
+    /// tiered-vs-flat sweep reads as a hit-rate vs migration-traffic
+    /// curve straight out of BENCH_serving.json.
+    double prefix_cache_hits = 0;
+    double prefix_cached_tokens = 0;
+    double kv_evicted_blocks = 0;
+    double kv_demoted_blocks = 0;
+    double kv_promoted_blocks = 0;
+    double kv_migrated_bytes = 0;
 };
 
 /** The BENCH_*.json record of a single-workload simulation result. */
@@ -106,6 +116,13 @@ recordFromServe(const std::string& workload, const ServeReport& r)
     rec.itl_p99_s = r.itl_p99_s;
     rec.queue_delay_p50_s = r.queue_delay_p50_s;
     rec.queue_delay_p99_s = r.queue_delay_p99_s;
+    rec.prefix_cache_hits = static_cast<double>(r.prefix_cache_hits);
+    rec.prefix_cached_tokens =
+        static_cast<double>(r.prefix_cached_tokens);
+    rec.kv_evicted_blocks = static_cast<double>(r.kv_evicted_blocks);
+    rec.kv_demoted_blocks = static_cast<double>(r.kv_demoted_blocks);
+    rec.kv_promoted_blocks = static_cast<double>(r.kv_promoted_blocks);
+    rec.kv_migrated_bytes = static_cast<double>(r.kv_migrated_bytes);
     return rec;
 }
 
@@ -164,9 +181,18 @@ writeBenchJson(const std::string& name,
             std::fprintf(f,
                          ", \"ttft_p99_s\": %.9g, \"itl_p99_s\": %.9g, "
                          "\"queue_delay_p50_s\": %.9g, "
-                         "\"queue_delay_p99_s\": %.9g",
+                         "\"queue_delay_p99_s\": %.9g, "
+                         "\"prefix_cache_hits\": %.0f, "
+                         "\"prefix_cached_tokens\": %.0f, "
+                         "\"kv_evicted_blocks\": %.0f, "
+                         "\"kv_demoted_blocks\": %.0f, "
+                         "\"kv_promoted_blocks\": %.0f, "
+                         "\"kv_migrated_bytes\": %.0f",
                          r.ttft_p99_s, r.itl_p99_s, r.queue_delay_p50_s,
-                         r.queue_delay_p99_s);
+                         r.queue_delay_p99_s, r.prefix_cache_hits,
+                         r.prefix_cached_tokens, r.kv_evicted_blocks,
+                         r.kv_demoted_blocks, r.kv_promoted_blocks,
+                         r.kv_migrated_bytes);
         std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

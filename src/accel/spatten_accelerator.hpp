@@ -77,7 +77,8 @@ class SpAttenAccelerator : public AcceleratorBackend
     BackendCapabilities capabilities() const override
     {
         return {/*cascade_pruning=*/true, /*progressive_quant=*/true,
-                /*dram_savings=*/true, /*chunked_prefill=*/true};
+                /*dram_savings=*/true, /*chunked_prefill=*/true,
+                /*tiered_kv=*/true};
     }
     /** KV byte budget = the HBM stack capacity of this configuration. */
     std::uint64_t capacityBytes() const override

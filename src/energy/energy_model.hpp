@@ -30,6 +30,12 @@ struct EnergyConfig
     double sram_read_pj_per_byte = 0.55;
     double sram_write_pj_per_byte = 0.65;
     double leakage_w = 0.121;        ///< "Others" static power.
+    /// Per bit migrated between the HBM hot tier and the far-memory
+    /// DRAM cold tier (tiered KV pool; FarMemoryConfig in hbm/hbm.hpp).
+    /// Commodity DDR4 array + IO + link PHY lands near 20 pJ/bit —
+    /// roughly 5x the on-stack HBM bit energy, which is what makes
+    /// migration traffic worth metering.
+    double far_bit_energy_pj = 20.0;
 };
 
 /** Activity counts accumulated by a simulation run. */
@@ -43,6 +49,8 @@ struct ActivityCounts
     double sram_read_bytes = 0;
     double sram_write_bytes = 0;
     double dram_energy_pj = 0; ///< Already computed by HbmModel.
+    double migration_bytes = 0; ///< HBM <-> far-memory KV block moves
+                                ///< (demotions + promotions).
     double cycles = 0;         ///< Elapsed core cycles.
     double freq_ghz = 1.0;     ///< Core clock.
 
@@ -59,6 +67,7 @@ struct EnergyReport
     double fetcher_j = 0;
     double sram_j = 0;
     double dram_j = 0;
+    double migration_j = 0; ///< Far-memory KV migration traffic.
     double leakage_j = 0;
     double seconds = 0;
 
@@ -67,7 +76,7 @@ struct EnergyReport
         return qk_j + pv_j + softmax_j + topk_j + fetcher_j + sram_j +
                leakage_j;
     }
-    double totalJ() const { return onChipJ() + dram_j; }
+    double totalJ() const { return onChipJ() + dram_j + migration_j; }
     double totalW() const { return seconds > 0 ? totalJ() / seconds : 0; }
     double dramW() const { return seconds > 0 ? dram_j / seconds : 0; }
 

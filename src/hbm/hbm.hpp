@@ -75,6 +75,53 @@ struct HbmConfig
     }
 };
 
+/**
+ * Far-memory (commodity DRAM behind the HBM stack) parameters for the
+ * tiered KV pool, after Hybrid2 (HPCA'20): the HBM stack is the hot
+ * tier, and cold KV blocks migrate to a larger, slower DRAM pool over a
+ * dedicated link instead of being dropped. The struct models only what
+ * the serving layer needs — a capacity, and a latency + bandwidth cost
+ * for each migration burst; per-bit migration energy lives with the
+ * other energy constants (EnergyConfig::far_bit_energy_pj).
+ */
+struct FarMemoryConfig
+{
+    /// Cold-tier capacity in GiB. 0 (the default) disables tiering
+    /// entirely: the KV pool keeps its single-budget PR-5 semantics
+    /// bit for bit.
+    double capacity_gb = 0.0;
+    /// Sustained migration-link bandwidth in GB/s (DDR4-class channel
+    /// pair; far below the HBM stack's 512 GB/s by construction).
+    double bandwidth_gbs = 64.0;
+    /// Fixed per-burst access latency in microseconds (queue + far
+    /// DRAM access + link turnaround).
+    double latency_us = 0.5;
+
+    bool enabled() const { return capacity_gb > 0.0; }
+
+    /** Cold-tier capacity in bytes; same exact-shift + rounded-fraction
+     *  conversion as HbmConfig::capacityBytes(). */
+    std::uint64_t capacityBytes() const
+    {
+        const auto whole_gb = static_cast<std::uint64_t>(capacity_gb);
+        const double frac_gb =
+            capacity_gb - static_cast<double>(whole_gb);
+        return (whole_gb << 30) +
+               static_cast<std::uint64_t>(
+                   frac_gb * static_cast<double>(1ull << 30) + 0.5);
+    }
+
+    /** Seconds one migration burst of @p bytes occupies the link:
+     *  latency + bytes / bandwidth. 0 bytes cost nothing (no burst). */
+    double transferSeconds(std::uint64_t bytes) const
+    {
+        if (bytes == 0)
+            return 0.0;
+        return latency_us * 1e-6 +
+               static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+    }
+};
+
 /** A single read or write request. */
 struct HbmRequest
 {

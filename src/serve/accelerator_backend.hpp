@@ -53,6 +53,14 @@ struct BackendCapabilities
     /// Backends without it always prefill monolithically, even when
     /// the scheduler's chunking knobs are on.
     bool chunked_prefill = false;
+    /// The device tolerates tiered KV memory (serve/kv_pool.hpp with a
+    /// far-memory DRAM cold tier): demoted prefix blocks leave HBM and
+    /// re-land bit-identically on promotion, so sessions can extend a
+    /// promoted prefix exactly as a never-migrated one. The mechanism
+    /// lives in KvPool + the scheduler (not the device model), so every
+    /// stock backend supports it; a backend that pinned KV layout to
+    /// physical HBM addresses would clear this bit.
+    bool tiered_kv = false;
 };
 
 /**

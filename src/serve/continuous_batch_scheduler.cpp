@@ -13,6 +13,7 @@
 
 #include "accel/spatten_accelerator.hpp"
 #include "common/logging.hpp"
+#include "energy/energy_model.hpp"
 #include "serve/accelerator_backend.hpp"
 
 namespace spatten {
@@ -31,6 +32,10 @@ struct ActiveSession
                                    ///< (starts at cached_prefix; the
                                    ///< chunk stream begins at the
                                    ///< cached-prefix boundary).
+    double promote_s = 0; ///< Pending DRAM -> HBM promotion latency:
+                          ///< charged to this request's first prompt
+                          ///< pass (the promoted prefix must land in
+                          ///< HBM before the prefill can extend it).
     std::unique_ptr<BackendSession> session;
 };
 
@@ -284,6 +289,8 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     }
     rep.kv_peak_bytes.assign(num_accels, 0);
     rep.kv_mean_bytes.assign(num_accels, 0.0);
+    rep.kv_dram_capacity_bytes = sched_.far_memory.capacityBytes();
+    rep.kv_dram_peak_bytes.assign(num_accels, 0);
     if (n == 0)
         return rep;
 
@@ -318,9 +325,18 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
     std::stable_sort(order.begin(), order.end(), queuedBefore);
 
     std::vector<AccelState> accels(num_accels);
-    for (std::size_t a = 0; a < num_accels; ++a)
+    for (std::size_t a = 0; a < num_accels; ++a) {
+        // A backend whose KV layout cannot migrate (capabilities().
+        // tiered_kv false) keeps a single-tier pool even when the
+        // fleet config asks for a far-memory tier.
+        const std::uint64_t dram_bytes =
+            fleet_[a]->capabilities().tiered_kv
+                ? sched_.far_memory.capacityBytes()
+                : 0;
         accels[a].pool = KvPool({slotBudget(a), sched_.kv_block_tokens,
-                                 fleet_[a]->kvBytesPerElem()});
+                                 fleet_[a]->kvBytesPerElem(),
+                                 /*prefix_hash_bits=*/64, dram_bytes});
+    }
 
     // ---- Routing classes ----
     // CapabilityAware keeps two shared queues: long prompts wait in a
@@ -666,6 +682,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 const std::size_t idx = queue[best_pos];
                 const WorkloadSpec& w = trace[idx].workload;
                 std::size_t cached_prefix = 0;
+                double promote_s = 0.0;
                 bool reserved;
                 if (sched_.enable_prefix_caching &&
                     !trace[idx].prompt_tokens.empty()) {
@@ -691,6 +708,14 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                         rep.prefix_cached_tokens += cached_prefix;
                         rep.prefix_shared_bytes += pr.shared_bytes;
                     }
+                    // A hit on DRAM-demoted blocks promoted them back
+                    // to HBM: the burst's transfer latency lands on
+                    // this request's prefill timeline (the demotion
+                    // direction is asynchronous — bytes and energy are
+                    // metered by the pool, but no one waits on it).
+                    if (pr.ok && pr.promoted_bytes > 0)
+                        promote_s = sched_.far_memory.transferSeconds(
+                            pr.promoted_bytes);
                 } else {
                     reserved = accel.pool.tryReserve(idx, w.model,
                                                      w.summarize_len);
@@ -714,7 +739,7 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                 r.phase = RequestPhase::Prefill;
                 accel.active.push_back(
                     {idx, admit_seq++, cached_prefix,
-                     /*prefill_pos=*/cached_prefix,
+                     /*prefill_pos=*/cached_prefix, promote_s,
                      fleet_[best]->makeSession(trace[idx].workload,
                                                trace[idx].policy,
                                                trace[idx].seed)});
@@ -802,6 +827,19 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
         for (std::size_t j = 0; j < jobs.size(); ++j) {
             ActiveSession& m = accel.active[jobs[j].member];
             ServedRequest& r = rep.requests[m.idx];
+            if (jobs[j].do_prefill && m.promote_s > 0) {
+                // The admission's DRAM -> HBM promotion burst completes
+                // before the first prompt pass can extend the promoted
+                // prefix, so its latency serializes into the iteration
+                // like the pass itself. (A member preempted before any
+                // prompt pass drops the pending charge with its
+                // incarnation — the migration bytes and energy were
+                // already metered by the pool.)
+                t += m.promote_s;
+                r.service_seconds += m.promote_s;
+                rep.promotion_stall_s += m.promote_s;
+                m.promote_s = 0;
+            }
             t += jobs[j].seconds;
             r.service_seconds += jobs[j].seconds;
             if (jobs[j].do_prefill) {
@@ -971,6 +1009,24 @@ ContinuousBatchScheduler::run(const std::vector<TracedRequest>& trace)
                                          accels[a].busy_s
                                    : 0.0;
         rep.cow_copied_blocks += accels[a].pool.cowCopiedBlocks();
+        rep.kv_evicted_blocks += accels[a].pool.evictedBlocks();
+        rep.kv_dram_peak_bytes[a] = accels[a].pool.dramPeakBytes();
+        rep.kv_demoted_blocks += accels[a].pool.demotedBlocks();
+        rep.kv_promoted_blocks += accels[a].pool.promotedBlocks();
+        rep.kv_demoted_bytes += accels[a].pool.demotedBytes();
+        rep.kv_promoted_bytes += accels[a].pool.promotedBytes();
+    }
+    rep.kv_migrated_bytes = rep.kv_demoted_bytes + rep.kv_promoted_bytes;
+    if (rep.kv_migrated_bytes > 0) {
+        // Migration traffic is DRAM <-> HBM block movement the
+        // per-session energy reports cannot see; price it with the
+        // far-memory bit energy and fold it into the run total.
+        ActivityCounts mig;
+        mig.migration_bytes =
+            static_cast<double>(rep.kv_migrated_bytes);
+        rep.migration_energy_j =
+            EnergyModel().compute(mig).migration_j;
+        rep.total_energy_j += rep.migration_energy_j;
     }
     rep.dram_reduction =
         dram_bytes > 0 ? dram_bytes_dense / dram_bytes : 1.0;

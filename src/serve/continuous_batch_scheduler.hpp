@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "accel/pipeline.hpp"
+#include "hbm/hbm.hpp"
 #include "serve/accelerator_backend.hpp"
 #include "serve/kv_pool.hpp"
 #include "serve/request_state.hpp"
@@ -141,6 +142,21 @@ struct ContinuousBatchConfig
     std::uint64_t kv_capacity_bytes = 0;
     /// KV allocation granularity in tokens (paged-KV block size).
     std::size_t kv_block_tokens = 16;
+
+    /// Tiered KV memory (Hybrid2-style; hbm/hbm.hpp): each
+    /// accelerator's pool gains a far-memory DRAM cold tier of
+    /// far_memory.capacityBytes() bytes. Cold prefix-cache blocks
+    /// demote there instead of being dropped and promote back on a
+    /// prefix re-reference; demotions are asynchronous (bytes + energy
+    /// only, off the critical path), while each admission's promotion
+    /// burst charges far_memory.transferSeconds() to that request's
+    /// prefill timeline — a DRAM hit stays cheaper than recomputing
+    /// the prefix but dearer than an HBM hit. Migration energy is
+    /// priced at EnergyConfig::far_bit_energy_pj per bit and lands in
+    /// ServeReport::migration_energy_j / total_energy_j. The default
+    /// (capacity_gb == 0) disables tiering; every scheduler result is
+    /// then bit-identical to the single-tier pool.
+    FarMemoryConfig far_memory;
 
     /// CapabilityAware only: prompts at least this long are routed to
     /// cascade-pruning backends.
@@ -278,6 +294,31 @@ struct ServeReport
     std::size_t cow_copied_blocks = 0; ///< Blocks copied when cascade
                                        ///< pruning diverged a shared
                                        ///< prefix (summed over pools).
+    /// Cached blocks dropped from the prefix caches entirely (summed
+    /// over pools): cold HBM blocks reclaimed with tiering off, DRAM
+    /// cold-tier LRU overflow with tiering on.
+    std::size_t kv_evicted_blocks = 0;
+
+    // ---- Tiered KV memory (ContinuousBatchConfig::far_memory) ----
+    /// The per-slot cold-tier byte budget (0 = tiering off).
+    std::uint64_t kv_dram_capacity_bytes = 0;
+    /// Peak cold-tier (far-memory DRAM) occupancy per accelerator —
+    /// the second tier of the per-tier occupancy pair whose hot half
+    /// is kv_peak_bytes.
+    std::vector<std::uint64_t> kv_dram_peak_bytes;
+    std::size_t kv_demoted_blocks = 0;  ///< HBM -> DRAM migrations.
+    std::size_t kv_promoted_blocks = 0; ///< DRAM -> HBM migrations.
+    std::uint64_t kv_demoted_bytes = 0;
+    std::uint64_t kv_promoted_bytes = 0;
+    /// Total migration traffic over the far-memory link, both
+    /// directions (kv_demoted_bytes + kv_promoted_bytes).
+    std::uint64_t kv_migrated_bytes = 0;
+    /// Energy of that traffic (EnergyConfig::far_bit_energy_pj per
+    /// bit); already included in total_energy_j.
+    double migration_energy_j = 0;
+    /// Promotion-burst latency charged to admitting requests' prefill
+    /// timelines (summed; also inside busy_s and service_seconds).
+    double promotion_stall_s = 0;
 };
 
 /**

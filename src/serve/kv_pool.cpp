@@ -92,14 +92,63 @@ KvPool::makeRoom(std::uint64_t need)
         const std::uint32_t id = it->second;
         cold_blocks_.erase(it);
         Block& b = blocks_[id];
-        SPATTEN_ASSERT(b.refs == 0 && b.cached,
+        SPATTEN_ASSERT(b.refs == 0 && b.cached && !b.in_dram,
                        "non-cold block %u on the cold list", id);
         cold_bytes_ -= b.bytes;
+        if (b.bytes <= cfg_.dram_capacity_bytes) {
+            // Tiered: the block's residency moves to far memory; its
+            // prefix-index entry (and content) survives for future
+            // admissions to promote back.
+            demoteToDram(id);
+            continue;
+        }
+        // Tiering off (or a block the DRAM budget could never hold
+        // even empty): drop it from the cache entirely.
         prefix_index_.erase(b.hash);
         b.cached = false;
         ++evicted_blocks_;
         freeBlock(id);
     }
+}
+
+void
+KvPool::demoteToDram(std::uint32_t id)
+{
+    Block& b = blocks_[id];
+    while (dram_used_bytes_ + b.bytes > cfg_.dram_capacity_bytes)
+        evictDramLru();
+    SPATTEN_ASSERT(used_bytes_ >= b.bytes, "KV pool byte underflow");
+    used_bytes_ -= b.bytes;
+    b.in_dram = true;
+    dram_used_bytes_ += b.bytes;
+    dram_peak_bytes_ = std::max(dram_peak_bytes_, dram_used_bytes_);
+    // The cold_tick survives the migration, so DRAM eviction order is
+    // the same global release order the HBM cold list uses.
+    dram_lru_.emplace(b.cold_tick, id);
+    ++demoted_blocks_;
+    demoted_bytes_ += b.bytes;
+}
+
+void
+KvPool::evictDramLru()
+{
+    SPATTEN_ASSERT(!dram_lru_.empty(),
+                   "DRAM-tier eviction with an empty cold tier");
+    const auto it = dram_lru_.begin();
+    const std::uint32_t id = it->second;
+    dram_lru_.erase(it);
+    Block& b = blocks_[id];
+    SPATTEN_ASSERT(b.refs == 0 && b.cached && b.in_dram,
+                   "non-DRAM block %u on the DRAM LRU list", id);
+    SPATTEN_ASSERT(dram_used_bytes_ >= b.bytes,
+                   "DRAM tier byte underflow");
+    dram_used_bytes_ -= b.bytes;
+    prefix_index_.erase(b.hash);
+    ++evicted_blocks_;
+    // Not freeBlock(): the block never re-entered the hot tier, so
+    // there are no HBM bytes to return — only the table slot.
+    b = Block{};
+    free_blocks_.push_back(id);
 }
 
 std::uint32_t
@@ -230,25 +279,62 @@ KvPool::tryReservePrefix(std::size_t id, const ModelSpec& model,
         ++matched;
     }
 
-    // ---- Budget check: only the non-shared blocks are charged.
-    // Reference the matched blocks first so a cold hit cannot be
-    // counted as evictable room for its own admission. ----
+    // ---- Budget check: the non-shared blocks are charged, and so are
+    // the matched blocks the DRAM tier must promote back — both tiers
+    // gate the admission. Reference the matched blocks first so a cold
+    // hit cannot be counted as evictable room for its own admission,
+    // and pull DRAM-resident ones off the DRAM LRU so the demotions
+    // makeRoom may trigger can never evict a block this admission is
+    // about to promote. ----
+    std::uint64_t promote_bytes = 0;
     for (const std::uint32_t bid : shared) {
         Block& b = blocks_[bid];
         if (b.refs == 0) {
-            cold_blocks_.erase(b.cold_tick);
-            cold_bytes_ -= b.bytes;
+            if (b.in_dram) {
+                dram_lru_.erase(b.cold_tick);
+                dram_used_bytes_ -= b.bytes;
+                promote_bytes += b.bytes;
+            } else {
+                cold_blocks_.erase(b.cold_tick);
+                cold_bytes_ -= b.bytes;
+            }
         }
         ++b.refs;
     }
     const std::uint64_t need =
-        static_cast<std::uint64_t>(total - matched) * bb;
+        static_cast<std::uint64_t>(total - matched) * bb + promote_bytes;
     if (!canAllocate(need)) {
-        for (const std::uint32_t bid : shared)
-            derefBlock(bid);
+        // Roll back: un-reference. DRAM residents (in_dram still set —
+        // the promote step below never ran) return to the DRAM LRU at
+        // their unchanged cold_tick; HBM residents take the ordinary
+        // deref path back onto the cold list.
+        for (const std::uint32_t bid : shared) {
+            Block& b = blocks_[bid];
+            if (!b.in_dram) {
+                derefBlock(bid);
+                continue;
+            }
+            SPATTEN_ASSERT(b.refs >= 1,
+                           "KV block %u refcount underflow", bid);
+            if (--b.refs == 0) {
+                dram_lru_.emplace(b.cold_tick, bid);
+                dram_used_bytes_ += b.bytes;
+            }
+        }
         return {};
     }
     makeRoom(need);
+    // Promote the DRAM-resident matched blocks into the hot tier; the
+    // bytes were part of `need`, so they fit.
+    for (const std::uint32_t bid : shared) {
+        Block& b = blocks_[bid];
+        if (!b.in_dram)
+            continue;
+        b.in_dram = false;
+        touchCharge(b.bytes);
+        ++promoted_blocks_;
+        promoted_bytes_ += b.bytes;
+    }
 
     // ---- Allocate the tail: register unmatched complete blocks in
     // the index; the partial last block (and any collision fallback)
@@ -285,6 +371,7 @@ KvPool::tryReservePrefix(std::size_t id, const ModelSpec& model,
     out.ok = true;
     out.cached_tokens = matched * bt;
     out.shared_bytes = static_cast<std::uint64_t>(matched) * bb;
+    out.promoted_bytes = promote_bytes;
     held_.emplace(id, std::move(res));
     return out;
 }

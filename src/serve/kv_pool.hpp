@@ -33,6 +33,25 @@
  * its references on the cached originals, which remain in the index for
  * future admissions.
  *
+ * Tiered memory (Hybrid2-style, KvPoolConfig::dram_capacity_bytes > 0):
+ * the HBM byte budget becomes the *hot* tier and a far-memory DRAM pool
+ * becomes the *cold* tier. When an allocation needs a cold cached
+ * block's hot bytes, the block *demotes* to DRAM (it stays registered
+ * in the prefix index; only its residency moves) instead of being
+ * dropped; true eviction happens only when the DRAM tier itself fills,
+ * still LRU-first on the same global clock — the demotion/eviction
+ * order is a pure function of the release order either way. A later
+ * prefix hit on a DRAM-resident block *promotes* it back to HBM: the
+ * promoted bytes count against the hot budget of that admission (both
+ * tiers gate admission), and the reservation reports them so the
+ * scheduler can charge the migration's latency to the admitting
+ * request's prefill timeline. The pool itself stays pure bookkeeping —
+ * it meters migration bytes and block counts; time and energy are
+ * priced by the serving layer (FarMemoryConfig in hbm/hbm.hpp,
+ * EnergyConfig::far_bit_energy_pj). With dram_capacity_bytes == 0 every
+ * code path above is untouched and the pool is bit-identical to the
+ * single-budget allocator.
+ *
  * The pool is plain deterministic bookkeeping driven by the scheduler's
  * single-threaded coordinator; it never touches simulated time.
  */
@@ -68,6 +87,11 @@ struct KvPoolConfig
     /// fallback (a colliding lookup compares the stored token content
     /// and treats a mismatch as a miss).
     std::size_t prefix_hash_bits = 64;
+    /// Far-memory DRAM cold-tier byte budget (FarMemoryConfig::
+    /// capacityBytes()). 0 disables tiering: cold cached blocks stay
+    /// HBM-resident until true-evicted, the single-budget semantics
+    /// every PR-2..6 golden pins.
+    std::uint64_t dram_capacity_bytes = 0;
 };
 
 /** Per-accelerator paged KV block allocator. */
@@ -82,6 +106,11 @@ class KvPool
                                        ///< copy-free from the cache.
         std::uint64_t shared_bytes = 0; ///< Bytes of those shared blocks
                                         ///< (charged to no one anew).
+        /// Bytes promoted DRAM -> HBM to serve this hit (0 when every
+        /// matched block was already hot-tier resident, or tiering is
+        /// off). The scheduler charges this burst's transfer latency to
+        /// the admitting request's prefill timeline.
+        std::uint64_t promoted_bytes = 0;
     };
 
     explicit KvPool(KvPoolConfig cfg = KvPoolConfig{});
@@ -141,22 +170,46 @@ class KvPool
     void release(std::size_t id);
 
     std::uint64_t capacityBytes() const { return cfg_.capacity_bytes; }
-    /// Resident bytes: every live block — held by a request or cold in
-    /// the prefix cache — counted once regardless of refcount.
+    /// HBM-resident bytes: every hot-tier block — held by a request or
+    /// cold in the prefix cache — counted once regardless of refcount.
+    /// DRAM-resident blocks are accounted separately (dramUsedBytes()).
     std::uint64_t usedBytes() const { return used_bytes_; }
     std::uint64_t peakBytes() const { return peak_bytes_; }
     std::size_t residentRequests() const { return held_.size(); }
     bool unlimited() const { return cfg_.capacity_bytes == 0; }
+    /// Far-memory cold tier configured (dram_capacity_bytes > 0).
+    bool tiered() const { return cfg_.dram_capacity_bytes > 0; }
 
     // ---- Prefix-cache introspection (tests, ServeReport) ----
-    /// Blocks currently registered in the prefix index (hot + cold).
+    /// Blocks currently registered in the prefix index (hot + cold,
+    /// both tiers).
     std::size_t cachedBlocks() const { return prefix_index_.size(); }
-    /// Bytes of cold cached blocks (refcount 0): reclaimable on demand.
+    /// Bytes of cold cached blocks still HBM-resident (refcount 0):
+    /// reclaimable on demand by demotion or eviction.
     std::uint64_t coldBytes() const { return cold_bytes_; }
     /// Blocks copied by copy-on-write divergences so far.
     std::size_t cowCopiedBlocks() const { return cow_copied_blocks_; }
-    /// Cold cached blocks evicted to make room so far.
+    /// Cached blocks dropped from the cache entirely so far (tiering
+    /// off: cold HBM blocks reclaimed for an allocation; tiering on:
+    /// DRAM-tier LRU overflow, or a cold block too large for the DRAM
+    /// budget altogether).
     std::size_t evictedBlocks() const { return evicted_blocks_; }
+
+    // ---- Tiered-memory introspection (tests, ServeReport) ----
+    std::uint64_t dramCapacityBytes() const
+    {
+        return cfg_.dram_capacity_bytes;
+    }
+    /// Cold-tier occupancy: bytes of cached blocks currently demoted
+    /// to far-memory DRAM.
+    std::uint64_t dramUsedBytes() const { return dram_used_bytes_; }
+    std::uint64_t dramPeakBytes() const { return dram_peak_bytes_; }
+    /// Blocks / bytes migrated HBM -> DRAM so far.
+    std::size_t demotedBlocks() const { return demoted_blocks_; }
+    std::uint64_t demotedBytes() const { return demoted_bytes_; }
+    /// Blocks / bytes migrated DRAM -> HBM (prefix re-reference) so far.
+    std::size_t promotedBlocks() const { return promoted_blocks_; }
+    std::uint64_t promotedBytes() const { return promoted_bytes_; }
     /// Refcounts of @p id's shared prefix blocks in chain order (empty
     /// when the reservation is fully private): test hook for the
     /// sharing and refcount-underflow properties.
@@ -172,6 +225,8 @@ class KvPool
         std::vector<std::uint64_t> tokens; ///< Content (when cached),
                                            ///< for collision detection.
         std::uint64_t cold_tick = 0; ///< LRU stamp while refs == 0.
+        bool in_dram = false; ///< Demoted to the far-memory cold tier
+                              ///< (implies cached && refs == 0).
     };
 
     struct Reservation
@@ -191,12 +246,19 @@ class KvPool
     std::uint64_t chainHash(std::uint64_t prev, const ModelSpec& model,
                             const std::uint64_t* tokens,
                             std::size_t n) const;
-    /** True when @p need new bytes fit after evicting cold blocks
-     *  (does not evict). */
+    /** True when @p need new bytes fit after reclaiming (demoting or
+     *  evicting) cold blocks (does not reclaim). */
     bool canAllocate(std::uint64_t need) const;
-    /** Evict cold cached blocks LRU-first until @p need new bytes fit.
-     *  @pre canAllocate(need). */
+    /** Reclaim cold cached HBM blocks LRU-first until @p need new
+     *  bytes fit: demote to the DRAM tier when one is configured and
+     *  the block fits it, evict otherwise. @pre canAllocate(need). */
     void makeRoom(std::uint64_t need);
+    /** Move cold HBM block @p id (already off the cold list) to the
+     *  DRAM tier, true-evicting DRAM LRU blocks until it fits.
+     *  @pre blocks_[id].bytes <= cfg_.dram_capacity_bytes. */
+    void demoteToDram(std::uint32_t id);
+    /** Drop the LRU DRAM-resident block from the cache entirely. */
+    void evictDramLru();
     std::uint32_t newBlock(std::uint64_t bytes);
     void derefBlock(std::uint32_t id);
     void freeBlock(std::uint32_t id);
@@ -209,13 +271,26 @@ class KvPool
     std::unordered_map<std::uint64_t, std::uint32_t>
         prefix_index_;                 ///< chain hash -> block id.
     std::map<std::uint64_t, std::uint32_t>
-        cold_blocks_;                  ///< LRU tick -> cold cached block.
+        cold_blocks_;                  ///< LRU tick -> cold cached block
+                                       ///< (HBM-resident).
+    std::map<std::uint64_t, std::uint32_t>
+        dram_lru_;                     ///< LRU tick -> DRAM-resident
+                                       ///< block. Blocks keep their
+                                       ///< cold_tick across demotion,
+                                       ///< so the eviction order stays
+                                       ///< the global release order.
     std::uint64_t used_bytes_ = 0;
     std::uint64_t peak_bytes_ = 0;
     std::uint64_t cold_bytes_ = 0;
+    std::uint64_t dram_used_bytes_ = 0;
+    std::uint64_t dram_peak_bytes_ = 0;
     std::uint64_t tick_ = 0;           ///< Monotonic LRU clock.
     std::size_t cow_copied_blocks_ = 0;
     std::size_t evicted_blocks_ = 0;
+    std::size_t demoted_blocks_ = 0;
+    std::size_t promoted_blocks_ = 0;
+    std::uint64_t demoted_bytes_ = 0;
+    std::uint64_t promoted_bytes_ = 0;
 };
 
 } // namespace spatten

@@ -4,11 +4,17 @@
 /// private blocks, copy-on-write keeps the cached originals intact,
 /// cold-cache eviction is LRU and never lets usage exceed the budget,
 /// release/double-release and byte-size overflow assert instead of
-/// silently corrupting the ledger.
+/// silently corrupting the ledger. With the DRAM cold tier configured,
+/// the demotion/eviction order is pinned as a deterministic function
+/// of the release order — within-release ties resolve chain-head-first
+/// — by a 4000-op random run against an exact shadow model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/prng.hpp"
@@ -285,6 +291,255 @@ TEST(KvPoolPrefix, RandomOpsNeverUnderflowOrExceedBudget)
             pool.release(i);
     EXPECT_EQ(pool.usedBytes(), pool.coldBytes())
         << "only reclaimable cold cache may remain";
+}
+
+// ---------------------------------------------------------------------
+// Tiered memory: HBM cold list and DRAM LRU share one release clock
+// ---------------------------------------------------------------------
+
+TEST(KvPoolTier, SameReleaseTiesDemoteAndEvictChainHeadFirst)
+{
+    const ModelSpec m = tinyModel();
+    // 4-block HBM hot tier over a 2-block DRAM cold tier.
+    KvPool pool({4 * kBlockBytes, 16, 2, 64, 2 * kBlockBytes});
+    const auto a = prompt(30, 64); // 4 blocks, released in ONE call.
+
+    ASSERT_TRUE(pool.tryReservePrefix(0, m, a).ok);
+    pool.release(0); // Ties: all four go cold in this one release.
+
+    // Two private blocks reclaim two cold ones: within-release ties
+    // resolve chain-head-first, so blocks 0 and 1 demote.
+    ASSERT_TRUE(pool.tryReserve(1, m, 32));
+    EXPECT_EQ(pool.demotedBlocks(), 2u);
+    EXPECT_EQ(pool.evictedBlocks(), 0u);
+    EXPECT_EQ(pool.dramUsedBytes(), 2 * kBlockBytes);
+    pool.release(1);
+
+    // Four private blocks demote the remaining two; the 2-block DRAM
+    // tier overflows and true-evicts ITS oldest ticks — blocks 0, 1.
+    ASSERT_TRUE(pool.tryReserve(2, m, 64));
+    EXPECT_EQ(pool.demotedBlocks(), 4u);
+    EXPECT_EQ(pool.evictedBlocks(), 2u);
+    EXPECT_EQ(pool.dramUsedBytes(), 2 * kBlockBytes);
+    pool.release(2);
+
+    // Identity proof: the chain head is gone — a re-reservation runs
+    // cold — while blocks 2 and 3 survive in DRAM (their occupied keys
+    // stop the re-registration at index 2).
+    const auto r3 = pool.tryReservePrefix(3, m, a);
+    ASSERT_TRUE(r3.ok);
+    EXPECT_EQ(r3.cached_tokens, 0u)
+        << "block 0 evicted => nothing matches from the chain head";
+    EXPECT_EQ(r3.promoted_bytes, 0u);
+    EXPECT_EQ(pool.dramUsedBytes(), 2 * kBlockBytes)
+        << "blocks 2 and 3 must still be DRAM-resident";
+    EXPECT_EQ(pool.cachedBlocks(), 4u)
+        << "re-registered blocks 0-1 + surviving DRAM blocks 2-3";
+    pool.release(3);
+}
+
+/// Exact shadow model of the tiered reclaim machinery for the op mix
+/// the random test drives: tryReservePrefix with block-aligned prompts
+/// of one uniform block size plus release, under the full-width
+/// (collision-free) chain hash. Block identity is (stream, chain
+/// index); "front of vector" is the oldest release tick. Mirrors
+/// kv_pool.cpp's makeRoom/demoteToDram/evictDramLru/rollback paths
+/// operation for operation, so any divergence in which block demotes
+/// or evicts shows up immediately in the compared counters and in the
+/// cached_tokens of later reservations.
+struct ShadowTier
+{
+    std::uint64_t cap = 0;
+    std::uint64_t dram_cap = 0;
+
+    using Key = std::pair<std::uint64_t, std::size_t>;
+    struct SBlock
+    {
+        std::uint32_t refs = 0;
+        bool in_dram = false;
+    };
+    struct Res
+    {
+        std::vector<Key> chain;
+        std::size_t priv = 0;
+    };
+    struct Outcome
+    {
+        bool ok = false;
+        std::size_t matched = 0;
+        std::uint64_t promote_b = 0;
+    };
+
+    std::map<Key, SBlock> reg;    ///< Prefix-index shadow.
+    std::vector<Key> cold;        ///< HBM cold list, front = oldest.
+    std::vector<Key> dram;        ///< DRAM LRU, front = oldest.
+    std::map<std::size_t, Res> held;
+    std::uint64_t used = 0, cold_b = 0, dram_b = 0;
+    std::size_t demoted = 0, promoted = 0, evicted = 0;
+
+    static void eraseKey(std::vector<Key>& v, const Key& k)
+    {
+        v.erase(std::find(v.begin(), v.end(), k));
+    }
+
+    void makeRoom(std::uint64_t need)
+    {
+        while (used + need > cap) {
+            ASSERT_FALSE(cold.empty());
+            const Key k = cold.front();
+            cold.erase(cold.begin());
+            cold_b -= kBlockBytes;
+            used -= kBlockBytes;
+            if (kBlockBytes <= dram_cap) {
+                while (dram_b + kBlockBytes > dram_cap) {
+                    reg.erase(dram.front());
+                    dram.erase(dram.begin());
+                    dram_b -= kBlockBytes;
+                    ++evicted;
+                }
+                reg.at(k).in_dram = true;
+                dram_b += kBlockBytes;
+                dram.push_back(k);
+                ++demoted;
+            } else {
+                reg.erase(k);
+                ++evicted;
+            }
+        }
+    }
+
+    Outcome reserve(std::size_t id, std::uint64_t stream,
+                    std::size_t blocks)
+    {
+        std::size_t matched = 0;
+        while (matched < blocks && reg.count({stream, matched}) != 0)
+            ++matched;
+        // Pull the matched blocks off their lists (chain order), as
+        // the pool does before its budget check.
+        const std::vector<Key> dram_before = dram;
+        std::uint64_t promote_b = 0;
+        std::vector<Key> chain;
+        for (std::size_t i = 0; i < matched; ++i) {
+            const Key k{stream, i};
+            SBlock& b = reg.at(k);
+            if (b.refs == 0) {
+                if (b.in_dram) {
+                    eraseKey(dram, k);
+                    dram_b -= kBlockBytes;
+                    promote_b += kBlockBytes;
+                } else {
+                    eraseKey(cold, k);
+                    cold_b -= kBlockBytes;
+                }
+            }
+            ++b.refs;
+            chain.push_back(k);
+        }
+        const std::uint64_t need =
+            static_cast<std::uint64_t>(blocks - matched) * kBlockBytes +
+            promote_b;
+        if (used - cold_b + need > cap) {
+            // Rollback: DRAM pulls return at their unchanged ticks
+            // (exactly the pre-op DRAM list); HBM pulls re-tick onto
+            // the cold tail in chain order.
+            for (std::size_t i = 0; i < matched; ++i) {
+                const Key k{stream, i};
+                SBlock& b = reg.at(k);
+                if (--b.refs > 0)
+                    continue;
+                if (b.in_dram) {
+                    dram_b += kBlockBytes;
+                } else {
+                    cold.push_back(k);
+                    cold_b += kBlockBytes;
+                }
+            }
+            dram = dram_before;
+            return {};
+        }
+        makeRoom(need);
+        for (std::size_t i = 0; i < matched; ++i) {
+            SBlock& b = reg.at({stream, i});
+            if (b.in_dram) {
+                b.in_dram = false;
+                used += kBlockBytes;
+                ++promoted;
+            }
+        }
+        std::size_t priv = 0;
+        bool registering = true;
+        for (std::size_t i = matched; i < blocks; ++i) {
+            const Key k{stream, i};
+            if (registering && reg.count(k) != 0)
+                registering = false; // Occupied key: private fallback.
+            used += kBlockBytes;
+            if (!registering) {
+                ++priv;
+                continue;
+            }
+            reg[k] = SBlock{1, false};
+            chain.push_back(k);
+        }
+        held[id] = Res{std::move(chain), priv};
+        return {true, matched, promote_b};
+    }
+
+    void release(std::size_t id)
+    {
+        Res& r = held.at(id);
+        for (const Key& k : r.chain) {
+            SBlock& b = reg.at(k);
+            if (--b.refs == 0) {
+                cold.push_back(k); // Fresh tick: cold tail.
+                cold_b += kBlockBytes;
+            }
+        }
+        used -= static_cast<std::uint64_t>(r.priv) * kBlockBytes;
+        held.erase(id);
+    }
+};
+
+TEST(KvPoolTier, ReclaimOrderMatchesShadowModelOver4000RandomOps)
+{
+    const ModelSpec m = tinyModel();
+    const std::uint64_t cap = 12 * kBlockBytes;
+    const std::uint64_t dram_cap = 6 * kBlockBytes;
+    KvPool pool({cap, 16, 2, 64, dram_cap});
+    ShadowTier sh;
+    sh.cap = cap;
+    sh.dram_cap = dram_cap;
+    Prng prng(0x7ee7ed0bdec4ULL);
+    std::vector<bool> held(8, false);
+    for (int op = 0; op < 4000; ++op) {
+        const std::size_t id = prng.below(8);
+        if (!held[id]) {
+            const std::uint64_t stream = 200 + prng.below(4);
+            const std::size_t blocks = 1 + prng.below(8);
+            const auto got =
+                pool.tryReservePrefix(id, m, prompt(stream, blocks * 16));
+            const auto want = sh.reserve(id, stream, blocks);
+            ASSERT_EQ(got.ok, want.ok) << "op " << op;
+            if (got.ok) {
+                ASSERT_EQ(got.cached_tokens, want.matched * 16)
+                    << "op " << op
+                    << ": a reclaim-order divergence surfaces here";
+                ASSERT_EQ(got.promoted_bytes, want.promote_b)
+                    << "op " << op;
+                held[id] = true;
+            }
+        } else {
+            pool.release(id);
+            sh.release(id);
+            held[id] = false;
+        }
+        ASSERT_EQ(pool.usedBytes(), sh.used) << "op " << op;
+        ASSERT_EQ(pool.coldBytes(), sh.cold_b) << "op " << op;
+        ASSERT_EQ(pool.dramUsedBytes(), sh.dram_b) << "op " << op;
+        ASSERT_EQ(pool.cachedBlocks(), sh.reg.size()) << "op " << op;
+        ASSERT_EQ(pool.demotedBlocks(), sh.demoted) << "op " << op;
+        ASSERT_EQ(pool.promotedBlocks(), sh.promoted) << "op " << op;
+        ASSERT_EQ(pool.evictedBlocks(), sh.evicted) << "op " << op;
+    }
 }
 
 TEST(KvPoolDeath, ReleaseOfUnknownIdAsserts)
