@@ -1,0 +1,138 @@
+/// Low-level decode-step kernel floor (RZBENCH-style: pin the kernel
+/// before arguing about the application): ns of host CPU per simulated
+/// decode step as a function of entering context length and of the
+/// cascade-pruned survivor fraction. Each point serves repeated
+/// sessions — prefill, a short warmup into the cascade/memo steady
+/// state, then a timed step region kept short so the dense
+/// (pruning-off) rows, whose context grows every step and which
+/// therefore never hit the replay memo, stay near the nominal context.
+/// Records merge into BENCH_sim.json beside bench_sim's
+/// application-level rows.
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <vector>
+
+#include "accel/decode_session.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace spatten;
+using namespace spatten::bench;
+
+double
+cpuSeconds()
+{
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+struct KernelPoint
+{
+    const char* policy_name;
+    PruningPolicy policy;
+    std::size_t context;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Decode-step kernel floor",
+           "host ns per simulated decode step vs context length and "
+           "survivor fraction");
+
+    PruningPolicy cascade;                       // Default schedule.
+    PruningPolicy aggressive;                    // Deeper survivor cut.
+    aggressive.token_avg_ratio = 0.30;
+    const PruningPolicy dense = PruningPolicy::disabled();
+
+    std::vector<KernelPoint> points;
+    for (const std::size_t ctx : {128u, 512u, 2048u}) {
+        points.push_back({"dense", dense, ctx});
+        points.push_back({"cascade", cascade, ctx});
+        points.push_back({"aggressive", aggressive, ctx});
+    }
+
+    std::printf("%-28s %9s %10s %10s %12s\n", "scenario", "context",
+                "survive", "ns/step", "tok/cpu_s");
+    rule();
+
+    std::vector<SimPerfRecord> records;
+    for (const KernelPoint& p : points) {
+        // Keep the timed region short relative to the context so the
+        // dense rows' growing context stays near nominal; repeat
+        // sessions until enough steps are timed to average the noise.
+        const std::size_t warmup = 8;
+        const std::size_t timed = std::max<std::size_t>(16, p.context / 8);
+        const std::size_t min_steps = 2048;
+
+        WorkloadSpec w;
+        w.name = "kernel";
+        w.summarize_len = p.context;
+        w.generate_len = warmup + timed;
+        SpAttenConfig cfg;
+        cfg.max_context =
+            std::max(cfg.max_context, p.context + warmup + timed);
+
+        double cpu_s = 0, wall_s = 0, survive = 0;
+        std::size_t steps = 0, requests = 0;
+        while (steps < min_steps) {
+            DecodeSession session(cfg, w, p.policy, requests + 1);
+            session.prefill();
+            for (std::size_t i = 0; i < warmup; ++i)
+                session.decodeStep();
+            survive = static_cast<double>(session.kvLength()) /
+                      static_cast<double>(p.context);
+            const auto wall0 = std::chrono::steady_clock::now();
+            const double cpu0 = cpuSeconds();
+            while (!session.done())
+                session.decodeStep();
+            cpu_s += cpuSeconds() - cpu0;
+            wall_s += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall0)
+                          .count();
+            steps += timed;
+            ++requests;
+        }
+
+        SimPerfRecord r;
+        r.scenario = std::string("kernel-ctx") +
+                     std::to_string(p.context) + "-" + p.policy_name;
+        r.cpu_s = cpu_s;
+        r.wall_s = wall_s;
+        r.sim_tokens = static_cast<double>(steps);
+        r.requests = static_cast<double>(requests);
+        r.ns_per_decode_step =
+            cpu_s / static_cast<double>(steps) * 1e9;
+        r.context_len = static_cast<double>(p.context);
+        r.survivor_fraction = survive;
+        finishSimRecord(r);
+        records.push_back(r);
+
+        std::printf("%-28s %9zu %10.3f %10.0f %12.0f\n",
+                    r.scenario.c_str(), p.context, r.survivor_fraction,
+                    r.ns_per_decode_step, r.sim_tokens_per_cpu_s);
+    }
+    rule();
+
+    // The relations this floor exists to pin: pruned steady-state
+    // steps must be cheaper than dense ones at the same context (the
+    // survivor compaction + memo payoff), for every context length.
+    for (std::size_t i = 0; i + 2 < records.size(); i += 3) {
+        const SimPerfRecord& d = records[i];     // dense
+        const SimPerfRecord& c = records[i + 1]; // cascade
+        if (c.ns_per_decode_step >= d.ns_per_decode_step) {
+            std::printf("FAIL: cascade steady-state steps must be "
+                        "cheaper than dense at context %.0f\n",
+                        d.context_len);
+            return 1;
+        }
+    }
+    std::printf("cascade steady-state steps beat dense at every "
+                "context length.\n");
+
+    writeSimJson(records);
+    return 0;
+}

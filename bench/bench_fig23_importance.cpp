@@ -50,19 +50,19 @@ main()
             std::printf("%s ", task.isSymbol(id) ? "S" : "f");
     }
     std::printf("\n\nalive keys per layer (x = pruned):\n");
-    for (std::size_t l = 0; l < st.alive_per_layer.size(); ++l) {
+    for (std::size_t l = 0; l < st.survivors.layers(); ++l) {
         std::printf("layer %zu: ", l);
-        std::size_t cursor = 0;
+        const std::size_t* alive = st.survivors.rowBegin(l);
+        const std::size_t* alive_end = st.survivors.rowEnd(l);
         for (std::size_t pos = 0; pos < sample.ids.size(); ++pos) {
-            const auto& alive = st.alive_per_layer[l];
-            if (cursor < alive.size() && alive[cursor] == pos) {
+            if (alive != alive_end && *alive == pos) {
                 std::printf(". ");
-                ++cursor;
+                ++alive;
             } else {
                 std::printf("x ");
             }
         }
-        std::printf(" (%zu/%zu alive)\n", st.alive_per_layer[l].size(),
+        std::printf(" (%zu/%zu alive)\n", st.survivors.count(l),
                     sample.ids.size());
     }
 

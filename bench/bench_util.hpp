@@ -200,6 +200,121 @@ writeBenchJson(const std::string& name,
     std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
 }
 
+// ---------------------------------------------------------------------
+// BENCH_sim.json: host-performance records (how fast the simulator
+// itself runs, as opposed to what it simulates). Written by bench_sim
+// and bench_decode_step_kernel; the CI perf floor reads the headline
+// decode-session record's sim_tokens_per_cpu_s.
+// ---------------------------------------------------------------------
+
+/** One host-perf data point of BENCH_sim.json. */
+struct SimPerfRecord
+{
+    std::string scenario;
+    double cpu_s = 0;      ///< Host CPU seconds of the measured region.
+    double wall_s = 0;     ///< Host wallclock seconds of the same region.
+    double sim_tokens = 0; ///< Simulated decode tokens produced.
+    double requests = 0;   ///< Requests (sessions) fully served. Always
+                           ///< the count actually completed — a 0 here
+                           ///< with nonzero sim_tokens is a bug, not a
+                           ///< placeholder.
+    double sim_tokens_per_cpu_s = 0;
+    double requests_per_cpu_s = 0; ///< requests / cpu_s (0 if cpu_s 0).
+    double ns_per_decode_step = 0; ///< Decode-region ns per step.
+    double context_len = 0;        ///< Kernel records: entering context.
+    double survivor_fraction = 0;  ///< Kernel records: steady-state
+                                   ///< survivors / context.
+    double baseline_tokens_per_cpu_s = 0; ///< Pre-optimization path,
+                                          ///< measured live on this
+                                          ///< machine (0 = not measured).
+    double speedup_vs_baseline = 0;
+};
+
+/** Derive the per-cpu-second rates from the raw counters. */
+inline void
+finishSimRecord(SimPerfRecord& r)
+{
+    if (r.cpu_s > 0) {
+        r.sim_tokens_per_cpu_s = r.sim_tokens / r.cpu_s;
+        r.requests_per_cpu_s = r.requests / r.cpu_s;
+    }
+    if (r.baseline_tokens_per_cpu_s > 0 && r.sim_tokens_per_cpu_s > 0)
+        r.speedup_vs_baseline =
+            r.sim_tokens_per_cpu_s / r.baseline_tokens_per_cpu_s;
+}
+
+inline std::string
+simRecordLine(const SimPerfRecord& r)
+{
+    char buf[768];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"scenario\": \"%s\", \"cpu_s\": %.6g, \"wall_s\": %.6g, "
+        "\"sim_tokens\": %.0f, \"requests\": %.0f, "
+        "\"sim_tokens_per_cpu_s\": %.6g, \"requests_per_cpu_s\": %.6g, "
+        "\"ns_per_decode_step\": %.6g, \"context_len\": %.0f, "
+        "\"survivor_fraction\": %.4g, "
+        "\"baseline_tokens_per_cpu_s\": %.6g, "
+        "\"speedup_vs_baseline\": %.4g}",
+        jsonEscape(r.scenario).c_str(), r.cpu_s, r.wall_s, r.sim_tokens,
+        r.requests, r.sim_tokens_per_cpu_s, r.requests_per_cpu_s,
+        r.ns_per_decode_step, r.context_len, r.survivor_fraction,
+        r.baseline_tokens_per_cpu_s, r.speedup_vs_baseline);
+    return buf;
+}
+
+/**
+ * Write (or merge into) BENCH_sim.json: existing records whose scenario
+ * key is not being replaced are preserved, so bench_sim and
+ * bench_decode_step_kernel can each own their rows of the same file
+ * regardless of run order. The parse is line-based over our own
+ * emitter's format (one record per line, four-space indent).
+ */
+inline void
+writeSimJson(const std::vector<SimPerfRecord>& records)
+{
+    const char* path = "BENCH_sim.json";
+    std::vector<std::string> lines;
+    if (std::FILE* f = std::fopen(path, "r")) {
+        char buf[1024];
+        while (std::fgets(buf, sizeof buf, f)) {
+            std::string line(buf);
+            if (line.rfind("    {\"scenario\": \"", 0) != 0)
+                continue;
+            const std::size_t key_at = 18; // strlen of the prefix above.
+            const std::size_t key_end = line.find('"', key_at);
+            if (key_end == std::string::npos)
+                continue;
+            const std::string key = line.substr(key_at, key_end - key_at);
+            bool replaced = false;
+            for (const SimPerfRecord& r : records)
+                replaced = replaced || r.scenario == key;
+            if (!replaced) {
+                while (!line.empty() &&
+                       (line.back() == '\n' || line.back() == ','))
+                    line.pop_back();
+                lines.push_back(line);
+            }
+        }
+        std::fclose(f);
+    }
+    for (const SimPerfRecord& r : records)
+        lines.push_back(simRecordLine(r));
+
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "warn: cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"sim\",\n  \"records\": [\n");
+    for (std::size_t i = 0; i < lines.size(); ++i)
+        std::fprintf(f, "%s%s\n", lines[i].c_str(),
+                     i + 1 < lines.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path, lines.size());
+}
+
 } // namespace bench
 } // namespace spatten
 

@@ -68,19 +68,19 @@ main()
             std::printf("%c", task.isSymbol(id) ? 'S' : 'f');
     }
     std::printf("\n");
-    for (std::size_t l = 0; l < stats.alive_per_layer.size(); ++l) {
+    for (std::size_t l = 0; l < stats.survivors.layers(); ++l) {
         std::printf("layer %zu key: ", l);
-        std::size_t cursor = 0;
-        const auto& alive = stats.alive_per_layer[l];
+        const std::size_t* alive = stats.survivors.rowBegin(l);
+        const std::size_t* alive_end = stats.survivors.rowEnd(l);
         for (std::size_t pos = 0; pos < ex.ids.size(); ++pos) {
-            if (cursor < alive.size() && alive[cursor] == pos) {
+            if (alive != alive_end && *alive == pos) {
                 std::printf("^");
-                ++cursor;
+                ++alive;
             } else {
                 std::printf(".");
             }
         }
-        std::printf("  (%zu/%zu keys alive)\n", alive.size(),
+        std::printf("  (%zu/%zu keys alive)\n", stats.survivors.count(l),
                     ex.ids.size());
     }
     std::printf("final keys: ");

@@ -45,15 +45,14 @@ main()
             model.predictClassPruned(ex.ids, policy, &stats);
         std::printf("label=%zu predicted=%zu (%s)\n", ex.label, pred,
                     pred == ex.label ? "correct" : "WRONG");
-        for (std::size_t l = 0; l < stats.alive_per_layer.size(); ++l) {
+        for (std::size_t l = 0; l < stats.survivors.layers(); ++l) {
             std::printf("  layer %zu: ", l);
-            std::size_t cursor = 0;
-            const auto& alive = stats.alive_per_layer[l];
+            const std::size_t* alive = stats.survivors.rowBegin(l);
+            const std::size_t* alive_end = stats.survivors.rowEnd(l);
             for (std::size_t pos = 0; pos < ex.ids.size(); ++pos) {
-                const bool is_alive =
-                    cursor < alive.size() && alive[cursor] == pos;
+                const bool is_alive = alive != alive_end && *alive == pos;
                 if (is_alive)
-                    ++cursor;
+                    ++alive;
                 const std::string word = task.tokenName(ex.ids[pos]);
                 if (is_alive)
                     std::printf("%s ", word.c_str());

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI perf floor for the simulator's host throughput.
+
+Reads the decode-session record out of BENCH_sim.json (written by
+bench_sim) and compares sim_tokens_per_cpu_s against the checked-in
+floors in bench/perf_floor.json. Warn-then-fail: dipping below
+warn_floor emits a GitHub warning annotation (triage signal); dipping
+below hard_floor — or losing the recorded speedup over the live
+pre-optimization baseline — fails the job.
+
+Usage: check_perf_floor.py <BENCH_sim.json> <perf_floor.json>
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        floor = json.load(f)
+
+    scenario = floor["scenario"]
+    metric = floor["metric"]
+    rec = next(
+        (r for r in bench["records"] if r["scenario"] == scenario), None
+    )
+    if rec is None:
+        print(f"::error::BENCH_sim.json has no '{scenario}' record")
+        return 1
+
+    value = rec[metric]
+    speedup = rec.get("speedup_vs_baseline", 0.0)
+    requests = rec.get("requests", 0)
+    print(
+        f"{scenario}: {metric}={value:.0f} "
+        f"(warn<{floor['warn_floor']}, fail<{floor['hard_floor']}), "
+        f"speedup_vs_baseline={speedup:.1f}x "
+        f"(min {floor['min_speedup_vs_baseline']}), "
+        f"requests={requests:.0f}"
+    )
+
+    ok = True
+    if requests <= 0:
+        print(f"::error::'{scenario}' served zero requests")
+        ok = False
+    if value < floor["hard_floor"]:
+        print(
+            f"::error::{metric}={value:.0f} is below the hard floor "
+            f"{floor['hard_floor']} — simulator perf regression"
+        )
+        ok = False
+    elif value < floor["warn_floor"]:
+        print(
+            f"::warning::{metric}={value:.0f} dipped below the warn "
+            f"floor {floor['warn_floor']} — investigate before it hits "
+            f"the hard floor"
+        )
+    if speedup < floor["min_speedup_vs_baseline"]:
+        print(
+            f"::error::speedup_vs_baseline={speedup:.1f}x lost the "
+            f"{floor['min_speedup_vs_baseline']}x bar over the live "
+            f"pre-optimization path"
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

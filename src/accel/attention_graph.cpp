@@ -63,11 +63,102 @@ void
 AttentionGraph::runPass(std::size_t queries, std::size_t context_len,
                         bool generation)
 {
+    // Single-query generation runs through the layer-stepped path: the
+    // memo short-circuits steady-state decode steps (repeated entering
+    // context, unchanged relative HBM state) by replaying the recorded
+    // pass, and batched decode interleaves these same steps layer-major
+    // across sessions.
+    if (generation && queries == 1) {
+        const std::size_t layers = beginDecodePass(context_len);
+        for (std::size_t l = 0; l < layers; ++l)
+            stepDecodeLayer();
+        finishDecodePass();
+        return;
+    }
     ctx_.beginPass(queries, context_len, generation);
     for (std::size_t l = 0; l < ctx_.num_layers; ++l) {
         const LayerCost cost = graph_.runLayer(ctx_);
         attention_flops_ += 2.0 * (cost.qk_macs + cost.pv_macs);
     }
+}
+
+std::size_t
+AttentionGraph::beginDecodePass(std::size_t context_len)
+{
+    SPATTEN_ASSERT(!step_active_, "nested beginDecodePass()");
+    if (memo_enabled_ && memo_.valid && memo_.context_len == context_len &&
+        hbm_.timingStateEquals(memo_.pre, graph_.dramClock())) {
+        replayPass();
+        return 0; // Pass complete; finishDecodePass() is a no-op.
+    }
+    step_recording_ = memo_enabled_;
+    if (step_recording_) {
+        const Cycles base = graph_.dramClock();
+        memo_.valid = false;
+        memo_.context_len = context_len;
+        memo_.pre = hbm_.captureTimingState(base);
+        rec_base_ = {base, hbm_.bytesRead(), hbm_.bytesWritten(),
+                     hbm_.rowActivations(), hbm_.requestsIssued(),
+                     fetcher_.totalRequests()};
+        memo_.layers.resize(ctx_.num_layers);
+        memo_.flops_added.resize(ctx_.num_layers);
+    }
+    ctx_.beginPass(1, context_len, true);
+    step_layer_ = 0;
+    step_active_ = true;
+    return ctx_.num_layers;
+}
+
+void
+AttentionGraph::stepDecodeLayer()
+{
+    SPATTEN_ASSERT(step_active_ && step_layer_ < ctx_.num_layers,
+                   "stepDecodeLayer() outside an open pass");
+    const LayerCost cost = graph_.runLayer(
+        ctx_, step_recording_ ? &memo_.layers[step_layer_] : nullptr);
+    const double added = 2.0 * (cost.qk_macs + cost.pv_macs);
+    if (step_recording_)
+        memo_.flops_added[step_layer_] = added;
+    attention_flops_ += added;
+    ++step_layer_;
+}
+
+void
+AttentionGraph::finishDecodePass()
+{
+    if (!step_active_)
+        return; // The pass was replayed whole at begin.
+    SPATTEN_ASSERT(step_layer_ == ctx_.num_layers,
+                   "finishDecodePass() after %zu of %zu layers",
+                   step_layer_, ctx_.num_layers);
+    step_active_ = false;
+    if (!step_recording_)
+        return;
+    memo_.post = hbm_.captureTimingState(rec_base_.base);
+    memo_.d_bytes_read = hbm_.bytesRead() - rec_base_.bytes_read;
+    memo_.d_bytes_written = hbm_.bytesWritten() - rec_base_.bytes_written;
+    memo_.d_activations = hbm_.rowActivations() - rec_base_.activations;
+    memo_.d_requests = hbm_.requestsIssued() - rec_base_.requests;
+    memo_.d_fetch_requests =
+        fetcher_.totalRequests() - rec_base_.fetch_requests;
+    memo_.ctx_after = ctx_;
+    memo_.valid = true;
+}
+
+void
+AttentionGraph::replayPass()
+{
+    const Cycles base = graph_.dramClock();
+    for (std::size_t l = 0; l < memo_.layers.size(); ++l) {
+        graph_.replayLayer(memo_.layers[l]);
+        attention_flops_ += memo_.flops_added[l];
+    }
+    hbm_.restoreTimingState(memo_.post, base);
+    hbm_.addReplayedTraffic(memo_.d_bytes_read, memo_.d_bytes_written,
+                            memo_.d_activations, memo_.d_requests);
+    fetcher_.addReplayedRequests(memo_.d_fetch_requests);
+    ctx_ = memo_.ctx_after;
+    ++memo_replays_;
 }
 
 double

@@ -84,15 +84,30 @@ DecodeSession::prefillChunk(std::size_t offset, std::size_t len)
 double
 DecodeSession::decodeStep()
 {
+    const std::size_t layers = beginDecodeStep();
+    for (std::size_t l = 0; l < layers; ++l)
+        graph_.stepDecodeLayer();
+    return endDecodeStep();
+}
+
+std::size_t
+DecodeSession::beginDecodeStep()
+{
     SPATTEN_ASSERT(prefilled_, "decodeStep() before prefill()");
     SPATTEN_ASSERT(!done(), "decodeStep() past generate_len");
-    const double before = graph_.elapsedSeconds();
+    step_before_s_ = graph_.elapsedSeconds();
     // The new token's K/V joins the pruned survivors of the last pass.
-    graph_.runPass(1, kv_len_ + 1, true);
+    return graph_.beginDecodePass(kv_len_ + 1);
+}
+
+double
+DecodeSession::endDecodeStep()
+{
+    graph_.finishDecodePass();
     kv_len_ = graph_.context().alive_tokens;
     kv_trace_.push_back(kv_len_);
     ++tokens_;
-    return graph_.elapsedSeconds() - before;
+    return graph_.elapsedSeconds() - step_before_s_;
 }
 
 RunResult

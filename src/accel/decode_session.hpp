@@ -111,6 +111,19 @@ class DecodeSession : public BackendSession
      */
     double decodeStep() override;
 
+    /**
+     * Layer-stepped decode for batched lane-interleaved evaluation
+     * (SpAttenAccelerator::stepDecodeBatch): beginDecodeStep() opens
+     * the pass and returns the number of stepDecodeLayer() calls owed
+     * (0 when the step was served whole from the replay memo);
+     * endDecodeStep() lands the KV bookkeeping and returns the step's
+     * simulated seconds. The sequence begin / stepLayer x N / end is
+     * exactly decodeStep() — decodeStep() itself runs through it.
+     */
+    std::size_t beginDecodeStep();
+    void stepDecodeLayer() { graph_.stepDecodeLayer(); }
+    double endDecodeStep();
+
     bool prefilled() const override { return prefilled_; }
 
     /** All generate_len tokens emitted (a 0-token request is done at
@@ -151,6 +164,16 @@ class DecodeSession : public BackendSession
     /** Total simulated seconds consumed so far (prefill + steps). */
     double elapsedSeconds() const { return graph_.elapsedSeconds(); }
 
+    /** Enable/disable the decode-step replay memo (default on). The
+     *  memo is a pure host-side optimization — every simulated result
+     *  is bit-identical either way (tests/test_decode_step_memo.cpp);
+     *  turn it off only for A/B perf measurement. */
+    void setStepMemo(bool on) { graph_.setStepMemo(on); }
+    /** Decode steps served by replaying the recorded pass. */
+    std::size_t memoReplays() const { return graph_.memoReplays(); }
+    /** Serve HBM via the reference model (see AttentionGraph). */
+    void setReferenceServing(bool on) { graph_.setReferenceServing(on); }
+
     /** Land the per-request totals; call once the session is done() —
      *  or at eviction, possibly mid-prefill, to account the wasted
      *  incarnation (recompute-style preemption can strike between
@@ -165,6 +188,7 @@ class DecodeSession : public BackendSession
     bool prefilled_ = false;
     std::size_t prefill_pos_ = 0; ///< Prompt tokens processed by chunks.
     double prefill_seconds_ = 0;
+    double step_before_s_ = 0; ///< Elapsed at beginDecodeStep().
     std::vector<std::size_t> kv_trace_;
 };
 

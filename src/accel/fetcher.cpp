@@ -63,7 +63,7 @@ double
 lsbRefetchBytes(const ExecutionContext& ctx)
 {
     return ctx.active_lsb_fraction * static_cast<double>(ctx.queries) *
-           static_cast<double>(ctx.alive_tokens) *
+           static_cast<double>(ctx.survivorTokens()) *
            static_cast<double>(ctx.bytesPerRow(ctx.lsb_bits));
 }
 
@@ -88,10 +88,10 @@ QkvFetcher::traffic(const ExecutionContext& ctx) const
 {
     StageTraffic t;
     const double heads = static_cast<double>(ctx.alive_heads);
-    const double n = static_cast<double>(ctx.alive_tokens);
+    const double n = static_cast<double>(ctx.survivorTokens());
     const double nq = static_cast<double>(ctx.queries);
     const double v_rows = static_cast<double>(
-        ctx.generation ? ctx.kept_values : ctx.alive_tokens);
+        ctx.generation ? ctx.kept_values : ctx.survivorTokens());
     const double row = static_cast<double>(ctx.bytesPerRow(ctx.fetch_bits));
     const double lsb = lsbRefetchBytes(ctx);
     t.dram_bytes =
@@ -109,7 +109,7 @@ QkvFetcher::traffic(const ExecutionContext& ctx) const
 Cycles
 QkvFetcher::issue(const ExecutionContext& ctx, Cycles start)
 {
-    const std::size_t n = ctx.alive_tokens;
+    const std::size_t n = ctx.survivorTokens();
     const std::size_t nq = ctx.queries;
     const std::size_t row = ctx.bytesPerRow(ctx.fetch_bits);
     const std::size_t lsb_row = ctx.bytesPerRow(ctx.lsb_bits);

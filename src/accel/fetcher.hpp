@@ -66,6 +66,11 @@ class QkvFetcher : public MemoryStage
 
     std::size_t totalRequests() const { return total_requests_; }
 
+    /** Advance the request counter by a replayed pass's delta (the
+     *  decode-step memo re-applies a recorded pass's effects instead of
+     *  re-issuing its streams). */
+    void addReplayedRequests(std::size_t n) { total_requests_ += n; }
+
   private:
     HbmModel& hbm_;
     Crossbar& xbar_;

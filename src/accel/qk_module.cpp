@@ -32,7 +32,7 @@ StageTiming
 QkModule::timing(const ExecutionContext& ctx) const
 {
     StageTiming t;
-    t.ii_cycles = timing(ctx.alive_tokens, ctx.d_head).cycles;
+    t.ii_cycles = timing(ctx.survivorTokens(), ctx.d_head).cycles;
     return t;
 }
 
@@ -41,7 +41,7 @@ QkModule::energy(const ExecutionContext& ctx) const
 {
     ActivityCounts a;
     a.qk_macs = ctx.queryRows() *
-                static_cast<double>(ctx.alive_tokens) *
+                static_cast<double>(ctx.survivorTokens()) *
                 static_cast<double>(ctx.d_head) *
                 (1.0 + ctx.active_lsb_fraction); // LSB recompute share.
     return a;
@@ -53,7 +53,7 @@ QkModule::traffic(const ExecutionContext& ctx) const
     StageTraffic t;
     // K lines are re-read from the Key SRAM for every query row.
     t.sram_read_elems = ctx.queryRows() *
-                        static_cast<double>(ctx.alive_tokens) *
+                        static_cast<double>(ctx.survivorTokens()) *
                         static_cast<double>(ctx.d_head);
     return t;
 }

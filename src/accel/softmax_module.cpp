@@ -26,7 +26,7 @@ StageTiming
 SoftmaxModule::timing(const ExecutionContext& ctx) const
 {
     StageTiming t;
-    t.ii_cycles = ceilDiv(ctx.alive_tokens, cfg_.parallelism);
+    t.ii_cycles = ceilDiv(ctx.survivorTokens(), cfg_.parallelism);
     return t;
 }
 
@@ -35,7 +35,7 @@ SoftmaxModule::energy(const ExecutionContext& ctx) const
 {
     ActivityCounts a;
     a.softmax_elems = ctx.queryRows() *
-                      static_cast<double>(ctx.alive_tokens) *
+                      static_cast<double>(ctx.survivorTokens()) *
                       (1.0 + ctx.active_lsb_fraction);
     return a;
 }

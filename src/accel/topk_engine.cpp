@@ -147,10 +147,10 @@ TopkEngine::timing(const ExecutionContext& ctx) const
     // The quick-select stage of the local-V top-k is the occupancy
     // bottleneck of that engine (2n expected element-ops per query).
     if (ctx.local_value_pruning)
-        t.ii_cycles = ceilDiv<std::size_t>(2 * ctx.alive_tokens,
+        t.ii_cycles = ceilDiv<std::size_t>(2 * ctx.survivorTokens(),
                                            cfg_.parallelism);
     if (ctx.token_pruning && ctx.token_prune_ratio > 0.0)
-        t.layer_cycles += selectStreamCycles(ctx.alive_tokens);
+        t.layer_cycles += selectStreamCycles(ctx.survivorTokens());
     if (ctx.head_pruning && ctx.head_prune_ratio > 0.0)
         t.layer_cycles += selectStreamCycles(ctx.alive_heads);
     return t;
@@ -163,9 +163,9 @@ TopkEngine::energy(const ExecutionContext& ctx) const
     // ~3n comparator ops per selection (2n quick-select + n filter).
     if (ctx.local_value_pruning)
         a.topk_comparisons +=
-            ctx.queryRows() * 3.0 * static_cast<double>(ctx.alive_tokens);
+            ctx.queryRows() * 3.0 * static_cast<double>(ctx.survivorTokens());
     if (ctx.token_pruning && ctx.token_prune_ratio > 0.0)
-        a.topk_comparisons += 3.0 * static_cast<double>(ctx.alive_tokens);
+        a.topk_comparisons += 3.0 * static_cast<double>(ctx.survivorTokens());
     return a;
 }
 

@@ -87,7 +87,7 @@ ZeroEliminator::timing(const ExecutionContext& ctx) const
 {
     StageTiming t;
     if (ctx.token_pruning && ctx.token_prune_ratio > 0.0)
-        t.layer_cycles += cascadeCycles(ctx.alive_tokens);
+        t.layer_cycles += cascadeCycles(ctx.survivorTokens());
     if (ctx.head_pruning && ctx.head_prune_ratio > 0.0)
         t.layer_cycles += cascadeCycles(ctx.alive_heads);
     return t;

@@ -20,6 +20,9 @@ CascadeTokenPruneTransform::prepare(ExecutionContext& ctx)
 void
 CascadeTokenPruneTransform::apply(ExecutionContext& ctx)
 {
+    // The shrink lands in the next layer's CSR row when its
+    // beginLayer() appends the compacted survivor count — that row is
+    // what the stages read back through ctx.survivorTokens().
     ctx.alive_tokens =
         pruneSurvivors(ctx.alive_tokens, schedule_.ratioAt(ctx.layer));
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/importance.hpp"
+#include "sim/survivor_index.hpp"
 
 namespace spatten {
 
@@ -59,6 +60,15 @@ class CascadeTokenPruner
 
     const std::vector<std::size_t>& alive() const { return alive_; }
     std::size_t aliveCount() const { return alive_.size(); }
+
+    /** Append the current alive set as one CSR row of @p index — the
+     *  functional path's per-layer survivor export (nn/transformer
+     *  records one row per block, giving the whole run's pruning
+     *  structure as two flat arrays). */
+    void appendTo(SurvivorIndex& index) const
+    {
+        index.appendLayer(alive_);
+    }
 
   private:
     std::vector<std::size_t> alive_;

@@ -14,6 +14,8 @@
 #ifndef SPATTEN_HBM_HBM_HPP
 #define SPATTEN_HBM_HBM_HPP
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -150,6 +152,18 @@ class HbmModel
     Cycles access(const HbmRequest& req, Cycles ready);
 
     /**
+     * Select the serving implementation. The default fast path serves
+     * whole per-channel streams with shift/mask address mapping and a
+     * row-segment closed form; the reference path is the original
+     * per-chunk loop. Both produce bit-identical completion cycles,
+     * byte/activation counters, and bank/bus state (pinned by
+     * test_hbm_fast_path); the reference path exists as the oracle for
+     * that property test and for A/B perf measurements.
+     */
+    void setReferenceServing(bool on) { reference_serving_ = on; }
+    bool referenceServing() const { return reference_serving_; }
+
+    /**
      * Issue a batch of independent requests (e.g. the gather of surviving
      * K rows) that may proceed in parallel across channels.
      * @return completion cycle of the last request.
@@ -170,6 +184,7 @@ class HbmModel
     std::uint64_t bytesRead() const { return bytes_read_; }
     std::uint64_t bytesWritten() const { return bytes_written_; }
     std::uint64_t rowActivations() const { return activations_; }
+    std::uint64_t requestsIssued() const { return requests_; }
 
     /** Cycle at which every channel is drained. */
     Cycles drainCycle() const;
@@ -178,6 +193,43 @@ class HbmModel
     void exportStats(StatSet& stats) const;
 
     void reset();
+
+    /**
+     * Snapshot of the timing-relevant channel/bank state, relative to a
+     * caller-chosen base cycle with base >= every busy_until (true
+     * whenever base is the owner's DRAM-clock cursor: the cursor is the
+     * max over completion cycles, which dominate bus-busy cycles). The
+     * model's timing math is translation-invariant in absolute time, and
+     * any channel whose bus frees at or before base behaves identically
+     * no matter how long it has been idle (every subsequent request's
+     * ready is >= base, so max(ready, busy_until) = ready) — its
+     * relative busy is therefore clamped to 0, making the snapshot a
+     * canonical representative of the behavioral equivalence class.
+     * Two moments with equal snapshots serve any request sequence with
+     * identical relative results — the property the decode-step replay
+     * memo (AttentionGraph) is built on: capture before a recorded pass,
+     * compare before a candidate replay, restore after.
+     */
+    struct TimingState
+    {
+        /// max(busy_until - base, 0): 0 for idle-at-base channels,
+        /// positive for channels the in-flight pass touched.
+        std::vector<std::int64_t> rel_busy;
+        std::vector<std::int64_t> open_rows; ///< Per (channel, bank).
+    };
+
+    TimingState captureTimingState(Cycles base) const;
+    bool timingStateEquals(const TimingState& s, Cycles base) const;
+    /** Install @p s shifted to @p base: open rows always; bus cursors
+     *  only for channels the recorded pass touched (rel_busy > 0) —
+     *  idle channels keep their exact historical busy_until, matching
+     *  live execution bit for bit. */
+    void restoreTimingState(const TimingState& s, Cycles base);
+    /** Advance traffic counters by a replayed pass's deltas. */
+    void addReplayedTraffic(std::uint64_t bytes_read,
+                            std::uint64_t bytes_written,
+                            std::uint64_t activations,
+                            std::uint64_t requests);
 
   private:
     struct Bank
@@ -198,12 +250,71 @@ class HbmModel
     Cycles serveChunk(std::uint64_t addr, std::uint64_t bytes, bool write,
                       Cycles ready);
 
+    /** Reference serving: the original per-chunk loop. */
+    Cycles accessReference(const HbmRequest& req, Cycles ready);
+
+    /** Fast serving: shift/mask chunk loop + row-segment closed form. */
+    Cycles accessFast(const HbmRequest& req, Cycles ready);
+
+    /** Burst cycles for a (possibly partial) chunk of @p bytes: table
+     *  lookup (chunks never exceed the interleave granule; the table is
+     *  filled with the reference ceil expression at construction). */
+    Cycles burstCycles(std::uint64_t bytes) const
+    {
+        return burst_table_[bytes];
+    }
+
+    /** The reference burst expression (used to fill the table). */
+    Cycles burstCyclesRef(std::uint64_t bytes) const
+    {
+        return std::max<Cycles>(
+            1, static_cast<Cycles>(std::ceil(
+                   static_cast<double>(bytes) / eff_bytes_per_cycle_)));
+    }
+
     HbmConfig cfg_;
     std::vector<Channel> channels_;
     std::uint64_t bytes_read_ = 0;
     std::uint64_t bytes_written_ = 0;
     std::uint64_t activations_ = 0;
     std::uint64_t requests_ = 0;
+    bool reference_serving_ = false;
+
+    // Derived constants for the fast path (interleave/row sizes are
+    // asserted powers of two at construction).
+    int ilv_shift_ = 0;            ///< log2(interleave_bytes).
+    std::uint64_t ilv_mask_ = 0;   ///< interleave_bytes - 1.
+    int row_shift_ = 0;            ///< log2(row_bytes).
+    double eff_bytes_per_cycle_ = 0;
+    Cycles burst_full_ = 0;        ///< burstCycles(interleave_bytes).
+    std::vector<Cycles> burst_table_; ///< [0..interleave_bytes] cycles.
+    // Shift/mask shortcuts when the channel/bank counts happen to be
+    // powers of two (they are in the default HBM2 geometry): a 64-bit
+    // divide per chunk is the dominant cost of the small-stream loop.
+    bool ch_pow2_ = false;
+    int ch_shift_ = 0;
+    std::uint64_t ch_mask_ = 0;
+    bool bank_pow2_ = false;
+    std::uint64_t bank_mask_ = 0;
+
+    std::uint64_t chanOf(std::uint64_t block) const
+    {
+        return ch_pow2_ ? (block & ch_mask_)
+                        : (block % static_cast<std::uint64_t>(
+                                       cfg_.channels));
+    }
+    std::uint64_t blockInChannel(std::uint64_t block) const
+    {
+        return ch_pow2_ ? (block >> ch_shift_)
+                        : (block / static_cast<std::uint64_t>(
+                                       cfg_.channels));
+    }
+    std::uint64_t bankOf(std::uint64_t row) const
+    {
+        return bank_pow2_ ? (row & bank_mask_)
+                          : (row % static_cast<std::uint64_t>(
+                                       cfg_.banks_per_channel));
+    }
 };
 
 } // namespace spatten

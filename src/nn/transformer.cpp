@@ -373,7 +373,7 @@ TransformerModel::predictClassPruned(const std::vector<std::size_t>& ids,
         const auto& alive = tpruner.alive();
         const std::size_t n = alive.size();
         keys_frac_sum += static_cast<double>(n) / l0;
-        local_stats.alive_per_layer.push_back(alive);
+        tpruner.appendTo(local_stats.survivors);
 
         // PoWER-BERT-style ablation: importance from this layer only.
         if (policy.importance_mode == ImportanceMode::Instant)
@@ -511,7 +511,7 @@ TransformerModel::lmLossPruned(const std::vector<std::size_t>& ids,
         const auto& alive_keys = kpruner.alive();
         const std::size_t nk = alive_keys.size();
         keys_frac_sum += static_cast<double>(nk) / l0;
-        local_stats.alive_per_layer.push_back(alive_keys);
+        kpruner.appendTo(local_stats.survivors);
 
         if (policy.importance_mode == ImportanceMode::Instant)
             acc.reset(l0);

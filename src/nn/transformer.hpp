@@ -15,6 +15,7 @@
 
 #include "core/model_spec.hpp"
 #include "nn/layers.hpp"
+#include "sim/survivor_index.hpp"
 
 namespace spatten {
 
@@ -106,8 +107,11 @@ struct PrunedRunStats
     double lsb_fraction = 0.0;      ///< Rows with max prob < pq threshold.
     std::vector<std::size_t> surviving_tokens; ///< Global ids (last layer).
     std::vector<float> final_token_scores;     ///< Cumulative importance.
-    /// Per-layer surviving token ids (Fig. 22/23 visualization).
-    std::vector<std::vector<std::size_t>> alive_per_layer;
+    /// Per-layer surviving token ids in CSR form — one row per block,
+    /// ascending ids (Fig. 22/23 visualization). survivors.count(l)
+    /// tokens enter layer l; survivors.rowBegin(l)/rowEnd(l) bound the
+    /// ids themselves.
+    SurvivorIndex survivors;
 };
 
 /**

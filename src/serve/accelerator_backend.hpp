@@ -173,6 +173,27 @@ class AcceleratorBackend
     virtual std::unique_ptr<BackendSession>
     makeSession(const WorkloadSpec& workload, const PruningPolicy& policy,
                 std::uint64_t request_seed) const = 0;
+
+    /**
+     * Advance every session in @p lanes by one decode step, landing
+     * lane i's simulated seconds in @p seconds_out[i] (resized to
+     * match). Sessions are pure functions of their own state and share
+     * nothing, so this is *semantically identical* to calling
+     * lanes[i]->decodeStep() serially — which is exactly the default —
+     * and results are bit-identical whichever path runs. A backend may
+     * override it to traverse its stage graph once per iteration with
+     * per-request lanes (SpAttenAccelerator advances all lanes
+     * layer-major), amortizing per-step dispatch and buffers; the
+     * scheduler routes all-decode iterations through this hook in one
+     * call instead of one thread-pool job per resident.
+     */
+    virtual void stepDecodeBatch(const std::vector<BackendSession*>& lanes,
+                                 std::vector<double>& seconds_out) const
+    {
+        seconds_out.resize(lanes.size());
+        for (std::size_t i = 0; i < lanes.size(); ++i)
+            seconds_out[i] = lanes[i]->decodeStep();
+    }
 };
 
 } // namespace spatten

@@ -195,6 +195,19 @@ struct ContinuousBatchConfig
     /// strict arrival-order admission is its contract (pinned by
     /// tests/test_chunked_prefill.cpp).
     std::size_t admission_skip_ahead = 0;
+
+    /// Route iterations whose work list is decode-only through the
+    /// backend's batched entry point
+    /// (AcceleratorBackend::stepDecodeBatch) in ONE call instead of
+    /// one thread-pool job per resident: SpAtten advances every lane
+    /// layer-major through one stage-graph traversal, and memoized
+    /// steady-state steps make the per-job rendezvous the dominant
+    /// cost this removes. Sessions share no state, so results are
+    /// bit-identical either way (pinned by
+    /// tests/test_batched_decode.cpp); disable only for A/B
+    /// measurement. Mixed prefill+decode iterations always use the
+    /// per-job pool.
+    bool batched_decode = true;
 };
 
 /** Aggregated outcome of serving one trace. */

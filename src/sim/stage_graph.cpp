@@ -20,14 +20,14 @@ void
 StageGraph::addStage(const StageModel* stage, TrafficSink sink)
 {
     SPATTEN_ASSERT(stage != nullptr, "null stage");
-    stages_.push_back({stage, nullptr, std::move(sink)});
+    stages_.push_back({stage, nullptr, std::move(sink), stage->stageName()});
 }
 
 void
 StageGraph::addMemoryStage(MemoryStage* stage, TrafficSink sink)
 {
     SPATTEN_ASSERT(stage != nullptr, "null memory stage");
-    stages_.push_back({stage, stage, std::move(sink)});
+    stages_.push_back({stage, stage, std::move(sink), stage->stageName()});
 }
 
 void
@@ -35,6 +35,23 @@ StageGraph::addTransform(std::unique_ptr<GraphTransform> transform)
 {
     SPATTEN_ASSERT(transform != nullptr, "null transform");
     transforms_.push_back(std::move(transform));
+}
+
+const StatSet&
+StageGraph::stats() const
+{
+    // Render the per-entry accumulators into the string-keyed StatSet.
+    // The doubles were accumulated with the same per-key addition order
+    // the map-backed counters used, so the rendered totals are
+    // bit-identical; the render itself is plain assignment.
+    stats_ = StatSet{};
+    for (const auto& e : stages_) {
+        const std::string prefix = "stage." + e.name;
+        stats_.add(prefix + ".busy_cycles", e.busy_cycles);
+        stats_.add(prefix + ".energy_pj", e.energy_pj);
+        stats_.add(prefix + ".dram_bytes", e.dram_bytes);
+    }
+    return stats_;
 }
 
 double
@@ -50,7 +67,7 @@ StageGraph::priceActivityPj(const ActivityCounts& act) const
 }
 
 LayerCost
-StageGraph::runLayer(ExecutionContext& ctx)
+StageGraph::runLayer(ExecutionContext& ctx, LayerReplayRecord* record)
 {
     SPATTEN_ASSERT(!stages_.empty(), "stage graph has no stages");
     for (auto& t : transforms_)
@@ -63,13 +80,13 @@ StageGraph::runLayer(ExecutionContext& ctx)
 
     // ---- Compute time: fully-pipelined II + serial layer extras ----
     Cycles layer_extra = 0;
-    std::vector<StageTiming> timings;
-    timings.reserve(stages_.size());
+    timings_.clear();
+    timings_.reserve(stages_.size());
     for (const auto& e : stages_) {
         const StageTiming t = e.stage->timing(ctx);
         cost.ii = std::max(cost.ii, t.ii_cycles);
         layer_extra += t.layer_cycles;
-        timings.push_back(t);
+        timings_.push_back(t);
     }
     cost.compute_cycles =
         static_cast<Cycles>(ctx.queries) * cost.ii * ctx.alive_heads +
@@ -96,10 +113,16 @@ StageGraph::runLayer(ExecutionContext& ctx)
     // several memory stages each would be charged the whole layer
     // window, so per-stage apportioning must be added before a second
     // MemoryStage is registered.
-    for (const auto& e : stages_) {
+    const double window_busy = cost.memory_ns * core_freq_ghz_;
+    for (auto& e : stages_) {
         if (e.memory != nullptr)
-            stats_.add("stage." + e.stage->stageName() + ".busy_cycles",
-                       cost.memory_ns * core_freq_ghz_);
+            e.busy_cycles += window_busy;
+    }
+
+    if (record != nullptr) {
+        record->window_busy = window_busy;
+        record->dram_delta = dram_done - dram_start;
+        record->stages.resize(stages_.size());
     }
 
     // ---- Coarse-grained overlap ----
@@ -112,16 +135,15 @@ StageGraph::runLayer(ExecutionContext& ctx)
 
     // ---- Per-stage accounting: occupancy, energy, traffic ----
     for (std::size_t i = 0; i < stages_.size(); ++i) {
-        const auto& e = stages_[i];
-        const std::string prefix = "stage." + e.stage->stageName();
+        auto& e = stages_[i];
         // Memory stages were already charged their realized DRAM window
         // above; charging their pipeline occupancy too would double-count.
         const Cycles busy =
             e.memory != nullptr
                 ? 0
                 : static_cast<Cycles>(
-                      q_heads * static_cast<double>(timings[i].ii_cycles) +
-                      static_cast<double>(timings[i].layer_cycles));
+                      q_heads * static_cast<double>(timings_[i].ii_cycles) +
+                      static_cast<double>(timings_[i].layer_cycles));
         const ActivityCounts act = e.stage->energy(ctx);
         const StageTraffic traffic = e.stage->traffic(ctx);
         // Requests are a traffic quantity: a stage reporting them via
@@ -129,19 +151,27 @@ StageGraph::runLayer(ExecutionContext& ctx)
         // global activity merge.
         SPATTEN_ASSERT(act.fetch_requests == 0,
                        "stage %s must report fetch_requests via traffic()",
-                       e.stage->stageName().c_str());
+                       e.name.c_str());
         activity_.add(act);
         activity_.fetch_requests += traffic.fetch_requests;
         if (e.sink)
             e.sink(traffic);
-        stats_.add(prefix + ".busy_cycles", static_cast<double>(busy));
+        e.busy_cycles += static_cast<double>(busy);
         // Price the stage's compute activity and its request traffic
         // through the single pricing path so fetch requests can never be
         // double-counted if a stage ever reports them via energy() too.
         ActivityCounts priced = act;
         priced.fetch_requests += traffic.fetch_requests;
-        stats_.add(prefix + ".energy_pj", priceActivityPj(priced));
-        stats_.add(prefix + ".dram_bytes", traffic.dram_bytes);
+        const double priced_pj = priceActivityPj(priced);
+        e.energy_pj += priced_pj;
+        e.dram_bytes += traffic.dram_bytes;
+        if (record != nullptr) {
+            StageReplay& r = record->stages[i];
+            r.busy = static_cast<double>(busy);
+            r.energy_pj = priced_pj;
+            r.act = act;
+            r.traffic = traffic;
+        }
     }
 
     // Executed attention work (FLOPs = 2 x MACs); the LSB recompute
@@ -154,7 +184,41 @@ StageGraph::runLayer(ExecutionContext& ctx)
     for (auto& t : transforms_)
         t->apply(ctx);
     ++ctx.layer;
+    if (record != nullptr)
+        record->cost = cost;
     return cost;
+}
+
+LayerCost
+StageGraph::replayLayer(const LayerReplayRecord& rec)
+{
+    // Mirror runLayer's accumulation sequence exactly — every += below
+    // re-applies the double the live evaluation added, in the same
+    // order, so all running totals stay bit-identical.
+    for (auto& e : stages_) {
+        if (e.memory != nullptr)
+            e.busy_cycles += rec.window_busy;
+    }
+    dram_clock_ += rec.dram_delta;
+
+    elapsed_ns_ += rec.cost.layer_ns;
+    if (rec.cost.compute_ns >= rec.cost.memory_ns)
+        compute_bound_ns_ += rec.cost.layer_ns;
+    else
+        memory_bound_ns_ += rec.cost.layer_ns;
+
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        auto& e = stages_[i];
+        const StageReplay& r = rec.stages[i];
+        activity_.add(r.act);
+        activity_.fetch_requests += r.traffic.fetch_requests;
+        if (e.sink)
+            e.sink(r.traffic);
+        e.busy_cycles += r.busy;
+        e.energy_pj += r.energy_pj;
+        e.dram_bytes += r.traffic.dram_bytes;
+    }
+    return rec.cost;
 }
 
 } // namespace spatten

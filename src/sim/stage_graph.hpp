@@ -74,11 +74,49 @@ class StageGraph
     void addTransform(std::unique_ptr<GraphTransform> transform);
 
     /**
+     * Per-stage observable effects of one layer evaluation, captured so
+     * a bit-identical layer (same context, same relative memory state)
+     * can be replayed without re-walking the stages. Records hold the
+     * exact doubles the live evaluation accumulated; replayLayer()
+     * re-applies them in the same order, so the floating-point addition
+     * sequence — and therefore every total — is unchanged.
+     */
+    struct StageReplay
+    {
+        double busy = 0;
+        double energy_pj = 0;
+        ActivityCounts act;
+        StageTraffic traffic;
+    };
+    struct LayerReplayRecord
+    {
+        LayerCost cost;
+        double window_busy = 0; ///< Memory-stage busy share (core cycles).
+        Cycles dram_delta = 0;  ///< DRAM-clock advance of the layer.
+        std::vector<StageReplay> stages;
+    };
+
+    /**
      * Evaluate one layer: run every transform's prepare(), price every
      * stage, realize memory traffic, account time/energy/stats, then run
-     * every transform's apply() and advance ctx.layer.
+     * every transform's apply() and advance ctx.layer. When @p record is
+     * non-null, the layer's accounting effects are captured for replay.
      */
-    LayerCost runLayer(ExecutionContext& ctx);
+    LayerCost runLayer(ExecutionContext& ctx,
+                       LayerReplayRecord* record = nullptr);
+
+    /**
+     * Re-apply a recorded layer's accounting (time, bounds, DRAM clock,
+     * activity, per-stage counters, traffic sinks) without evaluating
+     * stages or transforms. The caller owns the validity argument: the
+     * record must have been captured at an identical context and
+     * identical relative memory-system state (AttentionGraph's decode
+     * step memo checks both).
+     */
+    LayerCost replayLayer(const LayerReplayRecord& rec);
+
+    /** DRAM-domain cursor (base for relative memory-state snapshots). */
+    Cycles dramClock() const { return dram_clock_; }
 
     /** Elapsed core time across all layers so far (ns). */
     double elapsedNs() const { return elapsed_ns_; }
@@ -88,8 +126,14 @@ class StageGraph
     /** Merged energy-relevant activity across all layers. */
     const ActivityCounts& activity() const { return activity_; }
 
-    /** Per-stage occupancy/energy/traffic counters. */
-    const StatSet& stats() const { return stats_; }
+    /**
+     * Per-stage occupancy/energy/traffic counters. Materialized lazily:
+     * the hot path accumulates into plain per-stage doubles (same
+     * per-key addition order as the historical map-backed counters, so
+     * the totals are bit-identical) and this call renders them into a
+     * StatSet on demand.
+     */
+    const StatSet& stats() const;
 
     /** Number of registered stages. */
     std::size_t numStages() const { return stages_.size(); }
@@ -100,6 +144,12 @@ class StageGraph
         const StageModel* stage = nullptr;
         MemoryStage* memory = nullptr; ///< Non-null for memory stages.
         TrafficSink sink;
+        std::string name; ///< Cached stageName(): no virtual-call +
+                          ///< string construction in the layer loop.
+        // Hot-path accumulators (materialized in stats()).
+        double busy_cycles = 0;
+        double energy_pj = 0;
+        double dram_bytes = 0;
     };
 
     /** Energy (pJ) of one stage's activity under the graph's constants. */
@@ -116,7 +166,8 @@ class StageGraph
     double compute_bound_ns_ = 0;
     double memory_bound_ns_ = 0;
     ActivityCounts activity_;
-    StatSet stats_;
+    std::vector<StageTiming> timings_; ///< Scratch, reused across layers.
+    mutable StatSet stats_;            ///< Rendered on demand in stats().
 };
 
 } // namespace spatten

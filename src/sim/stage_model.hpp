@@ -23,6 +23,7 @@
 #include "common/prng.hpp"
 #include "energy/energy_model.hpp"
 #include "sim/clock.hpp"
+#include "sim/survivor_index.hpp"
 
 namespace spatten {
 
@@ -100,6 +101,13 @@ struct ExecutionContext
     std::size_t kept_values = 0;  ///< V rows after local value pruning.
     double token_prune_ratio = 0; ///< This layer's cascade token ratio.
     double head_prune_ratio = 0;  ///< This layer's cascade head ratio.
+    /// CSR survivor index of the current pass: beginLayer() appends one
+    /// compact row per layer (the zero-eliminator packs survivors into
+    /// contiguous slots, so ids are implicitly [0, count)), and the
+    /// cascade transforms' between-layer shrink of alive_tokens lands
+    /// in the next layer's row. Stages read their survivor count
+    /// through survivorTokens() instead of re-deriving it.
+    SurvivorIndex survivors;
 
     /**
      * Reset the per-pass dynamic state in place so one context instance
@@ -118,6 +126,7 @@ struct ExecutionContext
         alive_heads = num_heads_total;
         generation = generation_pass;
         layer = 0;
+        survivors.reset(num_layers);
     }
 
     /**
@@ -127,10 +136,22 @@ struct ExecutionContext
      */
     void beginLayer()
     {
-        queries = std::min(pass_queries, alive_tokens);
+        survivors.appendCompactLayer(alive_tokens);
+        queries = std::min(pass_queries, survivorTokens());
         kept_values = local_value_pruning
-                          ? pruneSurvivors(alive_tokens, local_v_ratio)
-                          : alive_tokens;
+                          ? pruneSurvivors(survivorTokens(), local_v_ratio)
+                          : survivorTokens();
+    }
+
+    /**
+     * Survivors entering the current layer, read through the CSR
+     * index's most recent row (appended by beginLayer, shrunk between
+     * layers by the cascade transforms). Falls back to alive_tokens
+     * for a hand-built context that never entered a layer.
+     */
+    std::size_t survivorTokens() const
+    {
+        return survivors.layers() > 0 ? survivors.back() : alive_tokens;
     }
 
     /** DRAM bytes of one d_head-dim row at @p bits element width. */
@@ -146,7 +167,7 @@ struct ExecutionContext
         if (generation || sram_tokens == 0)
             return 1;
         return std::max<std::size_t>(
-            1, ceilDiv(alive_tokens, sram_tokens));
+            1, ceilDiv(survivorTokens(), sram_tokens));
     }
 
     /** Query rows across all alive heads. */

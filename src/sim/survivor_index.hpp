@@ -1,0 +1,115 @@
+/**
+ * @file
+ * CSR-compacted survivor index.
+ *
+ * One pass of the cascade-pruned attention dataflow produces, per
+ * layer, the set of tokens surviving into that layer. Storing those
+ * sets as a jagged vector-of-vectors costs one heap row per layer and
+ * scatters the pass's pruning structure across allocations; the
+ * SurvivorIndex stores it in CSR form instead — one contiguous `ids`
+ * array plus per-layer offsets — so a whole pass is two flat arrays
+ * and per-pass bookkeeping cost scales with survivors, not with the
+ * full context length.
+ *
+ * Two producers share the container:
+ *  - The functional path (nn/transformer, core/attention_ref) appends
+ *    materialized rows of global token ids (CascadeTokenPruner
+ *    output), preserving the ascending-id order the pruner keeps.
+ *  - The analytic timing path appends *compact* rows: the hardware
+ *    zero-eliminator packs survivors into contiguous SRAM slots, so
+ *    the ids entering a layer are by construction [0, count) and only
+ *    the row width is recorded (`ids` stays empty). Stage models read
+ *    each layer's survivor count through the index
+ *    (ExecutionContext::survivorTokens).
+ */
+#ifndef SPATTEN_SIM_SURVIVOR_INDEX_HPP
+#define SPATTEN_SIM_SURVIVOR_INDEX_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace spatten {
+
+/** Per-layer survivor sets of one pass, in CSR layout. */
+class SurvivorIndex
+{
+  public:
+    /** Drop all rows; @p expected_layers pre-sizes the offset array so
+     *  steady-state decode passes never reallocate. */
+    void reset(std::size_t expected_layers = 0)
+    {
+        ids_.clear();
+        offsets_.clear();
+        offsets_.reserve(expected_layers + 1);
+        offsets_.push_back(0);
+    }
+
+    /** Append one materialized row of surviving global token ids. */
+    void appendLayer(const std::vector<std::size_t>& row)
+    {
+        ids_.insert(ids_.end(), row.begin(), row.end());
+        offsets_.push_back(ids_.size());
+    }
+
+    /**
+     * Append one compact row: @p count survivors whose ids are the
+     * implicit post-compaction slots [0, count). Compact and
+     * materialized rows cannot mix within one index.
+     */
+    void appendCompactLayer(std::size_t count)
+    {
+        SPATTEN_ASSERT(ids_.empty(),
+                       "compact row appended to a materialized index");
+        offsets_.push_back(offsets_.back() + count);
+    }
+
+    /** Rows appended so far (layers entered). */
+    std::size_t layers() const { return offsets_.size() - 1; }
+
+    /** Survivors entering layer @p layer. */
+    std::size_t count(std::size_t layer) const
+    {
+        SPATTEN_ASSERT(layer + 1 < offsets_.size(),
+                       "survivor row %zu of %zu", layer, layers());
+        return offsets_[layer + 1] - offsets_[layer];
+    }
+
+    /** Survivors entering the most recent layer (0 when empty). */
+    std::size_t back() const
+    {
+        return layers() > 0 ? count(layers() - 1) : 0;
+    }
+
+    /** True when rows carry explicit ids (functional path). Compact
+     *  rows leave ids empty — their ids are the identity [0, count). */
+    bool materialized() const
+    {
+        return ids_.size() == offsets_.back();
+    }
+
+    /** Materialized row bounds: ids [begin, end) survive into @p layer,
+     *  ascending. */
+    const std::size_t* rowBegin(std::size_t layer) const
+    {
+        SPATTEN_ASSERT(materialized(), "compact index has no ids");
+        return ids_.data() + offsets_[layer];
+    }
+    const std::size_t* rowEnd(std::size_t layer) const
+    {
+        SPATTEN_ASSERT(materialized(), "compact index has no ids");
+        return ids_.data() + offsets_[layer + 1];
+    }
+
+    const std::vector<std::size_t>& ids() const { return ids_; }
+    const std::vector<std::size_t>& offsets() const { return offsets_; }
+
+  private:
+    std::vector<std::size_t> ids_;
+    std::vector<std::size_t> offsets_{0};
+};
+
+} // namespace spatten
+
+#endif // SPATTEN_SIM_SURVIVOR_INDEX_HPP

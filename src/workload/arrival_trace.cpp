@@ -116,6 +116,41 @@ generatePoissonTrace(const ArrivalTraceConfig& cfg)
     return generateArrivalTrace(cfg);
 }
 
+std::vector<TracedRequest>
+generateDiurnalTrace(const DiurnalTraceConfig& cfg)
+{
+    SPATTEN_ASSERT(cfg.day_s > 0, "bad day period %f", cfg.day_s);
+    SPATTEN_ASSERT(cfg.amplitude >= 0.0 && cfg.amplitude < 1.0,
+                   "amplitude %f outside [0, 1)", cfg.amplitude);
+
+    // Attributes (shapes, priorities, seeds): the exact base streams.
+    std::vector<TracedRequest> trace = generateArrivalTrace(cfg.base);
+    // Arrival times run on their own stream so the demand *shape* never
+    // shifts when the diurnal knobs change.
+    Prng prng(mix64(cfg.base.seed ^ 0x646975726e616cULL)); // "diurnal"
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    const double mean_rate = 1.0 / cfg.base.mean_interarrival_s;
+    const double peak_rate = mean_rate * (1.0 + cfg.amplitude);
+    const double peak_gap = 1.0 / peak_rate;
+    double t = 0.0;
+    for (TracedRequest& req : trace) {
+        // Lewis-Shedler thinning: candidate arrivals at the peak rate,
+        // each kept with probability rate(t) / peak_rate.
+        for (;;) {
+            t += expDraw(prng, peak_gap);
+            const double rate =
+                mean_rate *
+                (1.0 + cfg.amplitude *
+                           std::cos(kTwoPi *
+                                    (t / cfg.day_s - cfg.peak_frac)));
+            if (prng.uniform() * peak_rate <= rate)
+                break;
+        }
+        req.arrival_s = t;
+    }
+    return trace;
+}
+
 namespace {
 
 /** Append @p n tokens of the content stream @p stream_seed

@@ -141,6 +141,43 @@ struct SharedPrefixTraceConfig
 };
 
 /**
+ * Demand following a day/night cycle — the regime a day-scale serving
+ * experiment needs: a non-homogeneous Poisson process whose rate swings
+ * sinusoidally around the base mean, peaking mid-"day" and bottoming
+ * out at "night".
+ */
+struct DiurnalTraceConfig
+{
+    /// Request shapes, model/policy, seed, and the *day-average* rate
+    /// (1 / mean_interarrival_s). The base arrival draws are consumed
+    /// (stream compatibility) but overridden by the diurnal process.
+    ArrivalTraceConfig base;
+    /// Length of one day/night cycle in simulated seconds. Day-scale
+    /// benches compress the wall day: what matters to the scheduler is
+    /// the rate swing relative to service time, not the absolute 86400.
+    double day_s = 60.0;
+    /// Rate swing in [0, 1): rate(t) = mean_rate * (1 + amplitude *
+    /// cos(2*pi*(t/day_s - peak_frac))). 0 degenerates to homogeneous
+    /// Poisson; 0.9 means the night trough runs at 10% of the peak ~
+    /// 19x swing.
+    double amplitude = 0.8;
+    /// Fraction of the day at which the rate peaks (0.5 = mid-day).
+    double peak_frac = 0.5;
+};
+
+/**
+ * Generate a diurnal trace: request shapes, priorities, and per-request
+ * seeds come from generateArrivalTrace(cfg.base) (bit-identical
+ * attribute streams), then arrival times are re-drawn from a separate
+ * PRNG stream as a non-homogeneous Poisson process via Lewis-Shedler
+ * thinning: candidate gaps at the peak rate, accepted with probability
+ * rate(t)/peak_rate. Deterministic: the same config yields a
+ * bit-identical trace; arrivals are non-decreasing.
+ */
+std::vector<TracedRequest> generateDiurnalTrace(
+    const DiurnalTraceConfig& cfg);
+
+/**
  * Generate a shared-prefix trace: arrivals, output lengths, priorities,
  * and per-request seeds come from generateArrivalTrace(cfg.base)
  * (bit-identical streams — a legacy consumer ignoring prompt_tokens

@@ -1,0 +1,181 @@
+/// Bit-identity of the decode-step replay memo: a session run with the
+/// memo enabled (the default) must produce *exactly* the same simulated
+/// outputs — per-step seconds, KV trajectory, cycles, energy, and every
+/// stat counter — as one run with setStepMemo(false), across pruning
+/// policies, chunked prefill, and cached-prefix prefill. The memo is a
+/// host-side optimization only; any observable divergence is a bug.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "accel/decode_session.hpp"
+#include "accel/pipeline.hpp"
+
+namespace spatten {
+namespace {
+
+ModelSpec
+tinyModel()
+{
+    return {"tiny", 4, 4, 64, 4};
+}
+
+WorkloadSpec
+tinyWorkload(std::size_t prompt = 96, std::size_t gen = 24)
+{
+    WorkloadSpec w;
+    w.name = "memo-probe";
+    w.model = tinyModel();
+    w.summarize_len = prompt;
+    w.generate_len = gen;
+    return w;
+}
+
+enum class PrefillMode
+{
+    Monolithic,
+    Chunked,      ///< Three uneven chunks.
+    CachedPrefix, ///< Half the prompt served from a shared-prefix cache.
+};
+
+struct SessionTrace
+{
+    double prefill_seconds = 0;
+    std::vector<double> step_seconds;
+    std::vector<std::size_t> kv_trace;
+    RunResult result;
+    std::size_t memo_replays = 0;
+};
+
+SessionTrace
+runSession(const WorkloadSpec& w, const PruningPolicy& policy,
+           PrefillMode mode, bool memo)
+{
+    DecodeSession s(SpAttenConfig{}, w, policy);
+    s.setStepMemo(memo);
+    SessionTrace t;
+    switch (mode) {
+    case PrefillMode::Monolithic:
+        t.prefill_seconds = s.prefill();
+        break;
+    case PrefillMode::Chunked: {
+        const std::size_t a = w.summarize_len / 3;
+        const std::size_t b = w.summarize_len / 2;
+        t.prefill_seconds += s.prefillChunk(0, a);
+        t.prefill_seconds += s.prefillChunk(a, b - a);
+        t.prefill_seconds += s.prefillChunk(b, w.summarize_len - b);
+        break;
+    }
+    case PrefillMode::CachedPrefix:
+        t.prefill_seconds = s.prefillWithCachedPrefix(w.summarize_len / 2);
+        break;
+    }
+    while (!s.done())
+        t.step_seconds.push_back(s.decodeStep());
+    t.kv_trace = s.kvTrace();
+    t.result = s.finalize();
+    t.memo_replays = s.memoReplays();
+    return t;
+}
+
+/// Every observable of the two runs must match bit for bit — exact
+/// double equality throughout, no tolerances.
+void
+expectIdentical(const SessionTrace& memo, const SessionTrace& plain)
+{
+    EXPECT_EQ(memo.prefill_seconds, plain.prefill_seconds);
+    ASSERT_EQ(memo.step_seconds.size(), plain.step_seconds.size());
+    for (std::size_t i = 0; i < memo.step_seconds.size(); ++i)
+        EXPECT_EQ(memo.step_seconds[i], plain.step_seconds[i])
+            << "decode step " << i;
+    EXPECT_EQ(memo.kv_trace, plain.kv_trace);
+
+    const RunResult& a = memo.result;
+    const RunResult& b = plain.result;
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.summarize_seconds, b.summarize_seconds);
+    EXPECT_EQ(a.generate_seconds, b.generate_seconds);
+    EXPECT_EQ(a.attention_flops, b.attention_flops);
+    EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+    EXPECT_EQ(a.energy.totalJ(), b.energy.totalJ());
+    EXPECT_EQ(a.energy.dram_j, b.energy.dram_j);
+    EXPECT_EQ(a.energy.sram_j, b.energy.sram_j);
+    EXPECT_EQ(a.energy.fetcher_j, b.energy.fetcher_j);
+
+    // The stat registry includes the hbm.* counters and the per-stage
+    // busy/energy/dram breakdown — the widest observable surface.
+    ASSERT_EQ(a.stats.all().size(), b.stats.all().size());
+    auto ita = a.stats.all().begin();
+    auto itb = b.stats.all().begin();
+    for (; ita != a.stats.all().end(); ++ita, ++itb) {
+        EXPECT_EQ(ita->first, itb->first);
+        EXPECT_EQ(ita->second, itb->second) << "stat " << ita->first;
+    }
+}
+
+TEST(DecodeStepMemo, BitIdenticalUnderCascadePruning)
+{
+    const WorkloadSpec w = tinyWorkload();
+    const PruningPolicy p; // Full cascade pruning: KV hits a fixed point.
+    const SessionTrace memo =
+        runSession(w, p, PrefillMode::Monolithic, true);
+    const SessionTrace plain =
+        runSession(w, p, PrefillMode::Monolithic, false);
+    // The memo must actually engage (steady state reached within the
+    // 24-step decode) — otherwise this test pins nothing.
+    EXPECT_GT(memo.memo_replays, 0u);
+    EXPECT_EQ(plain.memo_replays, 0u);
+    expectIdentical(memo, plain);
+}
+
+TEST(DecodeStepMemo, BitIdenticalWithPruningDisabled)
+{
+    // Without pruning the context grows every step, so the memo records
+    // but never replays — the guard must detect the changed entering
+    // context and fall back to live execution, bit-identically.
+    const WorkloadSpec w = tinyWorkload(64, 8);
+    const PruningPolicy p = PruningPolicy::disabled();
+    const SessionTrace memo =
+        runSession(w, p, PrefillMode::Monolithic, true);
+    const SessionTrace plain =
+        runSession(w, p, PrefillMode::Monolithic, false);
+    EXPECT_EQ(memo.memo_replays, 0u);
+    expectIdentical(memo, plain);
+}
+
+TEST(DecodeStepMemo, BitIdenticalAfterChunkedPrefill)
+{
+    const WorkloadSpec w = tinyWorkload();
+    const PruningPolicy p;
+    const SessionTrace memo = runSession(w, p, PrefillMode::Chunked, true);
+    const SessionTrace plain =
+        runSession(w, p, PrefillMode::Chunked, false);
+    EXPECT_GT(memo.memo_replays, 0u);
+    expectIdentical(memo, plain);
+}
+
+TEST(DecodeStepMemo, BitIdenticalAfterCachedPrefixPrefill)
+{
+    const WorkloadSpec w = tinyWorkload();
+    const PruningPolicy p;
+    const SessionTrace memo =
+        runSession(w, p, PrefillMode::CachedPrefix, true);
+    const SessionTrace plain =
+        runSession(w, p, PrefillMode::CachedPrefix, false);
+    EXPECT_GT(memo.memo_replays, 0u);
+    expectIdentical(memo, plain);
+}
+
+TEST(DecodeStepMemo, ReplayCountIsBoundedByDecodeSteps)
+{
+    const WorkloadSpec w = tinyWorkload(96, 16);
+    const SessionTrace memo =
+        runSession(w, PruningPolicy{}, PrefillMode::Monolithic, true);
+    // At least one live step records before any replay can happen.
+    EXPECT_LT(memo.memo_replays, w.generate_len);
+}
+
+} // namespace
+} // namespace spatten

@@ -2,6 +2,7 @@
 /// convergence on synthetic tasks, and SpAtten-pruned inference.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/trainer.hpp"
@@ -193,11 +194,17 @@ TEST(Transformer, PrunedStatsReflectPolicy)
     EXPECT_LT(stats.tokens_kept_frac, 1.0);
     EXPECT_LT(stats.heads_kept_frac, 1.0);
     EXPECT_FALSE(stats.surviving_tokens.empty());
-    EXPECT_EQ(stats.alive_per_layer.size(), mc.layers);
-    // Cascade: alive sets shrink monotonically.
-    for (std::size_t l = 1; l < stats.alive_per_layer.size(); ++l)
-        EXPECT_LE(stats.alive_per_layer[l].size(),
-                  stats.alive_per_layer[l - 1].size());
+    EXPECT_EQ(stats.survivors.layers(), mc.layers);
+    EXPECT_TRUE(stats.survivors.materialized());
+    // Cascade: alive sets shrink monotonically, each row a subset of
+    // the previous one (ids ascending within a row).
+    for (std::size_t l = 1; l < stats.survivors.layers(); ++l) {
+        EXPECT_LE(stats.survivors.count(l), stats.survivors.count(l - 1));
+        EXPECT_TRUE(std::includes(stats.survivors.rowBegin(l - 1),
+                                  stats.survivors.rowEnd(l - 1),
+                                  stats.survivors.rowBegin(l),
+                                  stats.survivors.rowEnd(l)));
+    }
 }
 
 TEST(Transformer, ModeratePruningPreservesAccuracy)

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "workload/arrival_trace.hpp"
@@ -331,6 +332,74 @@ sharedPrefixConfig(std::size_t n = 32, std::uint64_t seed = 0x5eed)
     sp.user_turn_max = 24;
     sp.max_prompt_tokens = 512;
     return sp;
+}
+
+TEST(DiurnalTrace, AttributesMatchBaseStreamsAndArrivalsMonotone)
+{
+    DiurnalTraceConfig dc;
+    dc.base.num_requests = 512;
+    dc.base.mean_interarrival_s = 1e-3;
+    dc.base.seed = 0xdadd;
+    dc.day_s = 0.25;
+    const auto trace = generateDiurnalTrace(dc);
+    const auto base = generateArrivalTrace(dc.base);
+    ASSERT_EQ(trace.size(), base.size());
+    double prev = 0.0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        // Shapes, seeds, and priorities are the exact base streams;
+        // only the arrival times are re-drawn.
+        EXPECT_EQ(trace[i].workload.summarize_len,
+                  base[i].workload.summarize_len);
+        EXPECT_EQ(trace[i].workload.generate_len,
+                  base[i].workload.generate_len);
+        EXPECT_EQ(trace[i].seed, base[i].seed);
+        EXPECT_EQ(trace[i].priority, base[i].priority);
+        EXPECT_GE(trace[i].arrival_s, prev);
+        prev = trace[i].arrival_s;
+    }
+    EXPECT_GT(trace.front().arrival_s, 0.0);
+
+    // Deterministic: the same config replays bit-identically.
+    const auto again = generateDiurnalTrace(dc);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].arrival_s, again[i].arrival_s);
+}
+
+TEST(DiurnalTrace, RateFollowsTheDayNightCycle)
+{
+    // Bin arrivals by phase-of-day: the half-day centered on the peak
+    // must hold substantially more arrivals than the trough half, and
+    // amplitude 0 must degenerate to the flat Poisson profile.
+    DiurnalTraceConfig dc;
+    dc.base.num_requests = 4096;
+    dc.base.mean_interarrival_s = 1e-3;
+    dc.day_s = 0.5;
+    dc.amplitude = 0.9;
+    dc.peak_frac = 0.5;
+    const auto trace = generateDiurnalTrace(dc);
+
+    const auto peakHalfCount = [&](const std::vector<TracedRequest>& t) {
+        std::size_t peak = 0;
+        for (const TracedRequest& r : t) {
+            const double phase = r.arrival_s / dc.day_s -
+                                 std::floor(r.arrival_s / dc.day_s);
+            if (phase >= 0.25 && phase < 0.75)
+                ++peak;
+        }
+        return peak;
+    };
+    const std::size_t peak = peakHalfCount(trace);
+    const std::size_t trough = trace.size() - peak;
+    // At amplitude 0.9 the expected split is ~79/21; demand 2x as a
+    // loose, seed-robust bound.
+    EXPECT_GT(peak, 2 * trough);
+
+    DiurnalTraceConfig flat = dc;
+    flat.amplitude = 0.0;
+    const auto flat_trace = generateDiurnalTrace(flat);
+    const std::size_t flat_peak = peakHalfCount(flat_trace);
+    EXPECT_LT(flat_peak, flat_trace.size() * 6 / 10);
+    EXPECT_GT(flat_peak, flat_trace.size() * 4 / 10);
 }
 
 TEST(SharedPrefixTrace, BaseStreamsUnchanged)
