@@ -75,7 +75,7 @@ main()
                 ++flat;
         }
         std::printf("%12.2f %15.1f%%\n", thr,
-                    100.0 * flat / static_cast<double>(rows.size()));
+                    100.0 * static_cast<double>(flat) / static_cast<double>(rows.size()));
     }
     return 0;
 }

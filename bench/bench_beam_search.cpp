@@ -67,7 +67,7 @@ main()
             std::size_t correct = 0;
             for (std::size_t i = 0; i < payload.size(); ++i)
                 correct += res.tokens[i] == payload[i];
-            copy_acc += static_cast<double>(correct) / payload.size();
+            copy_acc += static_cast<double>(correct) / static_cast<double>(payload.size());
             keys_frac += res.final_keys_frac;
             logprob += res.logprob;
             lsb_frac += res.lsb_fraction;

@@ -27,8 +27,9 @@ main()
         const double maxp = maxSoftmaxProb(s);
         int b = static_cast<int>(maxp * kBuckets);
         b = std::min(b, kBuckets - 1);
-        err_sum[b] += quantizedSoftmaxError(s, 4);
-        ++count[b];
+        const auto bi = static_cast<std::size_t>(b);
+        err_sum[bi] += quantizedSoftmaxError(s, 4);
+        ++count[bi];
     }
 
     std::printf("%-22s %12s %8s\n", "max attention prob", "mean err",
@@ -36,15 +37,16 @@ main()
     rule();
     double first = -1.0, last = -1.0;
     for (int b = 0; b < kBuckets; ++b) {
-        if (count[b] == 0)
+        const auto bi = static_cast<std::size_t>(b);
+        if (count[bi] == 0)
             continue;
-        const double e = err_sum[b] / count[b];
+        const double e = err_sum[bi] / count[bi];
         if (first < 0)
             first = e;
         last = e;
         std::printf("[%4.2f, %4.2f)          %12.5f %8d\n",
                     b / static_cast<double>(kBuckets),
-                    (b + 1) / static_cast<double>(kBuckets), e, count[b]);
+                    (b + 1) / static_cast<double>(kBuckets), e, count[bi]);
     }
     rule();
     std::printf("Error at low max-prob / at high max-prob = %.1fx "

@@ -64,7 +64,8 @@ main()
     std::printf("%28s %11.1f%%\n", "fillers (function words)",
                 100.0 * fil_kept / fil_total);
     std::printf("%28s %11.1f%%\n", "pruned accuracy",
-                100.0 * correct / test.size());
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(test.size()));
     rule();
     std::printf("Paper Fig. 22: surviving tokens are exactly the "
                 "sentiment cues ('remember', 'admire', 'resolve "

@@ -86,6 +86,7 @@ main()
     std::printf("mean importance: payload/structural %.3f vs filler %.3f "
                 "(paper: semantically important tokens are heavily "
                 "attended and survive)\n",
-                sym_score / sym_n, fil_score / fil_n);
+                sym_score / static_cast<double>(sym_n),
+                fil_score / static_cast<double>(fil_n));
     return 0;
 }

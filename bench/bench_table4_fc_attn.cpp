@@ -36,16 +36,19 @@ main()
         gpu_at_s += gpu.attention(b.workload).seconds -
                     gpu.attention(sum_only).seconds;
         gpu_fc_s += gpu.fc(b.workload).seconds - gpu.fc(sum_only).seconds;
-        fc_gflops += 2.0 * fcParamsPerLayer(b.workload.model) *
-                     b.workload.model.num_layers *
-                     b.workload.generate_len * 1e-9;
+        fc_gflops +=
+            2.0 * fcParamsPerLayer(b.workload.model) *
+            static_cast<double>(b.workload.model.num_layers) *
+            static_cast<double>(b.workload.generate_len) * 1e-9;
         // Dense generation-stage attention FLOPs.
         const auto& m = b.workload.model;
         for (std::size_t t = 0; t < b.workload.generate_len; ++t) {
             const double ctx =
                 static_cast<double>(b.workload.summarize_len + t + 1);
-            at_gflops += 2.0 * 2.0 * ctx * m.d_head * m.num_heads *
-                         m.num_layers * 1e-9;
+            at_gflops += 2.0 * 2.0 * ctx *
+                         static_cast<double>(m.d_head) *
+                         static_cast<double>(m.num_heads) *
+                         static_cast<double>(m.num_layers) * 1e-9;
         }
         ++count;
     }

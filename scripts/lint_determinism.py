@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""Determinism lint for the SpAtten serving simulator.
+
+The serving stack's headline property is bit-identical output across
+thread counts, shard counts, cache on/off, and batched-vs-per-request
+decode. Sanitizers and goldens catch *symptoms* of nondeterminism; this
+lint forbids the *sources* at the code level, pattern-based (no libclang
+in the toolchain image), with a fixture suite in tests/lint_fixtures/
+pinning exactly what each rule does and does not flag.
+
+Rules
+-----
+no-raw-random
+    rand()/srand()/std::random_device/raw <random> engines in
+    src/sim, src/serve, src/accel, src/workload. All randomness must
+    flow through the seeded streams in common/prng.
+no-wallclock
+    time()/clock()/gettimeofday()/clock_gettime()/std::chrono clocks in
+    the same directories. Simulated time comes from sim/clock; host
+    wall-clock in the model would differ run to run.
+no-unordered-iter
+    Range-for over a std::unordered_map/unordered_set in any src/ file
+    that touches ServeReport/EnergyReport/KvPool accounting. Iteration
+    order is implementation-defined, so any accounting fed from such a
+    loop depends on hash-table layout.
+no-fp-accum-iter
+    Floating-point `+=` accumulation inside a range-for whose order is
+    not deterministic: a loop over an unordered container, or over a
+    thread/worker/shard collection. FP addition is not associative, so
+    the sum depends on visit order.
+
+Suppressions
+------------
+A finding is suppressed by a justified marker on the flagged line or
+the line directly above:
+
+    // determinism-ok(no-wallclock): host-side throughput measurement,
+    //   never feeds simulated state
+
+The justification text is mandatory; a bare `determinism-ok(rule)` is
+itself reported (rule id: bad-suppression). This mirrors the NOLINT
+policy in .clang-tidy: every suppression documents why the check is
+wrong at that site.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories (relative to --root) where the RNG and wall-clock rules
+# apply: everything that executes inside the simulated machine.
+SCOPED_DIRS = ("src/sim", "src/serve", "src/accel", "src/workload")
+
+# Files touching these identifiers carry accounting that must not be
+# fed from hash-order iteration.
+ACCOUNTING_RE = re.compile(r"\b(ServeReport|EnergyReport|KvPool)\b")
+
+RAW_RANDOM_RE = re.compile(
+    r"(?<![\w:])(?:rand|srand)\s*\("
+    r"|std::random_device"
+    r"|std::mt19937(?:_64)?\b"
+    r"|std::minstd_rand0?\b"
+    r"|std::ranlux\w+"
+    r"|std::default_random_engine\b"
+)
+
+WALLCLOCK_RE = re.compile(
+    r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|std::chrono::(?:system|steady|high_resolution)_clock"
+    r"|(?<![\w:])gettimeofday\s*\("
+    r"|(?<![\w:])clock_gettime\s*\("
+    r"|std::clock\s*\("
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{}()]*?>[&*\s]*(\w+)\s*[;={(),]", re.S
+)
+
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&*\s]+?:\s*\*?([\w.\->]+)\s*\)"
+)
+
+FP_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*[;=,)]")
+
+COMPOUND_ADD_RE = re.compile(
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\+="
+)
+
+THREADISH_RE = re.compile(r"\b(thread|worker|shard)", re.I)
+
+SUPPRESS_RE = re.compile(r"determinism-ok\((?P<rule>[\w-]+)\)(?P<rest>[^\n]*)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving newlines
+    and column positions so line numbers in findings stay exact."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | '//' | '/*' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "//"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "/*"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                mode = '"'
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                mode = "'"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "//":
+            if c == "\n":
+                mode = None
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "/*":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == mode:
+                mode = None
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def collect_suppressions(raw: str, findings: list, path: Path):
+    """Map line -> set of suppressed rules; flag justification-less ones."""
+    supp: dict[int, set] = {}
+    lines = raw.splitlines()
+    for ln, line in enumerate(lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rule = m.group("rule")
+        rest = m.group("rest").lstrip()
+        justification = rest[1:].strip() if rest.startswith(":") else ""
+        if not justification:
+            findings.append(
+                Finding(path, ln, "bad-suppression",
+                        f"determinism-ok({rule}) needs a justification: "
+                        "append ': <why this check is wrong here>'"))
+            continue
+        # A marker suppresses its own line (trailing-comment form) and,
+        # when placed above the flagged statement, everything through the
+        # first non-comment line — multi-line justifications included.
+        supp.setdefault(ln, set()).add(rule)
+        cursor = ln  # 0-based index of the line after the marker
+        while cursor < len(lines):
+            supp.setdefault(cursor + 1, set()).add(rule)
+            if lines[cursor].strip().startswith("//"):
+                cursor += 1
+                continue
+            break
+    return supp
+
+
+def body_span(code: str, brace_pos: int):
+    """Return (start, end) of the brace-balanced block starting at the
+    first '{' at/after brace_pos, or a single-statement span ending at
+    the next ';' for brace-less loop bodies."""
+    n = len(code)
+    i = brace_pos
+    while i < n and code[i] not in "{;":
+        i += 1
+    if i >= n:
+        return brace_pos, n
+    if code[i] == ";":
+        return brace_pos, i + 1
+    depth = 0
+    start = i
+    while i < n:
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return start, i + 1
+        i += 1
+    return start, n
+
+
+def paired_header_text(path: Path) -> str:
+    """The .hpp next to a .cpp declares its members; fold it into decl
+    collection so member containers resolve."""
+    if path.suffix != ".cpp":
+        return ""
+    hpp = path.with_suffix(".hpp")
+    try:
+        return hpp.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return ""
+
+
+def last_identifier(range_expr: str) -> str:
+    parts = re.split(r"\.|->", range_expr)
+    return parts[-1].strip("*& ")
+
+
+def lint_file(path: Path, root: Path, force_scope: bool = False):
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    findings: list = []
+    suppressed = collect_suppressions(raw, findings, path)
+    code = strip_comments_and_strings(raw)
+
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    in_scoped_dir = force_scope or any(
+        rel.startswith(d + "/") for d in SCOPED_DIRS)
+
+    if in_scoped_dir:
+        for m in RAW_RANDOM_RE.finditer(code):
+            findings.append(
+                Finding(path, line_of(code, m.start()), "no-raw-random",
+                        f"raw RNG '{m.group(0).strip()}' — draw from a "
+                        "seeded common/prng stream instead"))
+        for m in WALLCLOCK_RE.finditer(code):
+            findings.append(
+                Finding(path, line_of(code, m.start()), "no-wallclock",
+                        f"wall-clock source '{m.group(0).strip()}' — "
+                        "simulated time must come from sim/clock"))
+
+    header = strip_comments_and_strings(paired_header_text(path))
+    decl_text = code + "\n" + header
+    unordered_vars = set(UNORDERED_DECL_RE.findall(decl_text))
+    fp_vars = set(FP_DECL_RE.findall(decl_text))
+    touches_accounting = bool(ACCOUNTING_RE.search(decl_text))
+
+    for m in RANGE_FOR_RE.finditer(code):
+        target = last_identifier(m.group(1))
+        over_unordered = target in unordered_vars
+        over_threadish = bool(THREADISH_RE.search(target))
+        if over_unordered and touches_accounting:
+            findings.append(
+                Finding(path, line_of(code, m.start()), "no-unordered-iter",
+                        f"range-for over unordered container '{target}' in "
+                        "a file with ServeReport/EnergyReport/KvPool "
+                        "accounting — iteration order is "
+                        "implementation-defined"))
+        if over_unordered or over_threadish:
+            start, end = body_span(code, m.end())
+            body = code[start:end]
+            for am in COMPOUND_ADD_RE.finditer(body):
+                lhs = am.group(1)
+                leaf = re.split(r"\.|->", lhs)[-1]
+                head = re.split(r"\.|->", lhs)[0]
+                if leaf in fp_vars or head in fp_vars:
+                    why = ("unordered container"
+                           if over_unordered else "thread/shard collection")
+                    findings.append(
+                        Finding(path, line_of(code, start + am.start()),
+                                "no-fp-accum-iter",
+                                f"floating-point '{lhs} +=' inside a loop "
+                                f"over {why} '{target}' — FP addition is "
+                                "order-dependent"))
+
+    return [f for f in findings
+            if f.rule == "bad-suppression"
+            or f.rule not in suppressed.get(f.line, set())]
+
+
+def gather_files(root: Path, args_files):
+    if args_files:
+        return [Path(f) for f in args_files]
+    files = []
+    for sub in ("src",):
+        base = root / sub
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.cpp")))
+            files.extend(sorted(base.rglob("*.hpp")))
+    return files
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*",
+                    help="files to lint (default: all of <root>/src)")
+    ap.add_argument("--root", default=".",
+                    help="repository root for scope resolution")
+    ap.add_argument("--force-scope", action="store_true",
+                    help="treat every file as if it lived in a scoped "
+                         "directory (used by the fixture suite)")
+    args = ap.parse_args(argv)
+
+    root = Path(args.root)
+    files = gather_files(root, args.files)
+    if not files:
+        print("lint_determinism: no input files", file=sys.stderr)
+        return 2
+
+    all_findings = []
+    for path in files:
+        all_findings.extend(lint_file(path, root, args.force_scope))
+
+    for f in all_findings:
+        print(f)
+    if all_findings:
+        print(f"lint_determinism: {len(all_findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

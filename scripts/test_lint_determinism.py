@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fixture suite for lint_determinism.py (ctest label: lint).
+
+Every lint rule has a fixture pair in tests/lint_fixtures/: a
+`trigger_*` file that must produce exactly the expected findings, and a
+`clean_*` twin that must pass. The pairs ARE the lint's contract — a
+rule change that silently widens or narrows a pattern fails here before
+it can flag (or miss) real code.
+"""
+
+import sys
+import unittest
+from collections import Counter
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parent
+ROOT = SCRIPTS.parent
+FIXTURES = ROOT / "tests" / "lint_fixtures"
+
+sys.path.insert(0, str(SCRIPTS))
+import lint_determinism  # noqa: E402
+
+
+def run_lint(name: str):
+    """Lint one fixture with all rules in scope; return Counter of rule
+    ids."""
+    path = FIXTURES / name
+    findings = lint_determinism.lint_file(path, ROOT, force_scope=True)
+    return Counter(f.rule for f in findings), findings
+
+
+class FixturePairs(unittest.TestCase):
+    # fixture -> exact expected {rule: count}
+    EXPECTED = {
+        "trigger_no_raw_random.cpp": {"no-raw-random": 2},
+        "clean_no_raw_random.cpp": {},
+        "trigger_no_wallclock.cpp": {"no-wallclock": 2},
+        "clean_no_wallclock.cpp": {},
+        "trigger_no_unordered_iter.cpp": {"no-unordered-iter": 1},
+        "clean_no_unordered_iter.cpp": {},
+        "trigger_no_fp_accum_iter.cpp": {"no-fp-accum-iter": 2},
+        "clean_no_fp_accum_iter.cpp": {},
+        "trigger_bad_suppression.cpp": {"bad-suppression": 1,
+                                        "no-wallclock": 1},
+        "clean_justified_suppression.cpp": {},
+    }
+
+    def test_every_fixture_matches_its_contract(self):
+        for name, expected in self.EXPECTED.items():
+            with self.subTest(fixture=name):
+                got, findings = run_lint(name)
+                self.assertEqual(
+                    dict(got), expected,
+                    f"{name}: findings were "
+                    f"{[str(f) for f in findings] or 'none'}")
+
+    def test_no_fixture_is_unaccounted_for(self):
+        on_disk = {p.name for p in FIXTURES.glob("*.cpp")}
+        self.assertEqual(on_disk, set(self.EXPECTED),
+                         "every fixture needs a contract entry above")
+
+    def test_findings_carry_line_numbers(self):
+        _, findings = run_lint("trigger_no_raw_random.cpp")
+        for f in findings:
+            self.assertGreater(f.line, 0)
+            self.assertIn("lint_fixtures", str(f.path))
+
+    def test_scope_gating_without_force(self):
+        # Outside src/sim|serve|accel|workload the RNG/wall-clock rules
+        # stay quiet; the fixture dir is outside, so no findings.
+        path = FIXTURES / "trigger_no_raw_random.cpp"
+        findings = lint_determinism.lint_file(path, ROOT,
+                                              force_scope=False)
+        self.assertEqual(findings, [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -63,7 +63,7 @@ SpAttenE2e::run(const WorkloadSpec& workload, const PruningPolicy& policy,
             const double r = token_sched.ratioAt(l);
             alive = std::max<std::size_t>(
                 1, static_cast<std::size_t>(
-                       std::ceil(alive * (1.0 - r))));
+                       std::ceil(static_cast<double>(alive) * (1.0 - r))));
         }
     }
 

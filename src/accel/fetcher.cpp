@@ -23,11 +23,9 @@ QkvFetcher::gather(const GatherRequest& req, Cycles ready)
     dram_reqs.reserve(req.token_ids.size());
     for (std::size_t id : req.token_ids) {
         const std::uint64_t addr =
-            req.base_addr +
-            static_cast<std::uint64_t>(id) * req.bytes_per_token;
-        channels.push_back(static_cast<std::size_t>(
-            (addr / cfg.interleave_bytes) %
-            static_cast<std::uint64_t>(cfg.channels)));
+            req.base_addr + id * req.bytes_per_token;
+        channels.push_back((addr / cfg.interleave_bytes) %
+                           static_cast<std::uint64_t>(cfg.channels));
         dram_reqs.push_back({addr, req.bytes_per_token, false});
     }
     const CrossbarRouteResult route = xbar_.route(channels);
@@ -35,8 +33,7 @@ QkvFetcher::gather(const GatherRequest& req, Cycles ready)
     // almost always hidden behind the data burst time.
     const Cycles issue_ready = ready + route.cycles;
     res.dram_cycles_done = hbm_.accessBatch(dram_reqs, issue_ready);
-    res.bytes = static_cast<std::uint64_t>(req.token_ids.size()) *
-                req.bytes_per_token;
+    res.bytes = req.token_ids.size() * req.bytes_per_token;
     res.requests = req.token_ids.size();
     total_requests_ += res.requests;
     return res;

@@ -22,8 +22,10 @@ std::size_t
 SramModel::maxTokens(std::size_t d) const
 {
     SPATTEN_ASSERT(d > 0, "zero token dimension");
-    const double bytes_per_token = d * cfg_.elem_bits / 8.0;
-    return static_cast<std::size_t>(usableBytes() / bytes_per_token);
+    const double bytes_per_token =
+        static_cast<double>(d) * cfg_.elem_bits / 8.0;
+    return static_cast<std::size_t>(static_cast<double>(usableBytes()) /
+                                    bytes_per_token);
 }
 
 bool
@@ -38,7 +40,7 @@ SramModel::recordFill(std::size_t tokens, std::size_t d)
     SPATTEN_ASSERT(fits(tokens, d),
                    "%s overflow: %zu tokens x %zu dims exceeds %zu tokens",
                    name_.c_str(), tokens, d, maxTokens(d));
-    bytes_written_ += tokens * d * cfg_.elem_bits / 8.0;
+    bytes_written_ += static_cast<double>(tokens * d) * cfg_.elem_bits / 8.0;
 }
 
 void

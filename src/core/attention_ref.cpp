@@ -50,9 +50,11 @@ attentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
             for (std::size_t j = 0; j < d; ++j)
                 out.out.at(i, h * d + j) = eh.at(i, j);
         out.probs.push_back(prob);
-        out.stats.qk_macs += static_cast<double>(l0) * l1 * d;
-        out.stats.pv_macs += static_cast<double>(l0) * l1 * d;
-        out.stats.softmax_elems += static_cast<double>(l0) * l1;
+        out.stats.qk_macs += static_cast<double>(l0) * static_cast<double>(l1) *
+            static_cast<double>(d);
+        out.stats.pv_macs += static_cast<double>(l0) * static_cast<double>(l1) *
+            static_cast<double>(d);
+        out.stats.softmax_elems += static_cast<double>(l0) * static_cast<double>(l1);
         out.stats.queries += static_cast<double>(l0);
     }
     return out;
@@ -88,7 +90,7 @@ SpAttenAttention::run(const Tensor& q, const Tensor& k, const Tensor& v,
         // DRAM traffic for this head's Q and K. Q is fetched once per
         // query row; K once per head (kept in SRAM across queries).
         out.stats.dram_bits_qkv +=
-            static_cast<double>(l0 + l1) * d *
+            static_cast<double>(l0 + l1) * static_cast<double>(d) *
             (cfg_.quantize_inputs ? cfg_.pq.setting.msb_bits : 32);
 
         BitplaneTensor kh_planes;
@@ -106,10 +108,10 @@ SpAttenAttention::run(const Tensor& q, const Tensor& k, const Tensor& v,
                 if (pr.fetched_lsb) {
                     out.stats.lsb_refetches += 1;
                     out.stats.dram_bits_qkv +=
-                        static_cast<double>(l1) * d *
+                        static_cast<double>(l1) * static_cast<double>(d) *
                         cfg_.pq.setting.lsb_bits;
                     // The LSB pass recomputes the scores.
-                    out.stats.qk_macs += static_cast<double>(l1) * d;
+                    out.stats.qk_macs += static_cast<double>(l1) * static_cast<double>(d);
                 }
             } else {
                 std::vector<float> scores(l1, 0.0f);
@@ -131,7 +133,7 @@ SpAttenAttention::run(const Tensor& q, const Tensor& k, const Tensor& v,
                 for (auto& p : prob)
                     p = static_cast<float>(p / denom);
             }
-            out.stats.qk_macs += static_cast<double>(l1) * d;
+            out.stats.qk_macs += static_cast<double>(l1) * static_cast<double>(d);
             out.stats.softmax_elems += static_cast<double>(l1);
             out.stats.queries += 1;
 
@@ -145,9 +147,10 @@ SpAttenAttention::run(const Tensor& q, const Tensor& k, const Tensor& v,
             out.stats.v_rows_kept += static_cast<double>(kept.size());
             out.stats.v_rows_total += static_cast<double>(l1);
             out.stats.dram_bits_qkv +=
-                static_cast<double>(kept.size()) * d * data_bits;
+                static_cast<double>(kept.size()) * static_cast<double>(d) *
+                data_bits;
             out.stats.pv_macs +=
-                static_cast<double>(kept.size()) * d;
+                static_cast<double>(kept.size()) * static_cast<double>(d);
 
             // Renormalize over the kept probabilities so the weighted sum
             // remains a convex combination (hardware divides by the same

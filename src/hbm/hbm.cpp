@@ -150,9 +150,9 @@ HbmModel::accessFast(const HbmRequest& req, Cycles ready)
                 (blockInChannel(b) << ilv_shift_) + off;
             const std::int64_t row =
                 static_cast<std::int64_t>(in_channel >> row_shift_);
-            Channel& ch = channels_[static_cast<std::size_t>(chanOf(b))];
-            Bank& bank = ch.banks[static_cast<std::size_t>(
-                bankOf(static_cast<std::uint64_t>(row)))];
+            Channel& ch = channels_[chanOf(b)];
+            Bank& bank =
+                ch.banks[bankOf(static_cast<std::uint64_t>(row))];
             const Cycles start = std::max(ready, ch.busy_until);
             Cycles lat = cfg_.t_cl;
             if (bank.open_row != row) {
@@ -206,7 +206,7 @@ HbmModel::accessFast(const HbmRequest& req, Cycles ready)
                 return tail_burst;
             return burst_full_;
         };
-        Channel& ch = channels_[static_cast<std::size_t>(c)];
+        Channel& ch = channels_[c];
         Cycles start = std::max(ready, ch.busy_until);
         std::uint64_t k = 0;
         while (k < nb) {
@@ -216,8 +216,8 @@ HbmModel::accessFast(const HbmRequest& req, Cycles ready)
             const std::uint64_t seg_len =
                 std::min<std::uint64_t>(nb - k, (seg_mask + 1) -
                                                     (j & seg_mask));
-            Bank& bank = ch.banks[static_cast<std::size_t>(
-                bankOf(static_cast<std::uint64_t>(row)))];
+            Bank& bank =
+                ch.banks[bankOf(static_cast<std::uint64_t>(row))];
             Cycles lat_first = cfg_.t_cl;
             if (bank.open_row != row) {
                 lat_first +=
@@ -235,7 +235,7 @@ HbmModel::accessFast(const HbmRequest& req, Cycles ready)
                 const Cycles burst_last = chunk_burst(k + seg_len - 1);
                 const Cycles start_last =
                     start + burst_first +
-                    static_cast<Cycles>(seg_len - 2) * burst_full_;
+                    (seg_len - 2) * burst_full_;
                 done = std::max(done, start_last + cfg_.t_cl + burst_last);
                 start = start_last + burst_last;
             }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hpp"
 #include "core/pruning.hpp"
@@ -69,7 +70,11 @@ GenerativeRunner::stepToken(Beam& beam, std::size_t token,
                                                      full);
                 scores[r] = acc * inv;
             }
-            float m = scores[0];
+            // Seed the max-scan with -inf instead of scores[0]: rows is
+            // never 0 here (the new key row is appended above), but the
+            // element-0 read is what GCC's -Wnull-dereference flags, and
+            // the -inf seed is bit-identical for any non-empty scan.
+            float m = -std::numeric_limits<float>::infinity();
             for (float s : scores)
                 m = std::max(m, s);
             double denom = 0.0;
@@ -151,7 +156,8 @@ GenerativeRunner::pruneCaches(std::vector<Beam>& beams,
     // schedule-implied keep fraction.
     if (policy.head_pruning) {
         const auto target = static_cast<std::size_t>(std::ceil(
-            model_.cfg_.heads * head_sched_.keepFraction()));
+            static_cast<double>(model_.cfg_.heads) *
+            head_sched_.keepFraction()));
         if (heads_alive_.size() > std::max<std::size_t>(target, 1)) {
             CascadeHeadPruner pruner(model_.cfg_.heads);
             // Re-derive the alive set, then prune to the target count.
@@ -174,7 +180,8 @@ GenerativeRunner::pruneCaches(std::vector<Beam>& beams,
         keep_frac *= 1.0 - token_sched_.ratioAt(l);
         const auto target = std::max<std::size_t>(
             1, static_cast<std::size_t>(
-                   std::ceil(context_len * keep_frac)));
+                   std::ceil(static_cast<double>(context_len) *
+                             keep_frac)));
 
         // Current alive prompt positions at this layer (beam 0 is the
         // reference; prompt rows are identical across beams).

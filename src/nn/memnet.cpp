@@ -158,7 +158,7 @@ MemoryNetwork::predictPruned(const MemoryQaExample& ex,
         if (per_hop_ratio > 0.0 && h + 1 < cfg_.hops) {
             const auto keep = std::max<std::size_t>(
                 1, static_cast<std::size_t>(std::ceil(
-                       alive.size() * (1.0 - per_hop_ratio))));
+                       static_cast<double>(alive.size()) * (1.0 - per_hop_ratio))));
             std::vector<float> scores(alive.size());
             for (std::size_t i = 0; i < alive.size(); ++i)
                 scores[i] = acc.score(alive[i]);

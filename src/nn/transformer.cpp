@@ -372,7 +372,7 @@ TransformerModel::predictClassPruned(const std::vector<std::size_t>& ids,
         const TransformerBlock& blk = blocks_[bi];
         const auto& alive = tpruner.alive();
         const std::size_t n = alive.size();
-        keys_frac_sum += static_cast<double>(n) / l0;
+        keys_frac_sum += static_cast<double>(n) / static_cast<double>(l0);
         tpruner.appendTo(local_stats.survivors);
 
         // PoWER-BERT-style ablation: importance from this layer only.
@@ -457,9 +457,9 @@ TransformerModel::predictClassPruned(const std::vector<std::size_t>& ids,
     if (stats) {
         *stats = std::move(local_stats);
         stats->tokens_kept_frac =
-            static_cast<double>(tpruner.aliveCount()) / l0;
+            static_cast<double>(tpruner.aliveCount()) / static_cast<double>(l0);
         stats->heads_kept_frac =
-            static_cast<double>(hpruner.aliveCount()) / h_total;
+            static_cast<double>(hpruner.aliveCount()) / static_cast<double>(h_total);
         stats->avg_keys_frac =
             keys_frac_sum / static_cast<double>(blocks_.size());
         stats->lsb_fraction =
@@ -510,7 +510,7 @@ TransformerModel::lmLossPruned(const std::vector<std::size_t>& ids,
         const TransformerBlock& blk = blocks_[bi];
         const auto& alive_keys = kpruner.alive();
         const std::size_t nk = alive_keys.size();
-        keys_frac_sum += static_cast<double>(nk) / l0;
+        keys_frac_sum += static_cast<double>(nk) / static_cast<double>(l0);
         kpruner.appendTo(local_stats.survivors);
 
         if (policy.importance_mode == ImportanceMode::Instant)
@@ -606,9 +606,9 @@ TransformerModel::lmLossPruned(const std::vector<std::size_t>& ids,
     if (stats) {
         *stats = std::move(local_stats);
         stats->tokens_kept_frac =
-            static_cast<double>(kpruner.aliveCount()) / l0;
+            static_cast<double>(kpruner.aliveCount()) / static_cast<double>(l0);
         stats->heads_kept_frac =
-            static_cast<double>(hpruner.aliveCount()) / h_total;
+            static_cast<double>(hpruner.aliveCount()) / static_cast<double>(h_total);
         stats->avg_keys_frac =
             keys_frac_sum / static_cast<double>(blocks_.size());
         stats->lsb_fraction =

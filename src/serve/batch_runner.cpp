@@ -19,7 +19,7 @@ std::uint64_t
 mixSeed(std::uint64_t seed, std::size_t index)
 {
     std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
-                                 (static_cast<std::uint64_t>(index) + 1);
+                                 (index + 1);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
@@ -44,6 +44,9 @@ BatchRunner::run(const std::vector<BatchRequest>& batch)
     if (batch.empty())
         return out;
 
+    // determinism-ok(no-wallclock): host-side wall_seconds measurement
+    // only; never feeds simulated state (pinned by
+    // BatchRunner.WallClockNeverLeaksIntoSimulatedAggregates).
     const auto wall_start = std::chrono::steady_clock::now();
     const std::size_t workers =
         std::min<std::size_t>(runner_.num_threads, batch.size());
@@ -76,6 +79,8 @@ BatchRunner::run(const std::vector<BatchRequest>& batch)
             t.join();
     }
     out.wall_seconds =
+        // determinism-ok(no-wallclock): end of the host-side interval
+        // started above; reported as wall_seconds, outside the model.
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();

@@ -230,7 +230,7 @@ KvPool::tryReserve(std::size_t id, const ModelSpec& model,
     Reservation res;
     res.tokens = tokens;
     res.block_bytes = blockBytes(model);
-    res.private_blocks = static_cast<std::size_t>(blocksFor(tokens));
+    res.private_blocks = blocksFor(tokens);
     touchCharge(need);
     held_.emplace(id, std::move(res));
     return true;
@@ -247,7 +247,7 @@ KvPool::tryReservePrefix(std::size_t id, const ModelSpec& model,
     const std::size_t bt = cfg_.block_tokens;
     const std::uint64_t bb = blockBytes(model);
     const std::size_t complete = n / bt;
-    const std::size_t total = static_cast<std::size_t>(blocksFor(n));
+    const std::size_t total = blocksFor(n);
 
     // ---- Walk the chain: longest cached block prefix ----
     std::vector<std::uint64_t> hashes(complete);
@@ -302,7 +302,7 @@ KvPool::tryReservePrefix(std::size_t id, const ModelSpec& model,
         ++b.refs;
     }
     const std::uint64_t need =
-        static_cast<std::uint64_t>(total - matched) * bb + promote_bytes;
+        (total - matched) * bb + promote_bytes;
     if (!canAllocate(need)) {
         // Roll back: un-reference. DRAM residents (in_dram still set —
         // the promote step below never ran) return to the DRAM LRU at
@@ -370,7 +370,7 @@ KvPool::tryReservePrefix(std::size_t id, const ModelSpec& model,
     PrefixReservation out;
     out.ok = true;
     out.cached_tokens = matched * bt;
-    out.shared_bytes = static_cast<std::uint64_t>(matched) * bb;
+    out.shared_bytes = matched * bb;
     out.promoted_bytes = promote_bytes;
     held_.emplace(id, std::move(res));
     return out;
@@ -389,14 +389,14 @@ KvPool::tryResize(std::size_t id, const ModelSpec& model,
                    "request %zu resized under a different model", id);
     (void)bytesForTokens(model, tokens); // Overflow guard.
     const std::size_t needed =
-        static_cast<std::size_t>(blocksFor(tokens));
+        blocksFor(tokens);
     const std::size_t cur = res.prefix_blocks.size() + res.private_blocks;
 
     if (tokens >= res.tokens) {
         // Append-only growth: the shared prefix stays valid; the tail
         // grows with anonymous private blocks.
         const std::uint64_t need =
-            static_cast<std::uint64_t>(needed - cur) * bb;
+            (needed - cur) * bb;
         if (!canAllocate(need))
             return false;
         makeRoom(need);
@@ -411,7 +411,7 @@ KvPool::tryResize(std::size_t id, const ModelSpec& model,
         SPATTEN_ASSERT(res.private_blocks == cur && cur >= needed,
                        "private shrink bookkeeping broken");
         const std::uint64_t freed =
-            static_cast<std::uint64_t>(cur - needed) * bb;
+            (cur - needed) * bb;
         SPATTEN_ASSERT(used_bytes_ >= freed, "KV pool byte underflow");
         used_bytes_ -= freed;
         res.private_blocks = needed;
@@ -447,7 +447,7 @@ KvPool::tryResize(std::size_t id, const ModelSpec& model,
     cow_copied_blocks_ += copies;
     if (res.private_blocks > needed) {
         const std::uint64_t freed =
-            static_cast<std::uint64_t>(res.private_blocks - needed) * bb;
+            (res.private_blocks - needed) * bb;
         SPATTEN_ASSERT(used_bytes_ >= freed, "KV pool byte underflow");
         used_bytes_ -= freed;
     }
@@ -467,7 +467,7 @@ KvPool::release(std::size_t id)
     for (const std::uint32_t bid : res.prefix_blocks)
         derefBlock(bid);
     const std::uint64_t freed =
-        static_cast<std::uint64_t>(res.private_blocks) * res.block_bytes;
+        res.private_blocks * res.block_bytes;
     SPATTEN_ASSERT(used_bytes_ >= freed, "KV pool byte underflow");
     used_bytes_ -= freed;
     held_.erase(it);

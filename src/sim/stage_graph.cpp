@@ -89,8 +89,7 @@ StageGraph::runLayer(ExecutionContext& ctx, LayerReplayRecord* record)
         timings_.push_back(t);
     }
     cost.compute_cycles =
-        static_cast<Cycles>(ctx.queries) * cost.ii * ctx.alive_heads +
-        layer_extra;
+        ctx.queries * cost.ii * ctx.alive_heads + layer_extra;
     cost.compute_ns =
         static_cast<double>(cost.compute_cycles) / core_freq_ghz_;
 

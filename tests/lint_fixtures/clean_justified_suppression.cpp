@@ -1,0 +1,17 @@
+// Fixture: MUST pass. A justified determinism-ok marker suppresses the
+// finding on the next code line, including across a multi-line
+// justification comment.
+#include <chrono>
+
+namespace fixture {
+
+double hostStamp()
+{
+    // determinism-ok(no-wallclock): host-side profiling probe for the
+    // bench harness; the value is reported, never fed back into
+    // simulated state.
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace fixture

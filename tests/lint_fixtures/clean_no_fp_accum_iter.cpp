@@ -1,0 +1,27 @@
+// Fixture: clean twin of trigger_no_fp_accum_iter. The same totals,
+// deterministically: integer accumulation is associative and safe in
+// any order, and the FP fold runs over an insertion-ordered vector
+// (not a hash table, not a thread-order collection).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t totalBlocks(const std::unordered_map<int, int>& by_slot)
+{
+    std::uint64_t blocks = 0;
+    for (const auto& kv : by_slot)
+        blocks += static_cast<std::uint64_t>(kv.second); // integer: OK
+    return blocks;
+}
+
+double totalEnergy(const std::vector<double>& joules_in_slot_order)
+{
+    double energy_j = 0.0;
+    for (const double j : joules_in_slot_order)
+        energy_j += j; // ordered range: OK
+    return energy_j;
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: clean twin of trigger_no_raw_random. The same jitter drawn
+// from a seeded common/prng stream — replayable, shardable, allowed.
+// Mentions of rand in identifiers (randomish_, prandtl) must not trip
+// the word-boundary matching, nor must the word rand() here in a
+// comment or in the string below.
+#include <cstdint>
+
+namespace fixture {
+
+struct Prng {
+    std::uint64_t state;
+    std::uint64_t next();
+};
+
+int arrivalJitter(Prng& prng)
+{
+    const char* doc = "unlike rand(), prng streams are seeded";
+    int randomish_ = static_cast<int>(prng.next() % 7);
+    return doc[0] ? randomish_ : 0;
+}
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: clean twin of trigger_no_unordered_iter. Same accounting,
+// but the unordered_map is only key-addressed; iteration for totals
+// walks a deterministically ordered vector. Also proves the rule stays
+// quiet in accounting files that merely *declare* unordered containers.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct KvPool; // marks this file as touching accounting state
+
+struct Directory {
+    std::unordered_map<std::uint64_t, std::uint64_t> blocks_by_hash;
+    std::vector<std::uint64_t> block_counts; // insertion-ordered
+
+    std::uint64_t lookup(std::uint64_t h) const
+    {
+        const auto it = blocks_by_hash.find(h);
+        return it == blocks_by_hash.end() ? 0 : it->second;
+    }
+
+    std::uint64_t totalBlocks() const
+    {
+        std::uint64_t total = 0;
+        for (const std::uint64_t c : block_counts)
+            total += c;
+        return total;
+    }
+};
+
+} // namespace fixture

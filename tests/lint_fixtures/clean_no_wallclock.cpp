@@ -1,0 +1,24 @@
+// Fixture: clean twin of trigger_no_wallclock. Simulated time advances
+// through an explicit cycle clock; identifiers containing 'time' or
+// 'clock' (runtime(), clock_divider) must not trip the matcher.
+#include <cstdint>
+
+namespace fixture {
+
+struct SimClock {
+    std::uint64_t cycles = 0;
+    void advance(std::uint64_t n) { cycles += n; }
+};
+
+std::uint64_t runtime(const SimClock& clock_divider)
+{
+    return clock_divider.cycles;
+}
+
+double arrivalStamp(SimClock& clk)
+{
+    clk.advance(1);
+    return static_cast<double>(clk.cycles);
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: MUST trigger bad-suppression. A determinism-ok marker with
+// no justification text is itself a finding — suppressions document
+// why the check is wrong, or they don't count.
+#include <chrono>
+
+namespace fixture {
+
+double hostStamp()
+{
+    // determinism-ok(no-wallclock)
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: MUST trigger no-fp-accum-iter, twice. Floating-point sums
+// folded in (a) unordered-container order and (b) per-worker order:
+// both make the total depend on visit order, because FP addition is
+// not associative.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Worker {
+    double cycles_used = 0;
+};
+
+double totalEnergy(const std::unordered_map<int, double>& joules_by_slot)
+{
+    double energy_j = 0.0;
+    for (const auto& kv : joules_by_slot)
+        energy_j += kv.second; // order-dependent fold (a)
+    return energy_j;
+}
+
+double totalCycles(const std::vector<Worker>& workers)
+{
+    double cycle_sum = 0.0;
+    for (const Worker& w : workers)
+        cycle_sum += w.cycles_used; // order-dependent fold (b)
+    return cycle_sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: MUST trigger no-raw-random. A scheduler that draws jitter
+// from libc rand() — seeded or not, the stream is process-global and
+// not replayable per request.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int arrivalJitter()
+{
+    std::random_device rd; // second independent trigger on this rule
+    return rand() % 7 + static_cast<int>(rd() % 3);
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: MUST trigger no-unordered-iter. A file with KvPool-style
+// accounting that walks an unordered_map: the walk order — and with it
+// any order-sensitive accounting below — depends on hash layout.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct KvPool; // marks this file as touching accounting state
+
+struct Directory {
+    std::unordered_map<std::uint64_t, std::uint64_t> blocks_by_hash;
+
+    std::uint64_t totalBlocks() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& kv : blocks_by_hash)
+            total += kv.second;
+        return total;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: MUST trigger no-wallclock. Stamping simulated arrivals from
+// the host clock makes every run's trace unique.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double arrivalStamp()
+{
+    const auto now = std::chrono::steady_clock::now();
+    (void)now;
+    return static_cast<double>(time(nullptr)); // second trigger
+}
+
+} // namespace fixture

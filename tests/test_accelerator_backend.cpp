@@ -126,8 +126,8 @@ INSTANTIATE_TEST_SUITE_P(
                           PlatformSpec::titanXp()),
                       std::make_shared<const PlatformBackend>(
                           PlatformSpec::xeon())),
-    [](const auto& info) {
-        std::string name = info.param->backendName();
+    [](const auto& param_info) {
+        std::string name = param_info.param->backendName();
         for (char& c : name)
             if (c == '-')
                 c = '_';

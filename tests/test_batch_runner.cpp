@@ -54,6 +54,37 @@ mixedBatch()
     return batch;
 }
 
+// Pinned by the static-analysis PR: batch_runner.cpp carries the
+// repo's only determinism-ok(no-wallclock) suppressions, justified by
+// the claim that the steady_clock probe measures host time and never
+// feeds simulated state. This test is that claim's regression guard —
+// two runs of the same batch must agree bit-for-bit on every simulated
+// aggregate even though their wall_seconds differ freely.
+TEST(BatchRunner, WallClockNeverLeaksIntoSimulatedAggregates)
+{
+    const auto batch = mixedBatch();
+    BatchRunner runner(SpAttenConfig{}, {4});
+    const BatchResult a = runner.run(batch);
+    const BatchResult b = runner.run(batch);
+
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].cycles, b.results[i].cycles) << i;
+        EXPECT_EQ(a.results[i].dram_bytes, b.results[i].dram_bytes) << i;
+    }
+    EXPECT_EQ(a.p50_seconds, b.p50_seconds);
+    EXPECT_EQ(a.p99_seconds, b.p99_seconds);
+    EXPECT_EQ(a.total_seconds, b.total_seconds);
+    EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+    EXPECT_EQ(a.total_flops, b.total_flops);
+    EXPECT_EQ(a.aggregate_tflops, b.aggregate_tflops);
+    EXPECT_EQ(a.dram_reduction, b.dram_reduction);
+    // wall_seconds is the host-side probe: positive, but deliberately
+    // NOT compared — it is the one field allowed to vary run to run.
+    EXPECT_GT(a.wall_seconds, 0.0);
+    EXPECT_GT(b.wall_seconds, 0.0);
+}
+
 TEST(BatchRunner, MultiThreadedBitIdenticalToSingleThreaded)
 {
     const auto batch = mixedBatch();

@@ -127,7 +127,7 @@ TEST(Integration, PipelineRespectsRooflineBounds)
         const RunResult r = accel.run(b.workload, b.policy);
         const double compute_bound_s =
             (r.attention_flops / 2.0) /
-            (accel.config().totalMultipliers() *
+            (static_cast<double>(accel.config().totalMultipliers()) *
              accel.config().core_freq_ghz * 1e9);
         const double mem_bound_s =
             r.dram_bytes / (accel.bandwidthRoofGBs() * 1e9);

@@ -436,7 +436,7 @@ struct ShadowTier
             chain.push_back(k);
         }
         const std::uint64_t need =
-            static_cast<std::uint64_t>(blocks - matched) * kBlockBytes +
+            (blocks - matched) * kBlockBytes +
             promote_b;
         if (used - cold_b + need > cap) {
             // Rollback: DRAM pulls return at their unchanged ticks
@@ -494,7 +494,7 @@ struct ShadowTier
                 cold_b += kBlockBytes;
             }
         }
-        used -= static_cast<std::uint64_t>(r.priv) * kBlockBytes;
+        used -= r.priv * kBlockBytes;
         held.erase(id);
     }
 };

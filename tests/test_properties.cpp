@@ -27,7 +27,7 @@ class TopkSweep
 TEST_P(TopkSweep, MatchesReferenceAndOrderInvariant)
 {
     const auto [n, parallelism] = GetParam();
-    Prng p(static_cast<std::uint64_t>(n * 131 + parallelism));
+    Prng p(n * 131 + parallelism);
     std::vector<float> v(n);
     for (auto& x : v)
         x = static_cast<float>(p.below(64)) * 0.25f;
@@ -185,7 +185,7 @@ TEST_P(LocalVSweep, KeptCountMatchesFormula)
     const auto kept = localValuePrune(prob, ratio);
     const auto want = std::max<std::size_t>(
         1, static_cast<std::size_t>(
-               std::ceil(n * (1.0 - ratio))));
+               std::ceil(static_cast<double>(n) * (1.0 - ratio))));
     EXPECT_EQ(kept.size(), ratio <= 0.0 ? n : want);
 }
 

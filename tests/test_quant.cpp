@@ -139,7 +139,7 @@ class BitplaneSweep : public ::testing::TestWithParam<int> {};
 TEST_P(BitplaneSweep, ExactReconstruction)
 {
     const BitplaneSetting setting = kPaperBitplaneSettings[GetParam()];
-    Prng p(100 + GetParam());
+    Prng p(static_cast<std::uint64_t>(100 + GetParam()));
     for (float stddev : {0.1f, 1.0f, 10.0f}) {
         const Tensor x = Tensor::randn({333}, p, 0.0f, stddev);
         const BitplaneTensor bp = quant::splitPlanes(x, setting);
